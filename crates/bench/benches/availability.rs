@@ -1,0 +1,41 @@
+//! Benchmark for the Figure 16 availability simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvest_cluster::{Datacenter, UtilizationView};
+use harvest_dfs::availability::{busy_mask, simulate_availability, AvailabilityConfig};
+use harvest_dfs::placement::PlacementPolicy;
+use harvest_sim::{SimDuration, SimTime};
+use harvest_trace::datacenter::DatacenterProfile;
+use harvest_trace::scaling::{calibrate, ScalingKind};
+use std::hint::black_box;
+
+fn bench_availability(c: &mut Criterion) {
+    let dc = Datacenter::generate(&DatacenterProfile::dc(9).scaled(0.02), 42);
+    let traces: Vec<_> = dc.tenants.iter().map(|t| &t.trace).collect();
+    let factor = calibrate(&traces, ScalingKind::Linear, 0.5);
+    let view = UtilizationView::scaled(&dc, ScalingKind::Linear, factor);
+
+    c.bench_function("fig16_busy_mask", |b| {
+        b.iter(|| black_box(busy_mask(&dc, &view, SimTime::from_secs(3_600))))
+    });
+
+    let mut group = c.benchmark_group("fig16_availability_1_day");
+    group.sample_size(10);
+    for policy in [PlacementPolicy::Stock, PlacementPolicy::History] {
+        group.bench_function(policy.label(), |b| {
+            b.iter(|| {
+                let mut cfg = AvailabilityConfig::paper(policy, 3, 7);
+                cfg.span = SimDuration::from_days(1);
+                black_box(simulate_availability(&dc, &view, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_availability
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Benchmarks for replica placement (Figure 8's grid and the §6.2
+//! "2.55 ms vs 0.81 ms per block" microbenchmark).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvest_cluster::{Datacenter, ServerId};
+use harvest_dfs::grid::Grid2D;
+use harvest_dfs::placement::{Placer, PlacementPolicy};
+use harvest_dfs::store::BlockStore;
+use harvest_sim::rng::stream_rng;
+use harvest_trace::datacenter::DatacenterProfile;
+use rand::RngExt;
+use std::hint::black_box;
+
+fn bench_placement(c: &mut Criterion) {
+    let dc = Datacenter::generate(&DatacenterProfile::dc(9).scaled(0.05), 42);
+
+    // Figure 8: building the 3x3 grid.
+    c.bench_function("fig8_grid_build", |b| {
+        b.iter(|| black_box(Grid2D::build(black_box(&dc))))
+    });
+
+    // §6.2: per-block placement cost, HDFS-H vs HDFS-Stock (the paper
+    // measures 2.55 ms vs 0.81 ms on its NameNode).
+    let mut group = c.benchmark_group("micro_place_block_r3");
+    for policy in [PlacementPolicy::Stock, PlacementPolicy::History] {
+        group.bench_function(policy.label(), |b| {
+            let placer = Placer::new(&dc, policy);
+            let store = BlockStore::new(&dc);
+            let mut rng = stream_rng(1, "bench-place");
+            b.iter(|| {
+                let writer = ServerId(rng.random_range(0..dc.n_servers()) as u32);
+                black_box(placer.place_new(&mut rng, &store, writer, 3, None))
+            })
+        });
+    }
+    group.finish();
+
+    // Reimage processing: destroying and re-indexing a loaded server.
+    c.bench_function("store_reimage_loaded_server", |b| {
+        let placer = Placer::new(&dc, PlacementPolicy::History);
+        let mut rng = stream_rng(2, "bench-reimage-store");
+        b.iter_batched(
+            || {
+                let mut store = BlockStore::new(&dc);
+                for _ in 0..2_000 {
+                    let writer = ServerId(rng.random_range(0..dc.n_servers()) as u32);
+                    if let Some(p) = placer.place_new(&mut rng, &store, writer, 3, None) {
+                        store.create_block(&p.servers);
+                    }
+                }
+                store
+            },
+            |mut store| black_box(store.reimage_server(ServerId(0))),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_placement
+}
+criterion_main!(benches);

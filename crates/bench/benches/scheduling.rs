@@ -1,0 +1,74 @@
+//! Benchmarks for the scheduling stack (Figures 10, 11, 13, 14 and the
+//! §6.2 clustering/selection microbenchmarks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvest_cluster::{Datacenter, UtilizationView};
+use harvest_jobs::length::JobLength;
+use harvest_jobs::tpcds::tpcds_suite;
+use harvest_jobs::workload::Workload;
+use harvest_sched::classes::ClusteringService;
+use harvest_sched::headroom::RankingWeights;
+use harvest_sched::policy::SchedPolicy;
+use harvest_sched::select::select_classes;
+use harvest_sched::sim::{SchedSim, SchedSimConfig};
+use harvest_sim::rng::stream_rng;
+use harvest_sim::SimDuration;
+use harvest_trace::datacenter::DatacenterProfile;
+use std::hint::black_box;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let dc = Datacenter::generate(&DatacenterProfile::dc(9).scaled(0.05), 42);
+    let view = UtilizationView::unscaled(&dc);
+
+    // §6.2: the daily clustering job ("2 minutes for DC-9" at full scale).
+    c.bench_function("micro_clustering_service_build", |b| {
+        b.iter(|| black_box(ClusteringService::build(black_box(&dc), 42)))
+    });
+
+    // §6.2: class selection ("less than 1 msec on average").
+    let svc = ClusteringService::build(&dc, 42);
+    let utils = vec![0.3; svc.class_count()];
+    let weights = RankingWeights::paper();
+    c.bench_function("micro_class_selection_alg1", |b| {
+        let mut rng = stream_rng(7, "bench-select");
+        b.iter(|| {
+            black_box(select_classes(
+                &mut rng,
+                black_box(&svc),
+                &weights,
+                JobLength::Medium,
+                64,
+                &utils,
+            ))
+        })
+    });
+
+    // Figures 11/13: a full (small) co-location simulation per policy.
+    let mut group = c.benchmark_group("fig13_sched_sim_1h");
+    group.sample_size(10);
+    for policy in [SchedPolicy::PrimaryAware, SchedPolicy::History] {
+        group.bench_function(policy.label(), |b| {
+            b.iter(|| {
+                let mut rng = stream_rng(3, "bench-wl");
+                let wl = Workload::poisson(
+                    &mut rng,
+                    tpcds_suite(),
+                    SimDuration::from_secs(300),
+                    SimDuration::from_hours(1),
+                );
+                let mut cfg = SchedSimConfig::testbed(policy, 3);
+                cfg.horizon = SimDuration::from_hours(1);
+                cfg.drain = SimDuration::from_hours(1);
+                black_box(SchedSim::new(&dc, &view, &wl, cfg).run())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scheduling
+}
+criterion_main!(benches);

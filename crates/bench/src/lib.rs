@@ -1,0 +1,1 @@
+//! Criterion bench harness (see benches/).

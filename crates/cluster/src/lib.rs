@@ -1,0 +1,31 @@
+//! The datacenter model: servers, primary tenants, environments, racks,
+//! resource reserves, and utilization playback.
+//!
+//! This crate is the substrate both the scheduler ([`harvest-sched`]) and
+//! the file system ([`harvest-dfs`]) run against. It instantiates a
+//! [`Datacenter`] from a [`harvest_trace::DatacenterProfile`] — concrete
+//! servers grouped into primary tenants, tenants into environments, and
+//! servers into racks — and answers "what is this server's primary
+//! utilization at time T?" through a [`playback::UtilizationView`].
+//!
+//! Resource semantics follow the paper's testbed (§6.1): every server has
+//! 12 cores and 32 GB of memory, of which 4 cores and 10 GB are reserved
+//! for the primary tenant to burst into. Secondary (harvested) work may
+//! only use what is left after the primary's rounded-up usage and the
+//! reserve (§5.3), and storage accesses are denied outright when the
+//! primary's CPU exceeds the reserve threshold (§5.4, the "66%" knee in
+//! Figure 16).
+//!
+//! [`harvest-sched`]: ../harvest_sched/index.html
+//! [`harvest-dfs`]: ../harvest_dfs/index.html
+
+pub mod datacenter;
+pub mod playback;
+pub mod reserve;
+pub mod resources;
+pub mod server;
+
+pub use datacenter::Datacenter;
+pub use playback::UtilizationView;
+pub use resources::Resources;
+pub use server::{RackId, Server, ServerId, Tenant, TenantId};

@@ -1,0 +1,201 @@
+//! Utilization playback: "what is this server's primary CPU utilization
+//! at time T?"
+//!
+//! A [`UtilizationView`] holds the (optionally scaled) tenant traces and
+//! answers per-server lookups. Servers of the same tenant share the
+//! tenant's "average server" trace plus a small deterministic per-server
+//! jitter, reflecting §3.2's observation that load "is not always evenly
+//! balanced across all servers of a primary tenant".
+
+use harvest_sim::rng::splitmix64;
+use harvest_trace::scaling::{scale, ScalingKind};
+use harvest_trace::timeseries::TimeSeries;
+use harvest_sim::SimTime;
+
+use crate::datacenter::Datacenter;
+use crate::server::{ServerId, TenantId};
+
+/// Default per-server jitter amplitude around the tenant trace.
+pub const DEFAULT_JITTER: f64 = 0.01;
+
+/// A scaled, queryable view of every tenant's utilization.
+#[derive(Debug, Clone)]
+pub struct UtilizationView {
+    traces: Vec<TimeSeries>,
+    server_tenant: Vec<u32>,
+    jitter_amp: f64,
+    jitter_seed: u64,
+}
+
+impl UtilizationView {
+    /// A view of the unscaled traces.
+    pub fn unscaled(dc: &Datacenter) -> Self {
+        Self::build(dc, None, DEFAULT_JITTER, 0)
+    }
+
+    /// A view with the given scaling applied to every tenant trace.
+    pub fn scaled(dc: &Datacenter, kind: ScalingKind, param: f64) -> Self {
+        Self::build(dc, Some((kind, param)), DEFAULT_JITTER, 0)
+    }
+
+    /// Full-control constructor.
+    pub fn build(
+        dc: &Datacenter,
+        scaling: Option<(ScalingKind, f64)>,
+        jitter_amp: f64,
+        jitter_seed: u64,
+    ) -> Self {
+        let traces = dc
+            .tenants
+            .iter()
+            .map(|t| match scaling {
+                Some((kind, param)) => scale(&t.trace, kind, param),
+                None => t.trace.clone(),
+            })
+            .collect();
+        UtilizationView {
+            traces,
+            server_tenant: dc.servers.iter().map(|s| s.tenant.0).collect(),
+            jitter_amp,
+            jitter_seed,
+        }
+    }
+
+    /// The tenant's (average-server) utilization at `t`.
+    pub fn tenant_util(&self, tenant: TenantId, t: SimTime) -> f64 {
+        self.traces[tenant.0 as usize].at(t)
+    }
+
+    /// The scaled trace of a tenant.
+    pub fn tenant_trace(&self, tenant: TenantId) -> &TimeSeries {
+        &self.traces[tenant.0 as usize]
+    }
+
+    /// The server's utilization at `t`: its tenant's trace plus the
+    /// server's deterministic jitter, clamped to `[0, 1]`.
+    pub fn server_util(&self, server: ServerId, t: SimTime) -> f64 {
+        let tenant = self.server_tenant[server.0 as usize];
+        let base = self.traces[tenant as usize].at(t);
+        (base + self.jitter(server, t)).clamp(0.0, 1.0)
+    }
+
+    fn jitter(&self, server: ServerId, t: SimTime) -> f64 {
+        if self.jitter_amp == 0.0 {
+            return 0.0;
+        }
+        let slot = t.as_millis() / harvest_trace::SAMPLE_INTERVAL.as_millis();
+        let h = splitmix64(self.jitter_seed ^ splitmix64(server.0 as u64) ^ slot.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        (unit * 2.0 - 1.0) * self.jitter_amp
+    }
+
+    /// Fleet-average utilization at `t` (per-server, without jitter —
+    /// jitter is zero-mean so it would only add noise).
+    pub fn fleet_util(&self, t: SimTime) -> f64 {
+        if self.server_tenant.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .server_tenant
+            .iter()
+            .map(|&tid| self.traces[tid as usize].at(t))
+            .sum();
+        sum / self.server_tenant.len() as f64
+    }
+
+    /// Fleet-average of the tenants' mean utilization, server-weighted
+    /// (the x-axis of Figures 13 and 16).
+    pub fn mean_fleet_util(&self) -> f64 {
+        if self.server_tenant.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .server_tenant
+            .iter()
+            .map(|&tid| self.traces[tid as usize].mean())
+            .sum();
+        sum / self.server_tenant.len() as f64
+    }
+
+    /// Number of tenants in the view.
+    pub fn n_tenants(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Number of servers in the view.
+    pub fn n_servers(&self) -> usize {
+        self.server_tenant.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvest_trace::datacenter::DatacenterProfile;
+
+    fn dc() -> Datacenter {
+        Datacenter::generate(&DatacenterProfile::dc(9).scaled(0.02), 7)
+    }
+
+    #[test]
+    fn server_util_tracks_tenant_trace() {
+        let dc = dc();
+        let view = UtilizationView::build(&dc, None, 0.0, 0);
+        let t = SimTime::from_secs(3_600);
+        for s in &dc.servers {
+            let su = view.server_util(s.id, t);
+            let tu = view.tenant_util(s.tenant, t);
+            assert_eq!(su, tu, "no jitter => identical");
+        }
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let dc = dc();
+        let view = UtilizationView::unscaled(&dc);
+        let t = SimTime::from_secs(7_200);
+        for s in &dc.servers {
+            let su = view.server_util(s.id, t);
+            let tu = view.tenant_util(s.tenant, t);
+            assert!((su - tu).abs() <= DEFAULT_JITTER + 1e-12);
+            assert_eq!(su, view.server_util(s.id, t), "jitter not deterministic");
+        }
+    }
+
+    #[test]
+    fn scaling_changes_levels() {
+        let dc = dc();
+        let base = UtilizationView::unscaled(&dc);
+        let doubled = UtilizationView::scaled(&dc, ScalingKind::Linear, 2.0);
+        assert!(doubled.mean_fleet_util() > base.mean_fleet_util());
+        let t = SimTime::from_secs(1_000);
+        assert!(doubled.fleet_util(t) >= base.fleet_util(t) - 1e-9);
+    }
+
+    #[test]
+    fn fleet_util_is_average_of_servers() {
+        let dc = dc();
+        let view = UtilizationView::build(&dc, None, 0.0, 0);
+        let t = SimTime::from_secs(60);
+        let manual: f64 = dc
+            .servers
+            .iter()
+            .map(|s| view.server_util(s.id, t))
+            .sum::<f64>()
+            / dc.n_servers() as f64;
+        assert!((view.fleet_util(t) - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utils_stay_in_unit_interval() {
+        let dc = dc();
+        let view = UtilizationView::scaled(&dc, ScalingKind::Linear, 5.0);
+        for hour in 0..48 {
+            let t = SimTime::from_secs(hour * 3_600);
+            for s in &dc.servers {
+                let u = view.server_util(s.id, t);
+                assert!((0.0..=1.0).contains(&u), "util {u} out of range");
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--full] [--seed N] [EXPERIMENT...]
+//!
+//!   EXPERIMENT   fig1..fig8, fig10..fig16, micro, or "all" (default)
+//!   --full       bigger clusters, more runs (slower, tighter bands)
+//!   --seed N     master seed (default 42)
+//! ```
+
+use std::process::ExitCode;
+
+use harvest_core::{run_experiment, Scale, ALL_EXPERIMENTS};
+
+fn main() -> ExitCode {
+    let mut scale = Scale::quick();
+    let mut experiments: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::full(),
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => scale.seed = seed,
+                None => {
+                    eprintln!("--seed requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: repro [--full] [--seed N] [EXPERIMENT...]");
+                println!("experiments: {} all", ALL_EXPERIMENTS.join(" "));
+                return ExitCode::SUCCESS;
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
+        experiments = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    for id in &experiments {
+        let started = std::time::Instant::now();
+        match run_experiment(id, &scale) {
+            Ok(report) => {
+                println!("{report}");
+                eprintln!("[{id} took {:.1}s]", started.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,141 @@
+//! §6.2 performance microbenchmarks.
+//!
+//! "For task scheduling, clustering takes on average 2 minutes for the
+//! primary tenants of DC-9, when running single-threaded. … The
+//! clustering produces 23 classes (13 periodic, 5 constant, and 5
+//! unpredictable) for DC-9. For this datacenter, class selection takes
+//! less than 1 msec on average. For data placement, clustering and class
+//! selection take on average 2.55 msecs per new block (0.81 msecs in
+//! HDFS-Stock)."
+
+use std::time::Instant;
+
+use harvest_cluster::{Datacenter, ServerId, UtilizationView};
+use harvest_dfs::placement::{Placer, PlacementPolicy};
+use harvest_dfs::store::BlockStore;
+use harvest_jobs::length::JobLength;
+use harvest_sched::classes::ClusteringService;
+use harvest_sched::headroom::RankingWeights;
+use harvest_sched::select::select_classes;
+use harvest_signal::classify::UtilizationPattern;
+use harvest_sim::rng::stream_rng;
+use harvest_trace::datacenter::DatacenterProfile;
+use rand::RngExt;
+
+use crate::report::{num, Table};
+use crate::scale::Scale;
+
+/// §6.2 microbenchmarks: clustering, class selection, and per-block
+/// placement timings for a DC-9-like input.
+pub fn micro(scale: &Scale) -> String {
+    let profile = DatacenterProfile::dc(9).scaled(scale.dc_scale.max(0.1));
+    let dc = Datacenter::generate(&profile, scale.seed);
+    let view = UtilizationView::unscaled(&dc);
+
+    let mut table = Table::new(
+        format!(
+            "§6.2 microbenchmarks (DC-9 at {} tenants / {} servers)",
+            dc.n_tenants(),
+            dc.n_servers()
+        ),
+        &["operation", "measured", "paper (full DC-9)"],
+    );
+
+    // Clustering (the daily, off-critical-path job).
+    let t0 = Instant::now();
+    let svc = ClusteringService::build(&dc, scale.seed);
+    let clustering = t0.elapsed();
+    table.row(&[
+        "scheduling clustering (total)".into(),
+        format!("{:.1} ms", clustering.as_secs_f64() * 1e3),
+        "~2 minutes".into(),
+    ]);
+    let classes = format!(
+        "{} classes ({} periodic, {} constant, {} unpredictable)",
+        svc.class_count(),
+        svc.count_by_pattern(UtilizationPattern::Periodic),
+        svc.count_by_pattern(UtilizationPattern::Constant),
+        svc.count_by_pattern(UtilizationPattern::Unpredictable),
+    );
+    table.row(&[
+        "clustering output".into(),
+        classes,
+        "23 classes (13 periodic, 5 constant, 5 unpredictable)".into(),
+    ]);
+
+    // Class selection (Algorithm 1).
+    let mut rng = stream_rng(scale.seed, "micro-select");
+    let utils: Vec<f64> = svc
+        .classes()
+        .iter()
+        .map(|c| {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for &tid in &c.tenants {
+                let t = dc.tenant(tid);
+                sum += view.tenant_util(tid, harvest_sim::SimTime::ZERO) * t.n_servers() as f64;
+                n += t.n_servers();
+            }
+            sum / n.max(1) as f64
+        })
+        .collect();
+    let weights = RankingWeights::paper();
+    let iters = 10_000;
+    let t0 = Instant::now();
+    for i in 0..iters {
+        let length = match i % 3 {
+            0 => JobLength::Short,
+            1 => JobLength::Medium,
+            _ => JobLength::Long,
+        };
+        let _ = select_classes(&mut rng, &svc, &weights, length, 64, &utils);
+    }
+    let select_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    table.row(&[
+        "class selection (per job)".into(),
+        format!("{} us", num(select_us, 1)),
+        "< 1 ms".into(),
+    ]);
+
+    // Replica placement per new block: HDFS-H vs HDFS-Stock.
+    for (policy, paper) in [
+        (PlacementPolicy::History, "2.55 ms/block"),
+        (PlacementPolicy::Stock, "0.81 ms/block"),
+    ] {
+        let placer = Placer::new(&dc, policy);
+        let mut store = BlockStore::new(&dc);
+        let mut rng = stream_rng(scale.seed, "micro-place");
+        let blocks = 20_000u32;
+        let t0 = Instant::now();
+        for _ in 0..blocks {
+            let writer = ServerId(rng.random_range(0..dc.n_servers()) as u32);
+            if let Some(p) = placer.place_new(&mut rng, &store, writer, 3, None) {
+                store.create_block(&p.servers);
+            }
+        }
+        let per_block_us = t0.elapsed().as_secs_f64() * 1e6 / blocks as f64;
+        table.row(&[
+            format!("{policy} placement (per block)"),
+            format!("{} us", num(per_block_us, 2)),
+            paper.into(),
+        ]);
+    }
+
+    table.note("absolute times differ (language, hardware, cluster size); the shape to check is clustering >> placement > selection, and HDFS-H placement costing a small constant factor over Stock");
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_runs_and_reports() {
+        let mut s = Scale::quick();
+        s.dc_scale = 0.05;
+        let out = micro(&s);
+        assert!(out.contains("class selection"));
+        assert!(out.contains("HDFS-H"));
+        assert!(out.contains("HDFS-Stock"));
+    }
+}

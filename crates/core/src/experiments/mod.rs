@@ -1,0 +1,10 @@
+//! One module per reproduced figure.
+
+pub mod availability;
+pub mod characterization;
+pub mod dag;
+pub mod durability;
+pub mod grid;
+pub mod micro;
+pub mod sched_sim;
+pub mod testbed;

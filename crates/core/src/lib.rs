@@ -1,0 +1,55 @@
+//! The experiment harness: every table and figure of the paper's
+//! evaluation, regenerated.
+//!
+//! Each `fig*` function in [`experiments`] runs one experiment at a
+//! configurable [`scale::Scale`] and renders a plain-text report whose
+//! rows correspond to the paper's plotted series. The `repro` binary
+//! dispatches on experiment ids (`fig1` … `fig16`, `micro`, `all`).
+//!
+//! Absolute numbers differ from the paper's (their substrate was a
+//! Microsoft production testbed; ours is a calibrated simulator), but
+//! each report states the paper's qualitative claim next to the measured
+//! result so the *shape* can be checked — see `EXPERIMENTS.md` at the
+//! workspace root for the recorded comparison.
+
+pub mod experiments;
+pub mod report;
+pub mod scale;
+
+pub use report::Table;
+pub use scale::Scale;
+
+/// Runs the experiment with the given id, returning its report.
+///
+/// Ids: `fig1`–`fig8`, `fig10`–`fig16`, `micro`. (`fig9` is the paper's
+/// architecture diagram and `table1` its extension inventory — both are
+/// documentation, not experiments.)
+pub fn run_experiment(id: &str, scale: &Scale) -> Result<String, String> {
+    match id {
+        "fig1" => Ok(experiments::characterization::fig1(scale)),
+        "fig2" => Ok(experiments::characterization::fig2(scale)),
+        "fig3" => Ok(experiments::characterization::fig3(scale)),
+        "fig4" => Ok(experiments::characterization::fig4(scale)),
+        "fig5" => Ok(experiments::characterization::fig5(scale)),
+        "fig6" => Ok(experiments::characterization::fig6(scale)),
+        "fig7" => Ok(experiments::dag::fig7()),
+        "fig8" => Ok(experiments::grid::fig8(scale)),
+        "fig10" => Ok(experiments::testbed::fig10(scale)),
+        "fig11" => Ok(experiments::testbed::fig11(scale)),
+        "fig12" => Ok(experiments::testbed::fig12(scale)),
+        "fig13" => Ok(experiments::sched_sim::fig13(scale)),
+        "fig14" => Ok(experiments::sched_sim::fig14(scale)),
+        "fig15" => Ok(experiments::durability::fig15(scale)),
+        "fig16" => Ok(experiments::availability::fig16(scale)),
+        "micro" => Ok(experiments::micro::micro(scale)),
+        other => Err(format!(
+            "unknown experiment '{other}' (expected fig1-fig8, fig10-fig16, or micro)"
+        )),
+    }
+}
+
+/// All experiment ids, in paper order.
+pub const ALL_EXPERIMENTS: [&str; 16] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "fig16", "micro",
+];

@@ -1,0 +1,90 @@
+//! Experiment scale presets.
+//!
+//! The paper's simulations cover whole datacenters (thousands of servers)
+//! for a month to a year; its testbed runs five hours. Those sizes are
+//! reproducible here, but a laptop-friendly scale keeps every experiment
+//! runnable in minutes. Shapes (who wins, by what factor) are stable
+//! across scales because block density, reserve fractions, and tenant
+//! mixes are scale-invariant.
+
+/// Scale parameters shared by the experiments.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Fraction of each datacenter profile to instantiate.
+    pub dc_scale: f64,
+    /// Runs per data point (the paper uses five).
+    pub runs: usize,
+    /// Simulated hours for the scheduling sweeps.
+    pub sched_hours: u64,
+    /// Simulated months for the durability experiment (paper: 12).
+    pub durability_months: usize,
+    /// Simulated days for the availability experiment (paper: 30).
+    pub availability_days: u64,
+    /// Utilization sweep points for Figures 13/14/16.
+    pub utilizations: Vec<f64>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Minutes-scale preset (default for `repro`): one run per point,
+    /// small clusters, short horizons.
+    pub fn quick() -> Self {
+        Scale {
+            dc_scale: 0.03,
+            runs: 1,
+            sched_hours: 8,
+            durability_months: 6,
+            availability_days: 5,
+            utilizations: vec![0.30, 0.45, 0.60],
+            seed: 42,
+        }
+    }
+
+    /// Fuller preset (`repro --full`): three runs per point, bigger
+    /// clusters, longer horizons. Roughly an hour of single-core time
+    /// for the complete suite.
+    pub fn full() -> Self {
+        Scale {
+            dc_scale: 0.06,
+            runs: 3,
+            sched_hours: 12,
+            durability_months: 12,
+            availability_days: 15,
+            utilizations: vec![0.25, 0.35, 0.45, 0.55, 0.65],
+            seed: 42,
+        }
+    }
+
+    /// The seed for run `r` of an experiment.
+    pub fn run_seed(&self, experiment: &str, r: usize) -> u64 {
+        harvest_sim::rng::derive_seed_indexed(self.seed, experiment, r as u64)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        let q = Scale::quick();
+        let f = Scale::full();
+        assert!(q.dc_scale < f.dc_scale);
+        assert!(q.runs < f.runs);
+        assert!(q.utilizations.len() < f.utilizations.len());
+    }
+
+    #[test]
+    fn run_seeds_differ() {
+        let s = Scale::quick();
+        assert_ne!(s.run_seed("fig13", 0), s.run_seed("fig13", 1));
+        assert_ne!(s.run_seed("fig13", 0), s.run_seed("fig15", 0));
+    }
+}

@@ -1,0 +1,205 @@
+//! The availability simulation (Figure 16).
+//!
+//! A block access fails when *every* replica sits on a server whose
+//! primary CPU utilization exceeds the busy threshold (2/3 — §6.4:
+//! "accesses cannot proceed if CPU utilization is higher than 66%").
+//! Placement diversity across peak-utilization rows is what keeps at
+//! least one replica reachable as utilization scales up.
+
+use harvest_cluster::reserve::is_busy;
+use harvest_cluster::{Datacenter, ServerId, UtilizationView};
+use harvest_sim::rng::stream_rng;
+use harvest_sim::{dist, SimDuration, SimTime};
+use rand::RngExt;
+
+use crate::placement::{Placer, PlacementPolicy};
+use crate::store::{BlockId, BlockStore};
+
+/// Availability-simulation parameters.
+#[derive(Debug, Clone)]
+pub struct AvailabilityConfig {
+    /// Placement policy under test.
+    pub policy: PlacementPolicy,
+    /// Replicas per block.
+    pub replication: usize,
+    /// Fraction of harvestable space filled with blocks.
+    pub fill_fraction: f64,
+    /// Simulated span (the paper uses one month).
+    pub span: SimDuration,
+    /// Mean block accesses per second across the cluster.
+    pub accesses_per_second: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl AvailabilityConfig {
+    /// The paper's one-month setup.
+    pub fn paper(policy: PlacementPolicy, replication: usize, seed: u64) -> Self {
+        AvailabilityConfig {
+            policy,
+            replication,
+            fill_fraction: 0.5,
+            span: SimDuration::from_days(30),
+            accesses_per_second: 10.0,
+            seed,
+        }
+    }
+}
+
+/// Outcome of an availability simulation.
+#[derive(Debug, Clone)]
+pub struct AvailabilityResult {
+    /// Blocks placed.
+    pub n_blocks: u64,
+    /// Total accesses attempted.
+    pub accesses: u64,
+    /// Accesses that found every replica busy.
+    pub failed: u64,
+    /// Percentage of failed accesses (Figure 16's y-axis).
+    pub failed_percent: f64,
+    /// Mean fleet utilization of the view (Figure 16's x-axis).
+    pub mean_utilization: f64,
+}
+
+/// Runs the availability simulation.
+pub fn simulate_availability(
+    dc: &Datacenter,
+    view: &UtilizationView,
+    cfg: &AvailabilityConfig,
+) -> AvailabilityResult {
+    assert!(cfg.replication >= 1, "replication must be at least 1");
+    let placer = Placer::new(dc, cfg.policy);
+    let mut store = BlockStore::new(dc);
+    let mut rng = stream_rng(cfg.seed, "availability");
+    let n_servers = dc.n_servers();
+
+    // Place blocks with the busy mask of time zero (creation-time
+    // awareness for PT/H; Stock ignores the mask internally).
+    let busy0 = busy_mask(dc, view, SimTime::ZERO);
+    let capacity = dc.total_harvest_blocks();
+    let target = ((capacity as f64 * cfg.fill_fraction) / cfg.replication as f64) as u64;
+    let mut n_blocks = 0u64;
+    for _ in 0..target {
+        let writer = ServerId(rng.random_range(0..n_servers) as u32);
+        match placer.place_new(&mut rng, &store, writer, cfg.replication, Some(&busy0)) {
+            Some(p) => {
+                store.create_block(&p.servers);
+                n_blocks += 1;
+            }
+            None => break,
+        }
+    }
+
+    // Replay a month of accesses on the two-minute utilization grid.
+    let tick = harvest_trace::SAMPLE_INTERVAL;
+    let accesses_per_tick = cfg.accesses_per_second * tick.as_secs_f64();
+    let n_ticks = cfg.span.div_duration(tick);
+    let mut accesses = 0u64;
+    let mut failed = 0u64;
+    for k in 0..n_ticks {
+        let now = SimTime::ZERO + tick.mul_f64(k as f64);
+        let busy = busy_mask(dc, view, now);
+        let n_acc = dist::poisson(&mut rng, accesses_per_tick);
+        for _ in 0..n_acc {
+            let block = BlockId(rng.random_range(0..n_blocks));
+            accesses += 1;
+            let all_busy = store
+                .replicas(block)
+                .iter()
+                .all(|&s| busy[s as usize]);
+            if all_busy {
+                failed += 1;
+            }
+        }
+    }
+
+    AvailabilityResult {
+        n_blocks,
+        accesses,
+        failed,
+        failed_percent: if accesses == 0 {
+            0.0
+        } else {
+            failed as f64 / accesses as f64 * 100.0
+        },
+        mean_utilization: view.mean_fleet_util(),
+    }
+}
+
+/// The busy mask at an instant: true for servers denying accesses.
+pub fn busy_mask(dc: &Datacenter, view: &UtilizationView, now: SimTime) -> Vec<bool> {
+    (0..dc.n_servers())
+        .map(|s| is_busy(view.server_util(ServerId(s as u32), now)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvest_trace::datacenter::DatacenterProfile;
+    use harvest_trace::scaling::{calibrate, ScalingKind};
+
+    fn setup(target_util: f64) -> (Datacenter, UtilizationView) {
+        let dc = Datacenter::generate(&DatacenterProfile::dc(9).scaled(0.02), 31);
+        let traces: Vec<_> = dc.tenants.iter().map(|t| &t.trace).collect();
+        let factor = calibrate(&traces, ScalingKind::Linear, target_util);
+        let view = UtilizationView::scaled(&dc, ScalingKind::Linear, factor);
+        (dc, view)
+    }
+
+    fn run(policy: PlacementPolicy, util: f64, replication: usize) -> AvailabilityResult {
+        let (dc, view) = setup(util);
+        let mut cfg = AvailabilityConfig::paper(policy, replication, 7);
+        cfg.span = SimDuration::from_days(3);
+        cfg.accesses_per_second = 5.0;
+        simulate_availability(&dc, &view, &cfg)
+    }
+
+    #[test]
+    fn low_utilization_has_no_failures() {
+        for policy in PlacementPolicy::ALL {
+            let r = run(policy, 0.25, 3);
+            assert_eq!(r.failed, 0, "{policy} failed accesses at 25% util");
+        }
+    }
+
+    #[test]
+    fn high_utilization_fails_stock_first() {
+        let stock = run(PlacementPolicy::Stock, 0.55, 3);
+        let hist = run(PlacementPolicy::History, 0.55, 3);
+        assert!(
+            hist.failed_percent <= stock.failed_percent,
+            "HDFS-H ({}) worse than Stock ({})",
+            hist.failed_percent,
+            stock.failed_percent
+        );
+    }
+
+    #[test]
+    fn extra_replication_reduces_failures() {
+        let r3 = run(PlacementPolicy::Stock, 0.6, 3);
+        let r4 = run(PlacementPolicy::Stock, 0.6, 4);
+        assert!(
+            r4.failed_percent <= r3.failed_percent,
+            "R=4 ({}) worse than R=3 ({})",
+            r4.failed_percent,
+            r3.failed_percent
+        );
+    }
+
+    #[test]
+    fn accesses_follow_configured_rate() {
+        let r = run(PlacementPolicy::Stock, 0.4, 3);
+        let expected = 5.0 * 3.0 * 86_400.0;
+        let ratio = r.accesses as f64 / expected;
+        assert!((0.95..1.05).contains(&ratio), "accesses off: {ratio}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(PlacementPolicy::History, 0.5, 3);
+        let b = run(PlacementPolicy::History, 0.5, 3);
+        assert_eq!(a.failed, b.failed);
+        assert_eq!(a.accesses, b.accesses);
+    }
+}

@@ -1,0 +1,302 @@
+//! The durability simulation (Figure 15).
+//!
+//! Places a population of blocks, then replays months of per-server disk
+//! reimages — independent reimages plus correlated redeployment sweeps —
+//! repairing lost replicas through the throttled pipeline. A block whose
+//! replicas are all destroyed before repair completes is lost forever.
+//!
+//! The paper simulates one year and 4 M blocks per datacenter; block
+//! count scales with cluster size here (see
+//! [`DurabilityConfig::fill_fraction`]), which preserves the per-server
+//! replica density that determines loss dynamics.
+
+use std::collections::BinaryHeap;
+
+use harvest_cluster::{Datacenter, ServerId};
+use harvest_sim::rng::stream_rng;
+use harvest_sim::SimTime;
+use rand::RngExt;
+
+use crate::placement::{Placer, PlacementPolicy};
+use crate::repair::{RepairConfig, RepairPipeline};
+use crate::store::{BlockId, BlockStore};
+
+/// Durability-simulation parameters.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Placement policy under test.
+    pub policy: PlacementPolicy,
+    /// Replicas per block (the paper evaluates 3 and 4).
+    pub replication: usize,
+    /// Fraction of the cluster's harvestable space to fill with blocks
+    /// (replicas / capacity). The paper's 4 M blocks × 3 replicas lands
+    /// around 50% of a production cluster's spare space.
+    pub fill_fraction: f64,
+    /// Simulated months (the paper uses 12).
+    pub months: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Repair timing.
+    pub repair: RepairConfig,
+}
+
+impl DurabilityConfig {
+    /// The paper's one-year setup for a given policy and replication.
+    pub fn paper(policy: PlacementPolicy, replication: usize, seed: u64) -> Self {
+        DurabilityConfig {
+            policy,
+            replication,
+            fill_fraction: 0.5,
+            months: 12,
+            seed,
+            repair: RepairConfig::default(),
+        }
+    }
+}
+
+/// Outcome of a durability simulation.
+#[derive(Debug, Clone)]
+pub struct DurabilityResult {
+    /// Blocks created.
+    pub n_blocks: u64,
+    /// Blocks that lost every replica.
+    pub lost_blocks: u64,
+    /// Total server reimages replayed.
+    pub reimages: u64,
+    /// Replicas successfully re-created.
+    pub repairs: u64,
+    /// Repairs abandoned because the block was already lost.
+    pub repairs_too_late: u64,
+    /// Percentage of blocks lost (Figure 15's y-axis).
+    pub lost_percent: f64,
+}
+
+/// An entry in the repair heap (min-heap by completion time).
+#[derive(Debug, PartialEq, Eq)]
+struct Repair {
+    at: SimTime,
+    block: BlockId,
+}
+
+impl Ord for Repair {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at).then(other.block.cmp(&self.block))
+    }
+}
+
+impl PartialOrd for Repair {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs the durability simulation.
+pub fn simulate_durability(dc: &Datacenter, cfg: &DurabilityConfig) -> DurabilityResult {
+    assert!(cfg.replication >= 1, "replication must be at least 1");
+    assert!(
+        (0.0..=0.95).contains(&cfg.fill_fraction),
+        "fill fraction must be in [0, 0.95]"
+    );
+    let placer = Placer::new(dc, cfg.policy);
+    let mut store = BlockStore::new(dc);
+    let mut rng = stream_rng(cfg.seed, "durability");
+
+    // --- Phase 1: fill the store. ---
+    let capacity = dc.total_harvest_blocks();
+    let n_blocks = ((capacity as f64 * cfg.fill_fraction) / cfg.replication as f64) as u64;
+    let n_servers = dc.n_servers();
+    let mut created = 0u64;
+    for _ in 0..n_blocks {
+        // Writers are uniform over servers, as block creators in the
+        // batch workload are.
+        let writer = ServerId(rng.random_range(0..n_servers) as u32);
+        match placer.place_new(&mut rng, &store, writer, cfg.replication, None) {
+            Some(p) => {
+                store.create_block(&p.servers);
+                created += 1;
+            }
+            None => break,
+        }
+    }
+
+    // --- Phase 2: generate the reimage schedule. ---
+    let mut events: Vec<(SimTime, ServerId)> = Vec::new();
+    for tenant in &dc.tenants {
+        let mut trng = stream_rng(
+            cfg.seed ^ (0xD15C_0000 + tenant.id.0 as u64),
+            "tenant-reimages",
+        );
+        let (tenant_events, _) = tenant.reimage.generate(&mut trng, tenant.n_servers(), cfg.months);
+        for e in tenant_events {
+            let global = ServerId(tenant.server_range.start + e.server as u32);
+            events.push((e.time, global));
+        }
+    }
+    events.sort_by_key(|&(t, s)| (t, s));
+
+    // --- Phase 3: replay reimages, repairing through the pipeline. ---
+    let mut pipeline = RepairPipeline::new(cfg.repair, n_servers);
+    let mut heap: BinaryHeap<Repair> = BinaryHeap::new();
+    let mut repairs = 0u64;
+    let mut too_late = 0u64;
+    let reimage_count = events.len() as u64;
+
+    for (now, server) in events {
+        // Complete repairs due before this reimage.
+        while heap.peek().map(|r| r.at <= now).unwrap_or(false) {
+            let r = heap.pop().expect("peeked");
+            apply_repair(
+                &placer, &mut store, &mut rng, r.block, cfg.replication, &mut repairs,
+                &mut too_late, &mut heap, &mut pipeline, r.at,
+            );
+        }
+        // The reimage destroys this server's replicas.
+        for block in store.reimage_server(server) {
+            if store.replica_count(block) > 0 {
+                let at = pipeline.schedule(now);
+                heap.push(Repair { at, block });
+            }
+        }
+    }
+    // Drain the remaining repair queue.
+    while let Some(r) = heap.pop() {
+        apply_repair(
+            &placer, &mut store, &mut rng, r.block, cfg.replication, &mut repairs,
+            &mut too_late, &mut heap, &mut pipeline, r.at,
+        );
+    }
+
+    let lost = store.lost_blocks();
+    DurabilityResult {
+        n_blocks: created,
+        lost_blocks: lost,
+        reimages: reimage_count,
+        repairs,
+        repairs_too_late: too_late,
+        lost_percent: if created == 0 {
+            0.0
+        } else {
+            lost as f64 / created as f64 * 100.0
+        },
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn apply_repair(
+    placer: &Placer<'_>,
+    store: &mut BlockStore,
+    rng: &mut rand::rngs::StdRng,
+    block: BlockId,
+    replication: usize,
+    repairs: &mut u64,
+    too_late: &mut u64,
+    heap: &mut BinaryHeap<Repair>,
+    pipeline: &mut RepairPipeline,
+    now: SimTime,
+) {
+    let count = store.replica_count(block);
+    if count == 0 {
+        *too_late += 1;
+        return;
+    }
+    if count >= replication {
+        return; // already fully replicated (duplicate repair entries)
+    }
+    let existing: Vec<u32> = store.replicas(block).to_vec();
+    if let Some(dest) = placer.place_repair(rng, store, &existing, None) {
+        store.add_replica(block, dest);
+        *repairs += 1;
+        // Still short? (More than one replica was lost.) Queue another.
+        if store.replica_count(block) < replication {
+            let at = pipeline.schedule(now);
+            heap.push(Repair { at, block });
+        }
+    } else {
+        // No destination (cluster full): retry after a detection delay.
+        let at = pipeline.schedule(now);
+        heap.push(Repair { at, block });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvest_trace::datacenter::DatacenterProfile;
+
+    fn dc(scale: f64) -> Datacenter {
+        Datacenter::generate(&DatacenterProfile::dc(3).scaled(scale), 23)
+    }
+
+    fn run(policy: PlacementPolicy, replication: usize, months: usize) -> DurabilityResult {
+        let dc = dc(0.02);
+        let mut cfg = DurabilityConfig::paper(policy, replication, 5);
+        cfg.months = months;
+        simulate_durability(&dc, &cfg)
+    }
+
+    #[test]
+    fn blocks_are_created_to_fill_target() {
+        let dc = dc(0.02);
+        let cfg = DurabilityConfig::paper(PlacementPolicy::Stock, 3, 1);
+        let result = simulate_durability(&dc, &cfg);
+        let expected = dc.total_harvest_blocks() / 2 / 3;
+        assert!(
+            result.n_blocks as f64 > expected as f64 * 0.95,
+            "created {} of expected {expected}",
+            result.n_blocks
+        );
+    }
+
+    #[test]
+    fn reimages_happen_and_repairs_run() {
+        let r = run(PlacementPolicy::Stock, 3, 3);
+        assert!(r.reimages > 0);
+        assert!(r.repairs > 0);
+    }
+
+    #[test]
+    fn history_placement_loses_fewer_blocks_than_stock() {
+        // DC-3 has the paper's highest reimage rate; three months of a
+        // small cluster is enough for Stock to lose blocks.
+        let stock = run(PlacementPolicy::Stock, 3, 6);
+        let hist = run(PlacementPolicy::History, 3, 6);
+        assert!(
+            stock.lost_blocks > 0,
+            "expected Stock losses in a high-reimage DC"
+        );
+        assert!(
+            hist.lost_blocks * 5 < stock.lost_blocks.max(1),
+            "HDFS-H ({}) not clearly better than Stock ({})",
+            hist.lost_blocks,
+            stock.lost_blocks
+        );
+    }
+
+    #[test]
+    fn four_way_replication_is_more_durable() {
+        let r3 = run(PlacementPolicy::Stock, 3, 6);
+        let r4 = run(PlacementPolicy::Stock, 4, 6);
+        assert!(
+            r4.lost_blocks <= r3.lost_blocks,
+            "R=4 ({}) lost more than R=3 ({})",
+            r4.lost_blocks,
+            r3.lost_blocks
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(PlacementPolicy::History, 3, 2);
+        let b = run(PlacementPolicy::History, 3, 2);
+        assert_eq!(a.lost_blocks, b.lost_blocks);
+        assert_eq!(a.repairs, b.repairs);
+        assert_eq!(a.n_blocks, b.n_blocks);
+    }
+
+    #[test]
+    fn lost_percent_is_consistent() {
+        let r = run(PlacementPolicy::Stock, 3, 3);
+        let expect = r.lost_blocks as f64 / r.n_blocks as f64 * 100.0;
+        assert!((r.lost_percent - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,175 @@
+//! Heartbeat-thread behaviour under primary I/O pressure (§7, lesson 2).
+//!
+//! "The manager throttles the secondary tenants' disk activity when the
+//! primary tenant performs substantial disk I/O. This caused the DN
+//! heartbeats on these servers to stop flowing, as the heartbeat thread
+//! does synchronous I/O to get the status of modified blocks and free
+//! space. As a result, the NN started a replication storm for data that
+//! it thought was lost. We then changed the heartbeat thread to become
+//! asynchronous and report the status that it most recently found."
+//!
+//! This module replays that incident: a data node's heartbeat loop under
+//! a trace of primary-I/O pressure, in synchronous or asynchronous mode,
+//! and the name node's dead-node declaration that triggers the storm.
+
+use harvest_sim::{SimDuration, SimTime};
+
+/// How the data node's heartbeat thread gathers block status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeartbeatMode {
+    /// The heartbeat thread performs synchronous disk I/O; when the
+    /// primary's I/O is throttling secondaries, the heartbeat blocks.
+    Synchronous,
+    /// The heartbeat thread reports the most recent status it has and
+    /// never blocks on disk I/O.
+    Asynchronous,
+}
+
+/// Heartbeat protocol parameters (HDFS-like defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeartbeatConfig {
+    /// Interval between heartbeats (HDFS default: 3 s).
+    pub interval: SimDuration,
+    /// Silence after which the NN declares the DN dead (~10 min).
+    pub dead_after: SimDuration,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            interval: SimDuration::from_secs(3),
+            dead_after: SimDuration::from_mins(10),
+        }
+    }
+}
+
+/// Result of replaying one data node's heartbeats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeartbeatOutcome {
+    /// Heartbeats that should have been sent.
+    pub expected: u64,
+    /// Heartbeats that actually flowed.
+    pub delivered: u64,
+    /// Heartbeats whose status payload was stale (asynchronous mode
+    /// during throttling).
+    pub stale: u64,
+    /// Whether the NN declared the node dead at any point.
+    pub declared_dead: bool,
+    /// Blocks spuriously re-replicated by the storm (0 if never declared
+    /// dead). Proportional to the node's block count.
+    pub storm_blocks: u64,
+}
+
+/// Replays heartbeats over a throttling trace.
+///
+/// `throttled` gives, per heartbeat interval, whether the performance
+/// isolation manager was throttling secondary disk I/O during that
+/// interval. `node_blocks` is how many replicas the node holds (the size
+/// of the storm if it is declared dead).
+pub fn replay_heartbeats(
+    mode: HeartbeatMode,
+    config: &HeartbeatConfig,
+    throttled: &[bool],
+    node_blocks: u64,
+) -> HeartbeatOutcome {
+    let mut delivered = 0u64;
+    let mut stale = 0u64;
+    let mut last_heard = SimTime::ZERO;
+    let mut declared_dead = false;
+
+    for (i, &is_throttled) in throttled.iter().enumerate() {
+        let now = SimTime::ZERO + config.interval.mul_f64((i + 1) as f64);
+        let flows = match mode {
+            // Synchronous status collection blocks behind the throttled
+            // disk: the heartbeat never leaves the node.
+            HeartbeatMode::Synchronous => !is_throttled,
+            HeartbeatMode::Asynchronous => true,
+        };
+        if flows {
+            delivered += 1;
+            last_heard = now;
+            if mode == HeartbeatMode::Asynchronous && is_throttled {
+                stale += 1;
+            }
+        }
+        if now.since(last_heard) >= config.dead_after {
+            declared_dead = true;
+        }
+    }
+
+    HeartbeatOutcome {
+        expected: throttled.len() as u64,
+        delivered,
+        stale,
+        declared_dead,
+        storm_blocks: if declared_dead { node_blocks } else { 0 },
+    }
+}
+
+/// Builds a throttling trace: `total` intervals with one solid throttled
+/// burst of `burst` intervals starting at `start`.
+pub fn burst_trace(total: usize, start: usize, burst: usize) -> Vec<bool> {
+    (0..total).map(|i| i >= start && i < start + burst).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: HeartbeatConfig = HeartbeatConfig {
+        interval: SimDuration::from_secs(3),
+        dead_after: SimDuration::from_secs(600),
+    };
+
+    /// Intervals in a 12-minute burst (long enough to cross `dead_after`).
+    const LONG_BURST: usize = 240;
+
+    #[test]
+    fn synchronous_mode_causes_the_storm() {
+        let trace = burst_trace(400, 50, LONG_BURST);
+        let out = replay_heartbeats(HeartbeatMode::Synchronous, &CFG, &trace, 2_400);
+        assert!(out.declared_dead, "sync mode should miss enough heartbeats");
+        assert_eq!(out.storm_blocks, 2_400);
+        assert!(out.delivered < out.expected);
+    }
+
+    #[test]
+    fn asynchronous_mode_prevents_the_storm() {
+        let trace = burst_trace(400, 50, LONG_BURST);
+        let out = replay_heartbeats(HeartbeatMode::Asynchronous, &CFG, &trace, 2_400);
+        assert!(!out.declared_dead);
+        assert_eq!(out.storm_blocks, 0);
+        assert_eq!(out.delivered, out.expected);
+        // The price of availability: stale status during the burst.
+        assert_eq!(out.stale, LONG_BURST as u64);
+    }
+
+    #[test]
+    fn short_bursts_are_harmless_in_both_modes() {
+        // A 3-minute burst is well under the 10-minute dead interval.
+        let trace = burst_trace(400, 50, 60);
+        for mode in [HeartbeatMode::Synchronous, HeartbeatMode::Asynchronous] {
+            let out = replay_heartbeats(mode, &CFG, &trace, 2_400);
+            assert!(!out.declared_dead, "{mode:?} declared dead on short burst");
+            assert_eq!(out.storm_blocks, 0);
+        }
+    }
+
+    #[test]
+    fn quiet_trace_delivers_everything() {
+        let trace = vec![false; 100];
+        let out = replay_heartbeats(HeartbeatMode::Synchronous, &CFG, &trace, 10);
+        assert_eq!(out.delivered, 100);
+        assert_eq!(out.stale, 0);
+        assert!(!out.declared_dead);
+    }
+
+    #[test]
+    fn burst_trace_shape() {
+        let t = burst_trace(10, 3, 4);
+        assert_eq!(
+            t,
+            vec![false, false, false, true, true, true, true, false, false, false]
+        );
+    }
+}

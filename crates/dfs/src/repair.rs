@@ -1,0 +1,127 @@
+//! Re-replication throttling.
+//!
+//! §5.1: after missing heartbeats from a data node, "the NN starts to
+//! re-create the corresponding replicas in other servers without
+//! overloading the network (30 blocks/hour/server)". The cluster's
+//! aggregate repair bandwidth is therefore proportional to its size, and
+//! every lost replica waits for detection plus its place in the repair
+//! pipeline — the window in which further reimages can destroy the
+//! remaining copies.
+
+use harvest_sim::{SimDuration, SimTime};
+
+/// Repair-timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairConfig {
+    /// Time before the name node notices a dead data node (missed
+    /// heartbeats; HDFS's default dead-node interval is ~10 minutes).
+    pub detection_delay: SimDuration,
+    /// Re-replication throttle per server per hour.
+    pub blocks_per_server_per_hour: f64,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            detection_delay: SimDuration::from_mins(10),
+            blocks_per_server_per_hour: 30.0,
+        }
+    }
+}
+
+/// A cluster-wide repair pipeline: lost replicas are repaired in FIFO
+/// order at the aggregate throttled rate.
+#[derive(Debug, Clone)]
+pub struct RepairPipeline {
+    config: RepairConfig,
+    /// Milliseconds of pipeline time consumed per block.
+    ms_per_block: f64,
+    /// When the pipeline next comes free (fractional ms for precision).
+    next_free_ms: f64,
+}
+
+impl RepairPipeline {
+    /// Creates a pipeline for a cluster of `n_servers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_servers` is zero or the rate is non-positive.
+    pub fn new(config: RepairConfig, n_servers: usize) -> Self {
+        assert!(n_servers > 0, "cluster has no servers");
+        assert!(
+            config.blocks_per_server_per_hour > 0.0,
+            "repair rate must be positive"
+        );
+        let blocks_per_hour = config.blocks_per_server_per_hour * n_servers as f64;
+        RepairPipeline {
+            config,
+            ms_per_block: 3_600_000.0 / blocks_per_hour,
+            next_free_ms: 0.0,
+        }
+    }
+
+    /// Schedules one replica repair for a loss observed at `lost_at`.
+    /// Returns when the new replica comes online.
+    pub fn schedule(&mut self, lost_at: SimTime) -> SimTime {
+        let earliest = (lost_at + self.config.detection_delay).as_millis() as f64;
+        let start = earliest.max(self.next_free_ms);
+        self.next_free_ms = start + self.ms_per_block;
+        SimTime::from_millis(self.next_free_ms.ceil() as u64)
+    }
+
+    /// The configured detection delay.
+    pub fn detection_delay(&self) -> SimDuration {
+        self.config.detection_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_delay_applies() {
+        let mut p = RepairPipeline::new(RepairConfig::default(), 1_000);
+        let t = p.schedule(SimTime::from_secs(100));
+        // 100 s + 600 s detection + one block of pipeline time.
+        assert!(t >= SimTime::from_secs(700));
+        assert!(t < SimTime::from_secs(702));
+    }
+
+    #[test]
+    fn pipeline_throttles_bursts() {
+        // 100 servers × 30 blocks/hour = 3000 blocks/hour.
+        let mut p = RepairPipeline::new(RepairConfig::default(), 100);
+        let lost_at = SimTime::from_secs(0);
+        let times: Vec<SimTime> = (0..3_000).map(|_| p.schedule(lost_at)).collect();
+        // The last of 3000 repairs lands about an hour after detection.
+        let last = *times.last().unwrap();
+        let first = times[0];
+        let spread = last.since(first);
+        assert!(
+            (spread.as_secs_f64() - 3_600.0).abs() < 30.0,
+            "3000 repairs spread over {spread} (expected ~1h)"
+        );
+        // Monotone.
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn idle_pipeline_does_not_accumulate_lag() {
+        let mut p = RepairPipeline::new(RepairConfig::default(), 100);
+        p.schedule(SimTime::from_secs(0));
+        // A loss much later is not delayed by the long-idle pipeline.
+        let t = p.schedule(SimTime::from_secs(86_400));
+        assert!(t < SimTime::from_secs(86_400 + 605));
+    }
+
+    #[test]
+    fn bigger_clusters_repair_faster() {
+        let mut small = RepairPipeline::new(RepairConfig::default(), 10);
+        let mut big = RepairPipeline::new(RepairConfig::default(), 10_000);
+        let lost = SimTime::from_secs(0);
+        let small_last = (0..1_000).map(|_| small.schedule(lost)).last().unwrap();
+        let big_last = (0..1_000).map(|_| big.schedule(lost)).last().unwrap();
+        assert!(big_last < small_last);
+    }
+}

@@ -1,0 +1,231 @@
+//! Block-store state: blocks, replicas, and space accounting.
+
+use harvest_cluster::{Datacenter, ServerId, TenantId};
+
+/// Identifies a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+/// Replica locations and space accounting for every block in the cluster.
+///
+/// Blocks are 256 MB (the paper's HDFS default); capacities are counted
+/// in blocks. The store keeps the forward map (block → servers), the
+/// inverse map (server → blocks) needed to process disk reimages, and
+/// per-server/per-tenant free-space counters the placement policies use.
+#[derive(Debug, Clone)]
+pub struct BlockStore {
+    replicas: Vec<Vec<u32>>,
+    server_blocks: Vec<Vec<u64>>,
+    server_used: Vec<u32>,
+    server_capacity: Vec<u32>,
+    server_tenant: Vec<u32>,
+    tenant_free: Vec<u64>,
+    lost: u64,
+}
+
+impl BlockStore {
+    /// An empty store over the datacenter's servers.
+    pub fn new(dc: &Datacenter) -> Self {
+        let server_capacity: Vec<u32> = dc.servers.iter().map(|s| s.harvest_blocks).collect();
+        let server_tenant: Vec<u32> = dc.servers.iter().map(|s| s.tenant.0).collect();
+        let mut tenant_free = vec![0u64; dc.n_tenants()];
+        for s in &dc.servers {
+            tenant_free[s.tenant.0 as usize] += s.harvest_blocks as u64;
+        }
+        BlockStore {
+            replicas: Vec::new(),
+            server_blocks: vec![Vec::new(); dc.n_servers()],
+            server_used: vec![0; dc.n_servers()],
+            server_capacity,
+            server_tenant,
+            tenant_free,
+            lost: 0,
+        }
+    }
+
+    /// Number of blocks ever created (including lost ones).
+    pub fn n_blocks(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Number of blocks whose every replica has been destroyed.
+    pub fn lost_blocks(&self) -> u64 {
+        self.lost
+    }
+
+    /// The replica servers of a block (empty if the block is lost).
+    pub fn replicas(&self, block: BlockId) -> &[u32] {
+        &self.replicas[block.0 as usize]
+    }
+
+    /// Free blocks on a server.
+    pub fn free_on(&self, server: ServerId) -> u32 {
+        self.server_capacity[server.0 as usize] - self.server_used[server.0 as usize]
+    }
+
+    /// Whether the server has room for one more replica.
+    pub fn has_space(&self, server: ServerId) -> bool {
+        self.free_on(server) > 0
+    }
+
+    /// Free blocks across a whole tenant.
+    pub fn tenant_free(&self, tenant: TenantId) -> u64 {
+        self.tenant_free[tenant.0 as usize]
+    }
+
+    /// Total free blocks cluster-wide.
+    pub fn total_free(&self) -> u64 {
+        self.tenant_free.iter().sum()
+    }
+
+    /// Creates a block with the given replica locations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a location is full or duplicated.
+    pub fn create_block(&mut self, locations: &[ServerId]) -> BlockId {
+        let id = BlockId(self.replicas.len() as u64);
+        let mut list = Vec::with_capacity(locations.len());
+        for &sid in locations {
+            assert!(
+                !list.contains(&sid.0),
+                "duplicate replica location {sid} for block {id:?}"
+            );
+            list.push(sid.0);
+        }
+        self.replicas.push(Vec::new());
+        for &sid in locations {
+            self.add_replica(id, sid);
+        }
+        self.replicas[id.0 as usize].shrink_to_fit();
+        id
+    }
+
+    /// Adds one replica of `block` on `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is full or already holds the block.
+    pub fn add_replica(&mut self, block: BlockId, server: ServerId) {
+        let s = server.0 as usize;
+        assert!(self.has_space(server), "server {server} is full");
+        assert!(
+            !self.replicas[block.0 as usize].contains(&server.0),
+            "server {server} already holds block {block:?}"
+        );
+        self.replicas[block.0 as usize].push(server.0);
+        self.server_blocks[s].push(block.0);
+        self.server_used[s] += 1;
+        self.tenant_free[self.server_tenant[s] as usize] -= 1;
+    }
+
+    /// Destroys every replica on `server` (a disk reimage), returning the
+    /// affected blocks and marking any block that lost its final replica
+    /// as lost.
+    pub fn reimage_server(&mut self, server: ServerId) -> Vec<BlockId> {
+        let s = server.0 as usize;
+        let blocks = std::mem::take(&mut self.server_blocks[s]);
+        let freed = blocks.len() as u32;
+        self.server_used[s] -= freed;
+        self.tenant_free[self.server_tenant[s] as usize] += freed as u64;
+        let mut affected = Vec::with_capacity(blocks.len());
+        for b in blocks {
+            let list = &mut self.replicas[b as usize];
+            if let Some(pos) = list.iter().position(|&x| x == server.0) {
+                list.swap_remove(pos);
+            }
+            if list.is_empty() {
+                self.lost += 1;
+            }
+            affected.push(BlockId(b));
+        }
+        affected
+    }
+
+    /// Number of surviving replicas of a block.
+    pub fn replica_count(&self, block: BlockId) -> usize {
+        self.replicas[block.0 as usize].len()
+    }
+
+    /// The tenant owning a server (placement helpers need this without a
+    /// full datacenter reference).
+    pub fn tenant_of(&self, server: ServerId) -> TenantId {
+        TenantId(self.server_tenant[server.0 as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvest_trace::datacenter::DatacenterProfile;
+
+    fn dc() -> Datacenter {
+        Datacenter::generate(&DatacenterProfile::dc(9).scaled(0.02), 11)
+    }
+
+    #[test]
+    fn create_and_account() {
+        let dc = dc();
+        let mut store = BlockStore::new(&dc);
+        let total = store.total_free();
+        let locs = [ServerId(0), ServerId(1), ServerId(2)];
+        let b = store.create_block(&locs);
+        assert_eq!(store.replica_count(b), 3);
+        assert_eq!(store.total_free(), total - 3);
+        assert_eq!(store.free_on(ServerId(0)), dc.servers[0].harvest_blocks - 1);
+    }
+
+    #[test]
+    fn reimage_destroys_and_frees() {
+        let dc = dc();
+        let mut store = BlockStore::new(&dc);
+        let b1 = store.create_block(&[ServerId(0), ServerId(5)]);
+        let b2 = store.create_block(&[ServerId(0)]);
+        let affected = store.reimage_server(ServerId(0));
+        assert_eq!(affected.len(), 2);
+        assert_eq!(store.replica_count(b1), 1);
+        assert_eq!(store.replica_count(b2), 0);
+        assert_eq!(store.lost_blocks(), 1);
+        assert_eq!(store.free_on(ServerId(0)), dc.servers[0].harvest_blocks);
+    }
+
+    #[test]
+    fn repair_after_partial_loss() {
+        let dc = dc();
+        let mut store = BlockStore::new(&dc);
+        let b = store.create_block(&[ServerId(0), ServerId(5)]);
+        store.reimage_server(ServerId(0));
+        store.add_replica(b, ServerId(9));
+        assert_eq!(store.replica_count(b), 2);
+        assert!(store.replicas(b).contains(&9));
+    }
+
+    #[test]
+    fn reimaged_server_can_host_again() {
+        let dc = dc();
+        let mut store = BlockStore::new(&dc);
+        let b = store.create_block(&[ServerId(0), ServerId(3)]);
+        store.reimage_server(ServerId(0));
+        store.add_replica(b, ServerId(0));
+        assert_eq!(store.replica_count(b), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds")]
+    fn duplicate_replica_panics() {
+        let dc = dc();
+        let mut store = BlockStore::new(&dc);
+        let b = store.create_block(&[ServerId(0)]);
+        store.add_replica(b, ServerId(0));
+    }
+
+    #[test]
+    fn tenant_free_tracks_usage() {
+        let dc = dc();
+        let mut store = BlockStore::new(&dc);
+        let t = store.tenant_of(ServerId(0));
+        let before = store.tenant_free(t);
+        store.create_block(&[ServerId(0)]);
+        assert_eq!(store.tenant_free(t), before - 1);
+    }
+}

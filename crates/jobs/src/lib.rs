@@ -1,0 +1,28 @@
+//! Batch jobs as DAGs: the Tez-side substrate.
+//!
+//! Tez "provides an AM that executes complex jobs as DAGs" (§5.1). This
+//! crate models those jobs and everything Tez-H needs from them:
+//!
+//! * [`dag`] — job DAGs of stages (mappers/reducers) with task counts and
+//!   durations;
+//! * [`estimate`] — the breadth-first max-concurrent-resources estimate
+//!   of Algorithm 1 line 4 (Figure 7's example evaluates to 469);
+//! * [`length`] — short/medium/long job typing from the last run
+//!   (Algorithm 1 line 3, thresholds 173 s and 433 s on the testbed);
+//! * [`tpcds`] — a 52-query TPC-DS-like workload with query 19 matching
+//!   Figure 7;
+//! * [`workload`] — Poisson job arrivals (§6.1: mean 300 s);
+//! * [`exec`] — the per-job execution state machine the Application
+//!   Master drives (ready/running/killed/finished tasks).
+
+pub mod dag;
+pub mod estimate;
+pub mod exec;
+pub mod length;
+pub mod tpcds;
+pub mod workload;
+
+pub use dag::{DagJob, Stage, StageId};
+pub use estimate::max_concurrent_tasks;
+pub use exec::JobExecution;
+pub use length::{JobLength, LengthThresholds};

@@ -1,0 +1,692 @@
+//! The co-location scheduling simulator.
+//!
+//! Runs a [`Workload`] of DAG jobs against a [`Datacenter`] under one of
+//! the three scheduler policies, replaying the primary tenants'
+//! utilization and enforcing the burst reserve. This is the engine behind
+//! Figures 10, 11, 13, and 14.
+//!
+//! Mechanics (per §5.3):
+//!
+//! * the node manager rounds the primary's usage up to whole cores and
+//!   keeps the 4-core/10 GB reserve free; when a primary burst violates
+//!   the reserve, it kills containers **youngest first** until the
+//!   reserve is restored;
+//! * Tez-H asks the clustering service for a class (or classes) per job
+//!   via Algorithm 1 and the RM then only places that job's tasks on
+//!   servers of those classes;
+//! * the RM balances load across eligible servers (the paper places with
+//!   probability proportional to available resources; this simulator
+//!   approximates that with random probing that picks the freest of a
+//!   dozen sampled servers, which has the same balancing effect without
+//!   a full scan per container).
+//!
+//! Utilization changes on the trace's two-minute grid, so reserve
+//! violations are detected and repaired on the same grid (the paper's
+//! reaction time is "a few seconds at most"; both are far shorter than
+//! task durations).
+
+use harvest_cluster::reserve::{secondary_capacity, SERVER_CAPACITY};
+use harvest_cluster::{Datacenter, Resources, ServerId, UtilizationView};
+use harvest_jobs::dag::StageId;
+use harvest_jobs::estimate::max_concurrent_tasks;
+use harvest_jobs::exec::JobExecution;
+use harvest_jobs::length::{JobHistory, LengthThresholds};
+use harvest_jobs::workload::Workload;
+use harvest_sim::engine::EventQueue;
+use harvest_sim::rng::stream_rng;
+use harvest_sim::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::classes::ClusteringService;
+use crate::headroom::RankingWeights;
+use crate::policy::SchedPolicy;
+use crate::select::{select_classes, ClassSelection};
+use crate::stats::{JobResult, LoadSample, SimStats};
+
+/// Default container request: 1 core, 2 GB.
+pub const CONTAINER: Resources = Resources {
+    cores: 1,
+    memory_mb: 2_048,
+};
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SchedSimConfig {
+    /// Scheduler variant.
+    pub policy: SchedPolicy,
+    /// How long jobs keep arriving (the workload horizon should match).
+    pub horizon: SimDuration,
+    /// Extra time after the horizon for in-flight jobs to finish.
+    pub drain: SimDuration,
+    /// Master seed for placement/selection randomness.
+    pub seed: u64,
+    /// Job-length thresholds for Algorithm 1.
+    pub thresholds: LengthThresholds,
+    /// Pre-seed the job-length history with each query's critical path
+    /// (as if every query ran once before the experiment; without this,
+    /// every first-seen job types as medium).
+    pub preseed_history: bool,
+    /// Record per-server load samples every tick (only sensible for
+    /// testbed-sized clusters).
+    pub record_server_load: bool,
+}
+
+impl SchedSimConfig {
+    /// A configuration mirroring the paper's five-hour testbed runs.
+    pub fn testbed(policy: SchedPolicy, seed: u64) -> Self {
+        SchedSimConfig {
+            policy,
+            horizon: SimDuration::from_hours(5),
+            drain: SimDuration::from_hours(2),
+            seed,
+            thresholds: LengthThresholds::paper_testbed(),
+            preseed_history: true,
+            record_server_load: false,
+        }
+    }
+}
+
+/// The tick on which utilization is re-read and reserves enforced.
+const TICK: SimDuration = SimDuration::from_mins(2);
+
+/// How many random servers a placement probes before giving up.
+const PLACEMENT_PROBES: usize = 12;
+
+#[derive(Debug)]
+enum Ev {
+    Arrival(usize),
+    Finish(usize),
+    Tick,
+}
+
+#[derive(Debug)]
+struct Container {
+    job: usize,
+    stage: StageId,
+    server: ServerId,
+    start: SimTime,
+    alive: bool,
+}
+
+#[derive(Debug)]
+struct ActiveJob {
+    exec: JobExecution,
+    query: usize,
+    /// Servers this job's tasks may use (None = whole cluster; per §5.3
+    /// an unlabeled request falls back to the RM's default policy).
+    allowed: Option<Vec<ServerId>>,
+    done: bool,
+}
+
+/// The scheduling simulator. See the module docs.
+pub struct SchedSim<'a> {
+    dc: &'a Datacenter,
+    view: &'a UtilizationView,
+    workload: &'a Workload,
+    cfg: SchedSimConfig,
+}
+
+impl<'a> SchedSim<'a> {
+    /// Creates a simulator over the given cluster, utilization view, and
+    /// workload.
+    pub fn new(
+        dc: &'a Datacenter,
+        view: &'a UtilizationView,
+        workload: &'a Workload,
+        cfg: SchedSimConfig,
+    ) -> Self {
+        SchedSim {
+            dc,
+            view,
+            workload,
+            cfg,
+        }
+    }
+
+    /// Runs the simulation to completion and returns the statistics.
+    pub fn run(&self) -> SimStats {
+        Runner::new(self).run()
+    }
+}
+
+struct Runner<'a> {
+    sim: &'a SchedSim<'a>,
+    rng: StdRng,
+    queue: EventQueue<Ev>,
+    svc: Option<ClusteringService>,
+    weights: RankingWeights,
+    history: JobHistory,
+    jobs: Vec<ActiveJob>,
+    containers: Vec<Container>,
+    alloc: Vec<Resources>,
+    /// Alive container ids per server, oldest first.
+    server_containers: Vec<Vec<usize>>,
+    /// Jobs that might have ready, unplaced tasks.
+    runnable: Vec<usize>,
+    results: Vec<Option<JobResult>>,
+    total_kills: u64,
+    tasks_started: u64,
+    primary_core_ms: f64,
+    secondary_core_ms: f64,
+    observed_ms: f64,
+    server_load: Vec<Vec<LoadSample>>,
+    kills_per_server: Vec<u64>,
+    end_of_time: SimTime,
+}
+
+impl<'a> Runner<'a> {
+    fn new(sim: &'a SchedSim<'a>) -> Self {
+        let n_servers = sim.dc.n_servers();
+        let svc = if sim.cfg.policy.uses_history() {
+            Some(ClusteringService::build_adaptive(
+                sim.dc,
+                sim.view,
+                sim.cfg.seed,
+            ))
+        } else {
+            None
+        };
+        let mut history = JobHistory::new();
+        if sim.cfg.preseed_history {
+            for q in &sim.workload.queries {
+                history.record(&q.name, q.critical_path());
+            }
+        }
+        Runner {
+            sim,
+            rng: stream_rng(sim.cfg.seed, "sched-sim"),
+            queue: EventQueue::with_capacity(1024),
+            svc,
+            weights: RankingWeights::paper(),
+            history,
+            jobs: Vec::new(),
+            containers: Vec::new(),
+            alloc: vec![Resources::ZERO; n_servers],
+            server_containers: vec![Vec::new(); n_servers],
+            runnable: Vec::new(),
+            results: vec![None; sim.workload.n_jobs()],
+            total_kills: 0,
+            tasks_started: 0,
+            primary_core_ms: 0.0,
+            secondary_core_ms: 0.0,
+            observed_ms: 0.0,
+            server_load: vec![Vec::new(); if sim.cfg.record_server_load { n_servers } else { 0 }],
+            kills_per_server: vec![0u64; n_servers],
+            end_of_time: SimTime::ZERO + sim.cfg.horizon + sim.cfg.drain,
+        }
+    }
+
+    fn run(mut self) -> SimStats {
+        for (i, arrival) in self.sim.workload.arrivals.iter().enumerate() {
+            self.queue.push(arrival.time, Ev::Arrival(i));
+        }
+        let mut t = SimTime::ZERO;
+        while t < self.end_of_time {
+            self.queue.push(t, Ev::Tick);
+            t += TICK;
+        }
+
+        while let Some((now, ev)) = self.queue.pop() {
+            if now > self.end_of_time {
+                break;
+            }
+            match ev {
+                Ev::Arrival(idx) => self.on_arrival(idx, now),
+                Ev::Finish(cid) => self.on_finish(cid, now),
+                Ev::Tick => self.on_tick(now),
+            }
+        }
+
+        let jobs = self
+            .results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|| {
+                    let arrival = &self.sim.workload.arrivals[i];
+                    JobResult {
+                        name: self.sim.workload.job_of(arrival).name.clone(),
+                        query: arrival.query,
+                        submitted: arrival.time,
+                        finished: None,
+                        execution_time: None,
+                        kills: self
+                            .jobs
+                            .iter()
+                            .find(|j| j.query == arrival.query && !j.done)
+                            .map(|j| j.exec.kills())
+                            .unwrap_or(0),
+                    }
+                })
+            })
+            .collect();
+
+        let denom = 12.0 * self.sim.dc.n_servers() as f64 * self.observed_ms.max(1.0);
+        SimStats {
+            jobs,
+            total_kills: self.total_kills,
+            tasks_started: self.tasks_started,
+            avg_total_utilization: (self.primary_core_ms + self.secondary_core_ms) / denom,
+            avg_primary_utilization: self.primary_core_ms / denom,
+            server_load: self.server_load,
+            kills_per_server: self.kills_per_server,
+        }
+    }
+
+    fn on_arrival(&mut self, idx: usize, now: SimTime) {
+        let arrival = &self.sim.workload.arrivals[idx];
+        let job = self.sim.workload.job_of(arrival).clone();
+        let exec = JobExecution::new(job, now);
+        let job_id = self.jobs.len();
+        debug_assert_eq!(job_id, idx, "jobs must be created in arrival order");
+        self.jobs.push(ActiveJob {
+            exec,
+            query: arrival.query,
+            allowed: None,
+            done: false,
+        });
+        if self.sim.cfg.policy.uses_history() {
+            self.select_for(job_id, now);
+        }
+        self.runnable.push(job_id);
+        self.schedule_pass(now);
+    }
+
+    /// Runs Algorithm 1 for job `j`, setting its allowed-server set.
+    fn select_for(&mut self, j: usize, now: SimTime) {
+        let length = self
+            .history
+            .job_length(&self.jobs[j].exec.job().name, &self.sim.cfg.thresholds);
+        let req = max_concurrent_tasks(self.jobs[j].exec.job()) as u64;
+        let utils = self.class_utils(now);
+        let svc = self.svc.as_ref().expect("history policy has a service");
+        let selection = select_classes(&mut self.rng, svc, &self.weights, length, req, &utils);
+        let job = &mut self.jobs[j];
+        match selection {
+            // No class combination had room. Tez-H then sends the request
+            // without a node label, and "RM-H selects destination servers
+            // using its default policy" (§5.3) — i.e. the whole cluster.
+            ClassSelection::None => job.allowed = None,
+            sel => {
+                let mut servers = Vec::new();
+                for c in sel.class_ids() {
+                    servers.extend_from_slice(&svc.classes()[c].servers);
+                }
+                job.allowed = Some(servers);
+            }
+        }
+    }
+
+    /// Current average utilization of each class's servers: the primary
+    /// tenants' CPU *plus* the cores already allocated to harvested
+    /// containers. The RM knows its own allocations, and Algorithm 1's
+    /// "amount of available resources (or the amount of headroom) that
+    /// the servers in the class currently exhibit" must subtract both —
+    /// otherwise selection keeps admitting jobs into a class that is
+    /// already full of containers.
+    fn class_utils(&self, now: SimTime) -> Vec<f64> {
+        let svc = self.svc.as_ref().expect("history policy has a service");
+        svc.classes()
+            .iter()
+            .map(|c| {
+                let mut sum = 0.0;
+                let mut n = 0usize;
+                for &tid in &c.tenants {
+                    let tenant = self.sim.dc.tenant(tid);
+                    sum += self.sim.view.tenant_util(tid, now) * tenant.n_servers() as f64;
+                    n += tenant.n_servers();
+                }
+                let allocated: u32 = c
+                    .servers
+                    .iter()
+                    .map(|s| self.alloc[s.0 as usize].cores)
+                    .sum();
+                if n == 0 {
+                    1.0
+                } else {
+                    (sum + allocated as f64 / SERVER_CAPACITY.cores as f64) / n as f64
+                }
+            })
+            .collect()
+    }
+
+    fn on_finish(&mut self, cid: usize, now: SimTime) {
+        if !self.containers[cid].alive {
+            return; // killed earlier; stale event
+        }
+        let (job_id, stage, server, start) = {
+            let c = &mut self.containers[cid];
+            c.alive = false;
+            (c.job, c.stage, c.server, c.start)
+        };
+        self.release(cid, server, start, now);
+        let job = &mut self.jobs[job_id];
+        job.exec.finish_task(stage, now);
+        if job.exec.is_complete() && !job.done {
+            job.done = true;
+            let name = job.exec.job().name.clone();
+            let exec_time = job.exec.execution_time().expect("complete job has time");
+            self.history.record(&name, exec_time);
+            // Find the arrival index for this job: results are indexed by
+            // arrival; job ids are allocated in arrival order.
+            let arrival = &self.sim.workload.arrivals[job_id];
+            self.results[job_id] = Some(JobResult {
+                name,
+                query: arrival.query,
+                submitted: job.exec.submitted(),
+                finished: Some(now),
+                execution_time: Some(exec_time),
+                kills: job.exec.kills(),
+            });
+        }
+        self.schedule_pass(now);
+    }
+
+    fn release(&mut self, cid: usize, server: ServerId, start: SimTime, now: SimTime) {
+        self.alloc[server.0 as usize] -= CONTAINER;
+        let list = &mut self.server_containers[server.0 as usize];
+        if let Some(pos) = list.iter().position(|&c| c == cid) {
+            list.remove(pos);
+        }
+        self.secondary_core_ms +=
+            CONTAINER.cores as f64 * now.since(start).as_millis() as f64;
+    }
+
+    fn on_tick(&mut self, now: SimTime) {
+        // Utilization accounting.
+        let fleet = self.sim.view.fleet_util(now);
+        let tick_ms = TICK.as_millis() as f64;
+        self.primary_core_ms += fleet * 12.0 * self.sim.dc.n_servers() as f64 * tick_ms;
+        self.observed_ms += tick_ms;
+
+        // Reserve enforcement (primary-aware policies only).
+        if self.sim.cfg.policy.primary_aware() {
+            self.enforce_reserves(now);
+        }
+
+        // Record testbed load samples.
+        if self.sim.cfg.record_server_load {
+            for s in 0..self.sim.dc.n_servers() {
+                self.server_load[s].push(LoadSample {
+                    time: now,
+                    primary_util: self.sim.view.server_util(ServerId(s as u32), now),
+                    secondary_cores: self.alloc[s].cores,
+                });
+            }
+        }
+
+        self.schedule_pass(now);
+    }
+
+    /// Kills youngest containers on servers whose reserve is violated.
+    fn enforce_reserves(&mut self, now: SimTime) {
+        for s in 0..self.sim.dc.n_servers() {
+            if self.alloc[s].is_zero() {
+                continue;
+            }
+            let util = self.sim.view.server_util(ServerId(s as u32), now);
+            let allowance = secondary_capacity(util);
+            while self.alloc[s].cores > allowance.cores
+                || self.alloc[s].memory_mb > allowance.memory_mb
+            {
+                // Youngest = most recently started = last in the list.
+                let Some(&cid) = self.server_containers[s].last() else {
+                    break;
+                };
+                self.kill_container(cid, now);
+            }
+        }
+    }
+
+    fn kill_container(&mut self, cid: usize, now: SimTime) {
+        let (job_id, stage, server, start) = {
+            let c = &mut self.containers[cid];
+            debug_assert!(c.alive, "killing a dead container");
+            c.alive = false;
+            (c.job, c.stage, c.server, c.start)
+        };
+        self.release(cid, server, start, now);
+        self.jobs[job_id].exec.kill_task(stage);
+        self.total_kills += 1;
+        self.kills_per_server[server.0 as usize] += 1;
+        if !self.runnable.contains(&job_id) {
+            self.runnable.push(job_id);
+        }
+    }
+
+    /// Tries to place every ready task of every runnable job.
+    fn schedule_pass(&mut self, now: SimTime) {
+        // Jobs submitted but not finished, with ready tasks.
+        self.runnable.retain(|&j| !self.jobs[j].done);
+        let candidates: Vec<usize> = self.runnable.clone();
+        let mut blocked = vec![false; candidates.len()];
+        loop {
+            let mut progressed = false;
+            for (slot, &j) in candidates.iter().enumerate() {
+                if blocked[slot] || self.jobs[j].done {
+                    continue;
+                }
+                if self.jobs[j].exec.ready_task_count() == 0 {
+                    continue;
+                }
+                if self.try_place_one(j, now) {
+                    progressed = true;
+                } else {
+                    blocked[slot] = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Places one ready task of job `j`, returning whether it succeeded.
+    fn try_place_one(&mut self, j: usize, now: SimTime) -> bool {
+        let Some(server) = self.find_server(j, now) else {
+            return false;
+        };
+        let job = &mut self.jobs[j];
+        let Some(stage) = job.exec.ready_stages().first().copied() else {
+            return false;
+        };
+        job.exec.start_task(stage);
+        let duration = job.exec.task_duration(stage);
+        let cid = self.containers.len();
+        self.containers.push(Container {
+            job: j,
+            stage,
+            server,
+            start: now,
+            alive: true,
+        });
+        self.alloc[server.0 as usize] += CONTAINER;
+        self.server_containers[server.0 as usize].push(cid);
+        self.tasks_started += 1;
+        self.queue.push(now + duration, Ev::Finish(cid));
+        true
+    }
+
+    /// Free secondary capacity of a server under the active policy.
+    fn free_capacity(&self, sid: ServerId, now: SimTime) -> Resources {
+        let cap = if self.sim.cfg.policy.primary_aware() {
+            secondary_capacity(self.sim.view.server_util(sid, now))
+        } else {
+            SERVER_CAPACITY
+        };
+        cap.saturating_sub(self.alloc[sid.0 as usize])
+    }
+
+    /// Picks a destination server for one container of job `j` with
+    /// probability proportional to free resources (§5.3: "RM-H schedules
+    /// a container to a heartbeating server of the correct class with a
+    /// probability proportional to the server's available resources").
+    ///
+    /// Small pools are sampled exactly; large pools are approximated by
+    /// uniformly probing [`PLACEMENT_PROBES`] servers and then choosing
+    /// among the probes proportionally — same balancing behaviour without
+    /// a full scan per container.
+    fn find_server(&mut self, j: usize, now: SimTime) -> Option<ServerId> {
+        let n_servers = self.sim.dc.n_servers();
+        let pool_len = match &self.jobs[j].allowed {
+            Some(list) => {
+                if list.is_empty() {
+                    return None;
+                }
+                list.len()
+            }
+            None => n_servers,
+        };
+        let server_at = |runner: &Self, idx: usize| -> ServerId {
+            match &runner.jobs[j].allowed {
+                Some(list) => list[idx],
+                None => ServerId(idx as u32),
+            }
+        };
+
+        let mut candidates: Vec<ServerId> = Vec::with_capacity(PLACEMENT_PROBES.min(pool_len));
+        if pool_len <= 4 * PLACEMENT_PROBES {
+            candidates.extend((0..pool_len).map(|i| server_at(self, i)));
+        } else {
+            for _ in 0..PLACEMENT_PROBES {
+                let idx = self.rng.random_range(0..pool_len);
+                candidates.push(server_at(self, idx));
+            }
+        }
+
+        // Probabilistic load balancing (weight ∝ free cores) is a YARN-H
+        // extension (Table 1); stock YARN and YARN-PT place on whichever
+        // heartbeating server fits first — uniform among fitting probes.
+        let proportional = self.sim.cfg.policy.uses_history();
+        let weights: Vec<f64> = candidates
+            .iter()
+            .map(|&sid| {
+                let free = self.free_capacity(sid, now);
+                if free.fits(CONTAINER) {
+                    if proportional {
+                        free.cores as f64
+                    } else {
+                        1.0
+                    }
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        if weights.iter().all(|&w| w == 0.0) {
+            return None;
+        }
+        let pick = harvest_sim::dist::weighted_index(&mut self.rng, &weights)?;
+        Some(candidates[pick])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvest_jobs::tpcds::tpcds_suite;
+    use harvest_trace::datacenter::DatacenterProfile;
+
+    fn testbed() -> (Datacenter, UtilizationView) {
+        let specs = DatacenterProfile::testbed_dc9(42);
+        let dc = Datacenter::from_specs("testbed".into(), &specs, 42);
+        let view = UtilizationView::unscaled(&dc);
+        (dc, view)
+    }
+
+    fn small_workload(seed: u64, hours: u64) -> Workload {
+        let mut rng = stream_rng(seed, "wl");
+        Workload::poisson(
+            &mut rng,
+            tpcds_suite(),
+            SimDuration::from_secs(300),
+            SimDuration::from_hours(hours),
+        )
+    }
+
+    fn run(policy: SchedPolicy, seed: u64) -> SimStats {
+        let (dc, view) = testbed();
+        let wl = small_workload(seed, 2);
+        let mut cfg = SchedSimConfig::testbed(policy, seed);
+        cfg.horizon = SimDuration::from_hours(2);
+        cfg.drain = SimDuration::from_hours(3);
+        SchedSim::new(&dc, &view, &wl, cfg).run()
+    }
+
+    #[test]
+    fn stock_never_kills() {
+        let stats = run(SchedPolicy::Stock, 1);
+        assert_eq!(stats.total_kills, 0);
+        assert!(stats.completed_jobs() > 0);
+    }
+
+    #[test]
+    fn primary_aware_kills_under_bursts() {
+        let stats = run(SchedPolicy::PrimaryAware, 1);
+        // The DC-9 testbed mix has periodic and unpredictable tenants, so
+        // some kills must happen over two hours.
+        assert!(stats.total_kills > 0, "expected kills under YARN-PT");
+    }
+
+    #[test]
+    fn all_policies_complete_most_jobs() {
+        for policy in SchedPolicy::ALL {
+            let stats = run(policy, 2);
+            assert!(
+                stats.completion_rate() > 0.7,
+                "{policy} completed only {:.0}%",
+                stats.completion_rate() * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn stock_is_fastest_history_beats_pt() {
+        // Figure 11's ordering. Average over a few seeds to be robust.
+        let mut stock = 0.0;
+        let mut pt = 0.0;
+        let mut h = 0.0;
+        let seeds = [3u64, 4, 5];
+        for &s in &seeds {
+            stock += run(SchedPolicy::Stock, s).mean_execution_secs();
+            pt += run(SchedPolicy::PrimaryAware, s).mean_execution_secs();
+            h += run(SchedPolicy::History, s).mean_execution_secs();
+        }
+        assert!(
+            stock < pt,
+            "stock ({stock:.0}s) should beat YARN-PT ({pt:.0}s)"
+        );
+        assert!(h < pt, "YARN-H ({h:.0}s) should beat YARN-PT ({pt:.0}s)");
+    }
+
+    #[test]
+    fn utilization_accounting_is_sane() {
+        let stats = run(SchedPolicy::History, 6);
+        assert!(stats.avg_primary_utilization > 0.0);
+        assert!(stats.avg_total_utilization >= stats.avg_primary_utilization);
+        assert!(stats.avg_total_utilization <= 1.0);
+    }
+
+    #[test]
+    fn recording_captures_all_servers() {
+        let (dc, view) = testbed();
+        let wl = small_workload(7, 1);
+        let mut cfg = SchedSimConfig::testbed(SchedPolicy::History, 7);
+        cfg.horizon = SimDuration::from_hours(1);
+        cfg.drain = SimDuration::from_hours(1);
+        cfg.record_server_load = true;
+        let stats = SchedSim::new(&dc, &view, &wl, cfg).run();
+        assert_eq!(stats.server_load.len(), dc.n_servers());
+        assert!(stats.server_load[0].len() >= 30, "expected >=30 ticks");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(SchedPolicy::History, 9);
+        let b = run(SchedPolicy::History, 9);
+        assert_eq!(a.total_kills, b.total_kills);
+        assert_eq!(a.tasks_started, b.tasks_started);
+        assert_eq!(a.mean_execution_secs(), b.mean_execution_secs());
+    }
+}

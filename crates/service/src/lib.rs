@@ -1,0 +1,23 @@
+//! The latency-critical primary-tenant service model.
+//!
+//! The paper's testbed runs "a copy of the Apache Lucene search engine"
+//! on every server, "and uses more threads (up to 12) with higher load"
+//! (§6.1). Figures 10 and 12 plot the fleet's per-minute average of
+//! per-server 99th-percentile response times under each harvesting
+//! system.
+//!
+//! We cannot run Lucene on Microsoft's testbed, so this crate provides:
+//!
+//! * [`latency`] — a calibrated analytic tail-latency model: a server's
+//!   p99 as a function of its primary load and the cores harvested away
+//!   from it (M/M/c-flavoured congestion term, calibrated to the paper's
+//!   369–406 ms no-harvesting band);
+//! * [`lucene`] — a discrete-event queueing simulator of a 12-thread
+//!   search server, used to validate that the analytic model's shape
+//!   (knee position, saturation behaviour) matches an actual queue.
+
+pub mod latency;
+pub mod lucene;
+
+pub use latency::LatencyModel;
+pub use lucene::SearchServer;

@@ -1,0 +1,216 @@
+//! A discrete-event queueing simulator of one search server.
+//!
+//! Validates the analytic [`crate::LatencyModel`]: requests arrive
+//! Poisson, service times are exponential, and up to `threads` requests
+//! run concurrently (the paper's Lucene setup "uses more threads (up to
+//! 12) with higher load"). Harvested cores reduce the thread pool.
+
+use std::collections::VecDeque;
+
+use harvest_sim::engine::EventQueue;
+use harvest_sim::metrics::Percentiles;
+use harvest_sim::{dist, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One simulated search server.
+#[derive(Debug, Clone)]
+pub struct SearchServer {
+    /// Worker threads (cores) available to the service.
+    pub threads: u32,
+    /// Mean service time of one query.
+    pub mean_service: SimDuration,
+}
+
+/// Measured latency distribution from a [`SearchServer`] run.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Completed requests.
+    pub completed: u64,
+    /// Response-time percentiles (sojourn time: queueing + service).
+    percentiles: Percentiles,
+}
+
+impl ServiceStats {
+    /// The p99 response time in milliseconds.
+    pub fn p99_ms(&mut self) -> f64 {
+        self.percentiles.p99().unwrap_or(0.0) * 1_000.0
+    }
+
+    /// The mean response time in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.percentiles.mean().unwrap_or(0.0) * 1_000.0
+    }
+}
+
+enum Ev {
+    Arrival,
+    Departure { arrived: SimTime },
+}
+
+impl SearchServer {
+    /// A 12-thread server with a 100 ms mean query (Lucene-scale).
+    pub fn lucene_like() -> Self {
+        SearchServer {
+            threads: 12,
+            mean_service: SimDuration::from_millis(100),
+        }
+    }
+
+    /// Runs the server at offered utilization `rho` (fraction of total
+    /// thread-seconds demanded) for `n_requests` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is not positive or the server has no threads.
+    pub fn run(&self, rho: f64, n_requests: u64, seed: u64) -> ServiceStats {
+        assert!(rho > 0.0, "offered load must be positive");
+        assert!(self.threads > 0, "server has no threads");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let service_rate = 1.0 / self.mean_service.as_secs_f64();
+        let arrival_rate = rho * self.threads as f64 * service_rate;
+
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let mut waiting: VecDeque<SimTime> = VecDeque::new();
+        let mut busy = 0u32;
+        let mut stats = ServiceStats {
+            completed: 0,
+            percentiles: Percentiles::new(),
+        };
+
+        let first = SimDuration::from_secs_f64(dist::exponential(&mut rng, arrival_rate));
+        queue.push(SimTime::ZERO + first, Ev::Arrival);
+        let mut arrivals_left = n_requests;
+
+        while let Some((now, ev)) = queue.pop() {
+            match ev {
+                Ev::Arrival => {
+                    arrivals_left -= 1;
+                    if arrivals_left > 0 {
+                        let gap =
+                            SimDuration::from_secs_f64(dist::exponential(&mut rng, arrival_rate));
+                        queue.push(now + gap, Ev::Arrival);
+                    }
+                    if busy < self.threads {
+                        busy += 1;
+                        let s =
+                            SimDuration::from_secs_f64(dist::exponential(&mut rng, service_rate));
+                        queue.push(now + s, Ev::Departure { arrived: now });
+                    } else {
+                        waiting.push_back(now);
+                    }
+                }
+                Ev::Departure { arrived } => {
+                    stats.completed += 1;
+                    stats
+                        .percentiles
+                        .push(now.since(arrived).as_secs_f64());
+                    match waiting.pop_front() {
+                        Some(arrived_next) => {
+                            let s = SimDuration::from_secs_f64(dist::exponential(
+                                &mut rng,
+                                service_rate,
+                            ));
+                            queue.push(
+                                now + s,
+                                Ev::Departure {
+                                    arrived: arrived_next,
+                                },
+                            );
+                        }
+                        None => busy -= 1,
+                    }
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_all_requests() {
+        let s = SearchServer::lucene_like();
+        let stats = s.run(0.3, 5_000, 1);
+        assert_eq!(stats.completed, 5_000);
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let s = SearchServer::lucene_like();
+        let mut lo = s.run(0.2, 20_000, 2);
+        let mut mid = s.run(0.6, 20_000, 2);
+        let mut hi = s.run(0.9, 20_000, 2);
+        assert!(lo.p99_ms() < mid.p99_ms());
+        assert!(mid.p99_ms() < hi.p99_ms());
+    }
+
+    #[test]
+    fn fewer_threads_hurt_at_same_demand() {
+        // The same *absolute* demand on fewer threads (harvest pressure).
+        let full = SearchServer::lucene_like();
+        let cut = SearchServer {
+            threads: 6,
+            mean_service: full.mean_service,
+        };
+        // Demand = 0.4 × 12 threads; on 6 threads that is rho = 0.8 —
+        // noticeable, and near-saturation on 5 threads it blows up.
+        let mut p_full = full.run(0.4, 20_000, 3);
+        let mut p_cut = cut.run(0.8, 20_000, 3);
+        assert!(
+            p_cut.p99_ms() > p_full.p99_ms(),
+            "cut {} vs full {}",
+            p_cut.p99_ms(),
+            p_full.p99_ms()
+        );
+        let squeezed = SearchServer {
+            threads: 5,
+            mean_service: full.mean_service,
+        };
+        let mut p_squeezed = squeezed.run(0.4 * 12.0 / 5.0, 20_000, 3);
+        assert!(
+            p_squeezed.p99_ms() > p_full.p99_ms() * 1.5,
+            "squeezed {} vs full {}",
+            p_squeezed.p99_ms(),
+            p_full.p99_ms()
+        );
+    }
+
+    #[test]
+    fn analytic_model_matches_queueing_shape() {
+        // The analytic model and the simulator should rank load levels
+        // identically and keep low-load latency near the service floor.
+        let s = SearchServer::lucene_like();
+        let model = crate::LatencyModel {
+            base_ms: 100.0,
+            kappa: 0.6,
+            cap_ms: 10_000.0,
+            noise_ms: 0.0,
+        };
+        // Multi-server queues stay flat until near saturation, so probe
+        // the congested regime where ordering is meaningful.
+        let mut prev_sim = 0.0;
+        let mut prev_model = 0.0;
+        for rho in [0.5, 0.9, 0.97] {
+            let mut sim = s.run(rho, 30_000, 4);
+            let sim_p99 = sim.p99_ms();
+            let model_p99 = model.p99_ms(rho, 0);
+            assert!(sim_p99 > prev_sim && model_p99 > prev_model);
+            prev_sim = sim_p99;
+            prev_model = model_p99;
+        }
+    }
+
+    #[test]
+    fn low_load_latency_near_service_time() {
+        let s = SearchServer::lucene_like();
+        let mut stats = s.run(0.05, 20_000, 5);
+        // Essentially no queueing: p99 ≈ p99 of Exp(100ms) ≈ 460 ms.
+        let p99 = stats.p99_ms();
+        assert!((300.0..600.0).contains(&p99), "p99 {p99}");
+        assert!((stats.mean_ms() - 100.0).abs() < 10.0);
+    }
+}

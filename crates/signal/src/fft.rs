@@ -1,0 +1,199 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+//!
+//! The paper runs an FFT over each tenant's month of two-minute CPU
+//! samples to expose periodicity (§3.2, Figure 1). Month-long traces are
+//! not power-of-two length, so [`fft_real_padded`] zero-pads to the next
+//! power of two — adequate for peak detection, which is all the
+//! classifier needs.
+
+use crate::complex::Complex;
+
+/// Returns the smallest power of two `>= n` (and `>= 1`).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place forward FFT. The input length must be a power of two.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_in_place(data: &mut [Complex]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT (including the 1/N normalization). The input length
+/// must be a power of two.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn ifft_in_place(data: &mut [Complex]) {
+    transform(data, true);
+    let scale = 1.0 / data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(scale);
+    }
+}
+
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let levels = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - levels)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterfly passes.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_polar_unit(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2] * w;
+                data[start + k] = a + b;
+                data[start + k + len / 2] = a - b;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+///
+/// Returns the full complex spectrum of the padded signal (length
+/// `next_pow2(signal.len())`).
+pub fn fft_real_padded(signal: &[f64]) -> Vec<Complex> {
+    let n = next_pow2(signal.len());
+    let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+    data.resize(n, Complex::ZERO);
+    fft_in_place(&mut data);
+    data
+}
+
+/// Magnitudes of the non-redundant half of a real signal's spectrum
+/// (bins `0 ..= N/2` of the padded FFT).
+pub fn magnitude_spectrum(signal: &[f64]) -> Vec<f64> {
+    let spec = fft_real_padded(signal);
+    let half = spec.len() / 2;
+    spec[..=half].iter().map(|z| z.norm()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(21_600), 32_768);
+    }
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let signal = vec![5.0; 64];
+        let spec = fft_real_padded(&signal);
+        assert_close(spec[0].re, 5.0 * 64.0, 1e-9);
+        for z in &spec[1..] {
+            assert!(z.norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_its_bin() {
+        let n = 256;
+        let freq = 8;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq as f64 * i as f64 / n as f64).sin())
+            .collect();
+        let mags = magnitude_spectrum(&signal);
+        let peak = mags[1..]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0
+            + 1;
+        assert_eq!(peak, freq);
+        // The tone bin should hold essentially all the energy: |X[f]| = n/2.
+        assert_close(mags[freq], n as f64 / 2.0, 1e-6);
+    }
+
+    #[test]
+    fn round_trip_inverse() {
+        let n = 128;
+        let signal: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+        fft_in_place(&mut data);
+        ifft_in_place(&mut data);
+        for (orig, z) in signal.iter().zip(&data) {
+            assert_close(z.re, *orig, 1e-9);
+            assert!(z.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let n = 512;
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 2.0 + 1.0).collect();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let spec = fft_real_padded(&signal);
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert_close(time_energy, freq_energy, 1e-6);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).cos()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.5).sin()).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let fa = fft_real_padded(&a);
+        let fb = fft_real_padded(&b);
+        let fsum = fft_real_padded(&sum);
+        for i in 0..n {
+            let expect = fa[i] + fb[i];
+            assert_close(fsum[i].re, expect.re, 1e-9);
+            assert_close(fsum[i].im, expect.im, 1e-9);
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let mut one = vec![Complex::from_real(3.0)];
+        fft_in_place(&mut one);
+        assert_eq!(one[0], Complex::from_real(3.0));
+
+        let mut two = vec![Complex::from_real(1.0), Complex::from_real(2.0)];
+        fft_in_place(&mut two);
+        assert_close(two[0].re, 3.0, 1e-12);
+        assert_close(two[1].re, -1.0, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn non_pow2_panics() {
+        let mut data = vec![Complex::ZERO; 12];
+        fft_in_place(&mut data);
+    }
+}

@@ -1,0 +1,278 @@
+//! K-Means clustering with k-means++ seeding.
+//!
+//! §4.1: the clustering service "uses the K-Means algorithm to cluster the
+//! profiles in each pattern into classes." This implementation is
+//! deterministic given the caller's RNG, handles `k >= n` by returning one
+//! cluster per point, and reseeds empty clusters to the farthest point.
+
+use rand::{Rng, RngExt};
+
+/// The output of [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// `assignments[i]` is the cluster index of input point `i`.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids; `centroids.len()` is the effective `k`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f64,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Number of points assigned to each cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.len()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Clusters `points` into (at most) `k` groups.
+///
+/// Uses k-means++ initialization and Lloyd iterations until assignments
+/// stop changing or `max_iters` is reached. If `points.len() <= k`, each
+/// point becomes its own cluster.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `points` is empty, or the points have inconsistent
+/// dimensionality.
+pub fn kmeans<R: Rng + ?Sized>(
+    rng: &mut R,
+    points: &[Vec<f64>],
+    k: usize,
+    max_iters: usize,
+) -> KMeansResult {
+    assert!(k > 0, "k must be positive");
+    assert!(!points.is_empty(), "cannot cluster zero points");
+    let dim = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "inconsistent point dimensionality"
+    );
+
+    if points.len() <= k {
+        return KMeansResult {
+            assignments: (0..points.len()).collect(),
+            centroids: points.to_vec(),
+            inertia: 0.0,
+            iterations: 0,
+        };
+    }
+
+    let mut centroids = kmeanspp_init(rng, points, k);
+    let mut assignments = vec![usize::MAX; points.len()];
+    let mut iterations = 0;
+
+    for _ in 0..max_iters {
+        iterations += 1;
+        let mut changed = false;
+
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            let nearest = centroids
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    sq_dist(p, a.1)
+                        .partial_cmp(&sq_dist(p, b.1))
+                        .expect("NaN distance")
+                })
+                .expect("at least one centroid")
+                .0;
+            if assignments[i] != nearest {
+                assignments[i] = nearest;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, &x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Reseed an empty cluster at the point farthest from its
+                // current centroid, a standard fix that keeps k stable.
+                let (far_idx, _) = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| {
+                        sq_dist(a.1, &centroids[assignments[a.0]])
+                            .partial_cmp(&sq_dist(b.1, &centroids[assignments[b.0]]))
+                            .expect("NaN distance")
+                    })
+                    .expect("non-empty points");
+                centroids[c] = points[far_idx].clone();
+            } else {
+                for (d, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *d = s / counts[c] as f64;
+                }
+            }
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+
+    KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+        iterations,
+    }
+}
+
+fn kmeanspp_init<R: Rng + ?Sized>(rng: &mut R, points: &[Vec<f64>], k: usize) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = rng.random_range(0..points.len());
+    centroids.push(points[first].clone());
+
+    let mut dists: Vec<f64> = points
+        .iter()
+        .map(|p| sq_dist(p, &centroids[0]))
+        .collect();
+
+    while centroids.len() < k {
+        let total: f64 = dists.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with a centroid; pick uniformly.
+            rng.random_range(0..points.len())
+        } else {
+            let mut target = rng.random::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        for (d, p) in dists.iter_mut().zip(points) {
+            *d = d.min(sq_dist(p, centroids.last().expect("just pushed")));
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn three_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..30 {
+            let jitter = (i as f64 * 0.618).fract() * 0.2;
+            pts.push(vec![0.0 + jitter, 0.0 + jitter]);
+            pts.push(vec![10.0 + jitter, 0.0 - jitter]);
+            pts.push(vec![5.0 - jitter, 8.0 + jitter]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let pts = three_blobs();
+        let result = kmeans(&mut rng(), &pts, 3, 100);
+        assert_eq!(result.k(), 3);
+        // Points pushed in the same stride-3 slot must share a cluster.
+        for chunk in pts.chunks(3).skip(1) {
+            let _ = chunk;
+        }
+        for offset in 0..3 {
+            let first = result.assignments[offset];
+            for i in (offset..pts.len()).step_by(3) {
+                assert_eq!(result.assignments[i], first, "blob {offset} split");
+            }
+        }
+        // Tight blobs: inertia should be small relative to blob separation.
+        assert!(result.inertia < 10.0, "inertia {}", result.inertia);
+    }
+
+    #[test]
+    fn k_greater_than_n_gives_singletons() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let result = kmeans(&mut rng(), &pts, 5, 10);
+        assert_eq!(result.k(), 2);
+        assert_eq!(result.assignments, vec![0, 1]);
+        assert_eq!(result.inertia, 0.0);
+    }
+
+    #[test]
+    fn identical_points_form_one_effective_center() {
+        let pts = vec![vec![3.0, 3.0]; 20];
+        let result = kmeans(&mut rng(), &pts, 4, 50);
+        assert_eq!(result.inertia, 0.0);
+        for &a in &result.assignments {
+            assert!((result.centroids[a][0] - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pts = three_blobs();
+        let r1 = kmeans(&mut StdRng::seed_from_u64(7), &pts, 3, 100);
+        let r2 = kmeans(&mut StdRng::seed_from_u64(7), &pts, 3, 100);
+        assert_eq!(r1.assignments, r2.assignments);
+        assert_eq!(r1.inertia, r2.inertia);
+    }
+
+    #[test]
+    fn cluster_sizes_sum_to_n() {
+        let pts = three_blobs();
+        let result = kmeans(&mut rng(), &pts, 3, 100);
+        assert_eq!(result.cluster_sizes().iter().sum::<usize>(), pts.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        kmeans(&mut rng(), &[vec![1.0]], 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cluster zero points")]
+    fn empty_points_panics() {
+        kmeans(&mut rng(), &[], 2, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent point dimensionality")]
+    fn mismatched_dims_panics() {
+        let pts = vec![vec![1.0], vec![1.0, 2.0], vec![1.0], vec![2.0]];
+        kmeans(&mut rng(), &pts, 2, 10);
+    }
+}

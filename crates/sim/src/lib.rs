@@ -1,0 +1,40 @@
+//! Discrete-event simulation foundation for the `harvest` workspace.
+//!
+//! This crate provides the substrate every simulation in the workspace is
+//! built on:
+//!
+//! * [`time`] — a millisecond-resolution simulated clock ([`SimTime`],
+//!   [`SimDuration`]) with exact integer arithmetic so event ordering is
+//!   deterministic and reproducible;
+//! * [`engine`] — a deterministic event queue ([`EventQueue`]) with
+//!   FIFO tie-breaking for simultaneous events;
+//! * [`dist`] — random distributions (exponential, Poisson, normal,
+//!   log-normal, Pareto, weighted choice) implemented in-tree on top of
+//!   [`rand`], since only the base `rand` crate is available offline;
+//! * [`metrics`] — streaming statistics, exact percentile sets, and
+//!   fixed-bin histograms used by the experiment harness;
+//! * [`rng`] — seed-derivation helpers so independent simulation
+//!   components get decorrelated, reproducible random streams.
+//!
+//! # Examples
+//!
+//! ```
+//! use harvest_sim::engine::EventQueue;
+//! use harvest_sim::time::{SimDuration, SimTime};
+//!
+//! let mut queue = EventQueue::new();
+//! queue.push(SimTime::ZERO + SimDuration::from_secs(10), "b");
+//! queue.push(SimTime::ZERO + SimDuration::from_secs(5), "a");
+//! let (t, ev) = queue.pop().unwrap();
+//! assert_eq!(ev, "a");
+//! assert_eq!(t.as_secs(), 5);
+//! ```
+
+pub mod dist;
+pub mod engine;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+
+pub use engine::EventQueue;
+pub use time::{SimDuration, SimTime};

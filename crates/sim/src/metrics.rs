@@ -1,0 +1,398 @@
+//! Streaming statistics, percentile sets, and histograms.
+//!
+//! The experiment harness reports the same aggregates the paper does:
+//! means with min/max intervals over five runs, 99th-percentile latencies,
+//! and CDFs. These small self-contained accumulators back all of that.
+
+use std::fmt;
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        StreamingStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0.0 if fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (σ/μ), or 0.0 if the mean is zero.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+
+    /// Smallest observation, or +∞ if empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation, or -∞ if empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for StreamingStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// Exact percentile computation over a retained sample set.
+///
+/// Keeps every pushed value; call [`Percentiles::quantile`] to query. Uses
+/// linear interpolation between closest ranks (the common "type 7"
+/// definition).
+#[derive(Debug, Clone, Default)]
+pub struct Percentiles {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Percentiles {
+            values: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.values.push(x);
+        self.sorted = false;
+    }
+
+    /// Adds many observations.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        self.values.extend(xs);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Returns the `q`-quantile (`q` in `[0, 1]`), or `None` if empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if !self.sorted {
+            self.values
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in percentile set"));
+            self.sorted = true;
+        }
+        let n = self.values.len();
+        if n == 1 {
+            return Some(self.values[0]);
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.values[lo] * (1.0 - frac) + self.values[hi] * frac)
+    }
+
+    /// Convenience wrapper for the 99th percentile.
+    pub fn p99(&mut self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean of the retained values, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+}
+
+/// A fixed-width-bin histogram over `[lo, hi)` with overflow/underflow bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "histogram bounds inverted: [{lo}, {hi})");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of observations (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Raw bin counts (excluding under/overflow).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The left edge of bin `i`.
+    pub fn bin_left(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + w * i as f64
+    }
+
+    /// Empirical CDF evaluated at each bin's *right* edge, as fractions in
+    /// `[0, 1]`. Underflow counts toward every point; overflow toward none.
+    pub fn cdf(&self) -> Vec<f64> {
+        let mut acc = self.underflow;
+        let total = self.count.max(1) as f64;
+        self.bins
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc as f64 / total
+            })
+            .collect()
+    }
+}
+
+/// A CDF over raw samples: returns `(value, fraction ≤ value)` pairs, one
+/// per sample, as the paper's CDF figures plot.
+pub fn empirical_cdf(mut samples: Vec<f64>) -> Vec<(f64, f64)> {
+    samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+    let n = samples.len();
+    samples
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+/// Fraction of `samples` that are `<= threshold`; useful for reading CDF
+/// points in tests ("at least 80% of tenants changed groups ≤ 8 times").
+pub fn fraction_at_or_below(samples: &[f64], threshold: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().filter(|&&x| x <= threshold).count() as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_stats_basics() {
+        let mut s = StreamingStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn streaming_stats_merge_matches_sequential() {
+        let data: Vec<f64> = (0..1_000).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = StreamingStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        for &x in &data[..400] {
+            a.push(x);
+        }
+        for &x in &data[400..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let s = StreamingStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let mut p = Percentiles::new();
+        p.extend((1..=100).map(|i| i as f64));
+        assert_eq!(p.quantile(0.0), Some(1.0));
+        assert_eq!(p.quantile(1.0), Some(100.0));
+        let median = p.quantile(0.5).unwrap();
+        assert!((median - 50.5).abs() < 1e-9);
+        let p99 = p.p99().unwrap();
+        assert!((p99 - 99.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_single_and_empty() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.quantile(0.5), None);
+        p.push(42.0);
+        assert_eq!(p.quantile(0.99), Some(42.0));
+        assert_eq!(p.mean(), Some(42.0));
+    }
+
+    #[test]
+    fn histogram_binning_and_cdf() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        h.push(-1.0); // underflow
+        h.push(99.0); // overflow
+        assert_eq!(h.count(), 12);
+        assert!(h.bins().iter().all(|&c| c == 1));
+        let cdf = h.cdf();
+        // Last in-range point covers underflow + all 10 bins = 11/12.
+        assert!((cdf[9] - 11.0 / 12.0).abs() < 1e-12);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]), "CDF not monotone");
+    }
+
+    #[test]
+    fn empirical_cdf_is_monotone() {
+        let cdf = empirical_cdf(vec![3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(cdf.first().unwrap().0, 1.0);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn fraction_at_or_below_counts() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(fraction_at_or_below(&xs, 2.5), 0.5);
+        assert_eq!(fraction_at_or_below(&xs, 0.0), 0.0);
+        assert_eq!(fraction_at_or_below(&[], 1.0), 0.0);
+    }
+}

@@ -1,0 +1,449 @@
+//! Profiles of the ten characterized datacenters (DC-0 … DC-9).
+//!
+//! Each profile encodes the distributional facts §3 reports, per
+//! datacenter:
+//!
+//! * tenant-pattern mix — constant tenants are "the vast majority" of
+//!   tenants (Figure 2) while periodic tenants hold ≈ 40% of servers
+//!   (Figure 3), so periodic tenants are far larger on average;
+//! * temporal-variation level — DC-0 and DC-2 "exhibit the least amount
+//!   of primary tenant utilization variation over time", DC-1 and DC-4
+//!   the most (Figure 14's discussion);
+//! * reimage-rate distribution — most DCs have medians ≈ 0.2–0.3
+//!   reimages/server/month with a heavy tail, while "three datacenters
+//!   show substantially lower reimaging rates per server" (Figure 4).
+//!
+//! [`DatacenterProfile::sample_tenants`] turns a profile into concrete
+//! [`TenantSpec`]s deterministically from a seed.
+
+use harvest_signal::classify::UtilizationPattern;
+use harvest_sim::dist;
+use harvest_sim::rng::indexed_rng;
+use rand::{Rng, RngExt};
+
+use crate::gen::{ConstantGen, PeriodicGen, UnpredictableGen, UtilGen};
+use crate::reimage::TenantReimageModel;
+
+/// Fractions of tenants in each utilization pattern. Must sum to ≈ 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternMix {
+    /// Fraction of tenants that are periodic (user-facing).
+    pub periodic: f64,
+    /// Fraction of tenants that are roughly constant.
+    pub constant: f64,
+    /// Fraction of tenants that are unpredictable.
+    pub unpredictable: f64,
+}
+
+impl PatternMix {
+    fn validate(&self) {
+        let sum = self.periodic + self.constant + self.unpredictable;
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "pattern mix must sum to 1, got {sum}"
+        );
+    }
+}
+
+/// A synthetic stand-in for one production datacenter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatacenterProfile {
+    /// Index 0–9 (`DC-<id>` in the paper's figures).
+    pub id: usize,
+    /// Number of primary tenants ("a few hundred to a few thousand").
+    pub n_tenants: usize,
+    /// Tenant-pattern mix (Figure 2).
+    pub tenant_mix: PatternMix,
+    /// Mean servers per tenant for [periodic, constant, unpredictable]
+    /// tenants. Periodic tenants are much larger so that they hold ≈ 40%
+    /// of servers (Figure 3) despite being a small minority of tenants.
+    pub servers_per_tenant: [f64; 3],
+    /// Temporal-variation level in `[0, 1]`: scales diurnal amplitude,
+    /// random-walk volatility, and load spikes. DC-0/DC-2 low, DC-1/DC-4
+    /// high.
+    pub variation: f64,
+    /// Median independent reimages/server/month across tenants.
+    pub reimage_median: f64,
+    /// Log-normal sigma of the per-tenant reimage-rate distribution
+    /// (controls the heavy tail in Figures 4–5).
+    pub reimage_sigma: f64,
+    /// Expected tenant-wide redeployment sweeps per month for a tenant
+    /// with the median reimage rate (scales with the tenant's rate).
+    pub redeploy_rate: f64,
+    /// Sigma of month-over-month drift in tenant reimage rates
+    /// (calibrated so ≥ 80% of tenants change frequency group ≤ 8 times
+    /// in 35 transitions, Figure 6).
+    pub rate_drift_sigma: f64,
+}
+
+/// One primary tenant: its size, environment, utilization generator, and
+/// reimage model. Equivalent to the paper's `<environment, machine
+/// function>` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Display name, e.g. `"dc9-t042"`.
+    pub name: String,
+    /// Environment the tenant belongs to. Multiple tenants (machine
+    /// functions) can share an environment; Algorithm 2 refuses to put
+    /// two replicas in the same environment.
+    pub environment: usize,
+    /// Number of servers the tenant owns.
+    pub n_servers: usize,
+    /// Utilization behaviour.
+    pub util: UtilGen,
+    /// Reimage behaviour.
+    pub reimage: TenantReimageModel,
+}
+
+impl TenantSpec {
+    /// The tenant's intended utilization pattern.
+    pub fn pattern(&self) -> UtilizationPattern {
+        self.util.intended_pattern()
+    }
+}
+
+impl DatacenterProfile {
+    /// The profile of datacenter `id` (0–9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id > 9`.
+    pub fn dc(id: usize) -> Self {
+        assert!(id <= 9, "datacenter ids are 0-9, got {id}");
+        // Per-DC knobs. Ordering facts from the paper:
+        //  - variation: DC-0, DC-2 lowest; DC-1, DC-4 highest;
+        //  - reimage rates: three DCs substantially lower (0, 5, 7);
+        //  - sizes vary from a few hundred to a few thousand tenants.
+        let n_tenants = [700, 450, 600, 550, 500, 350, 800, 400, 650, 520][id];
+        let variation = [0.15, 0.95, 0.20, 0.55, 0.90, 0.45, 0.60, 0.40, 0.50, 0.65][id];
+        let reimage_median = [0.03, 0.15, 0.11, 0.20, 0.14, 0.025, 0.12, 0.04, 0.15, 0.13][id];
+        let periodic_frac = [0.10, 0.14, 0.09, 0.12, 0.15, 0.11, 0.10, 0.13, 0.12, 0.12][id];
+        let unpred_frac = [0.20, 0.30, 0.22, 0.26, 0.32, 0.24, 0.22, 0.21, 0.25, 0.26][id];
+        DatacenterProfile {
+            id,
+            n_tenants,
+            tenant_mix: PatternMix {
+                periodic: periodic_frac,
+                constant: 1.0 - periodic_frac - unpred_frac,
+                unpredictable: unpred_frac,
+            },
+            // Sized so periodic tenants hold ~40% of servers.
+            servers_per_tenant: [90.0, 15.0, 25.0],
+            variation,
+            reimage_median,
+            reimage_sigma: 1.0,
+            redeploy_rate: 0.20,
+            rate_drift_sigma: 0.15,
+        }
+    }
+
+    /// All ten datacenter profiles.
+    pub fn all() -> Vec<DatacenterProfile> {
+        (0..10).map(DatacenterProfile::dc).collect()
+    }
+
+    /// The datacenter's display name (`"DC-3"`).
+    pub fn name(&self) -> String {
+        format!("DC-{}", self.id)
+    }
+
+    /// Returns a copy with the tenant count multiplied by `factor`
+    /// (minimum 3 tenants), for fast tests and scaled-down simulations.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        self.n_tenants = ((self.n_tenants as f64 * factor).round() as usize).max(3);
+        self
+    }
+
+    /// Expected total number of servers under this profile.
+    pub fn expected_servers(&self) -> usize {
+        self.tenant_mix.validate();
+        let per_tenant = self.tenant_mix.periodic * self.servers_per_tenant[0]
+            + self.tenant_mix.constant * self.servers_per_tenant[1]
+            + self.tenant_mix.unpredictable * self.servers_per_tenant[2];
+        (self.n_tenants as f64 * per_tenant).round() as usize
+    }
+
+    /// Samples the concrete tenants of this datacenter, deterministically
+    /// from `seed`.
+    pub fn sample_tenants(&self, seed: u64) -> Vec<TenantSpec> {
+        self.tenant_mix.validate();
+        let mut rng = indexed_rng(seed, "dc-tenants", self.id as u64);
+        let mut tenants = Vec::with_capacity(self.n_tenants);
+
+        // Assign patterns by exact quota (largest remainder) so small
+        // scaled-down datacenters keep the intended mix.
+        let quotas = pattern_quotas(self.n_tenants, &self.tenant_mix);
+        let mut patterns = Vec::with_capacity(self.n_tenants);
+        for (pattern, quota) in [
+            (UtilizationPattern::Periodic, quotas[0]),
+            (UtilizationPattern::Constant, quotas[1]),
+            (UtilizationPattern::Unpredictable, quotas[2]),
+        ] {
+            patterns.extend(std::iter::repeat_n(pattern, quota));
+        }
+        dist::shuffle(&mut rng, &mut patterns);
+
+        // Environments hold 1-4 tenants (machine functions) each.
+        let mut environment = 0usize;
+        let mut env_left = 0usize;
+
+        for (i, &pattern) in patterns.iter().enumerate() {
+            if env_left == 0 {
+                environment += 1;
+                env_left = rng.random_range(1..=4);
+            }
+            env_left -= 1;
+
+            let mean_servers = match pattern {
+                UtilizationPattern::Periodic => self.servers_per_tenant[0],
+                UtilizationPattern::Constant => self.servers_per_tenant[1],
+                UtilizationPattern::Unpredictable => self.servers_per_tenant[2],
+            };
+            let n_servers = dist::log_normal_mean_std(&mut rng, mean_servers, mean_servers * 0.6)
+                .round()
+                .max(2.0) as usize;
+
+            let util = self.sample_util(&mut rng, pattern);
+            let reimage = self.sample_reimage(&mut rng);
+
+            tenants.push(TenantSpec {
+                name: format!("dc{}-t{:03}", self.id, i),
+                environment,
+                n_servers,
+                util,
+                reimage,
+            });
+        }
+        tenants
+    }
+
+    fn sample_util<R: Rng + ?Sized>(&self, rng: &mut R, pattern: UtilizationPattern) -> UtilGen {
+        let v = self.variation;
+        match pattern {
+            // Periodic tenants are *predictable*: their variation is the
+            // diurnal cycle itself, with only small, rare spikes. This is
+            // the premise behind Algorithm 1's rankings — history tells
+            // the scheduler what a periodic tenant will do.
+            UtilizationPattern::Periodic => UtilGen::Periodic(PeriodicGen {
+                base: dist::uniform(rng, 0.25, 0.45),
+                amplitude: dist::uniform(rng, 0.10, 0.15 + 0.20 * v),
+                phase: dist::uniform(rng, 0.0, 720.0),
+                weekend_factor: dist::uniform(rng, 0.5, 0.9),
+                noise_std: 0.01 + 0.01 * v,
+                spikes_per_day: dist::uniform(rng, 0.0, 0.5 * v),
+                spike_magnitude: dist::uniform(rng, 0.03, 0.08),
+            }),
+            UtilizationPattern::Constant => UtilGen::Constant(ConstantGen {
+                level: dist::uniform(rng, 0.15, 0.55),
+                noise_std: dist::uniform(rng, 0.002, 0.008),
+            }),
+            UtilizationPattern::Unpredictable => UtilGen::Unpredictable(UnpredictableGen {
+                mean: dist::uniform(rng, 0.15, 0.50),
+                reversion: dist::uniform(rng, 0.002, 0.008),
+                volatility: 0.008 + 0.015 * v,
+                jumps_per_day: dist::uniform(rng, 0.5, 1.0 + 3.0 * v),
+                jump_max: 0.15 + 0.25 * v,
+            }),
+        }
+    }
+
+    fn sample_reimage<R: Rng + ?Sized>(&self, rng: &mut R) -> TenantReimageModel {
+        // Log-normal around the DC median gives the Figure 4/5 tails.
+        let base_rate = self.reimage_median * dist::log_normal(rng, 0.0, self.reimage_sigma);
+        let base_rate = base_rate.min(4.0);
+        // Tenants that reimage more also redeploy more (same engineers).
+        let redeploys = self.redeploy_rate * (base_rate / self.reimage_median).min(3.0)
+            * dist::uniform(rng, 0.5, 1.5);
+        TenantReimageModel {
+            base_rate,
+            redeploys_per_month: redeploys,
+            redeploy_fraction: (0.3, 0.9),
+            rate_drift_sigma: self.rate_drift_sigma,
+        }
+    }
+
+    /// The 21-tenant, 102-server scale-down of DC-9 used on the paper's
+    /// experimental testbed (§6.1: 13 periodic, 3 constant, and 5
+    /// unpredictable primary tenants).
+    pub fn testbed_dc9(seed: u64) -> Vec<TenantSpec> {
+        let profile = DatacenterProfile::dc(9);
+        let mut rng = indexed_rng(seed, "testbed-dc9", 9);
+        let mut tenants = Vec::with_capacity(21);
+        let plan: [(UtilizationPattern, usize, usize); 3] = [
+            (UtilizationPattern::Periodic, 13, 5),   // 65 servers
+            (UtilizationPattern::Constant, 3, 5),    // 15 servers
+            (UtilizationPattern::Unpredictable, 5, 0), // 22 servers, sized below
+        ];
+        let unpred_sizes = [4usize, 4, 4, 5, 5];
+        let mut idx = 0usize;
+        for (pattern, count, servers) in plan {
+            for j in 0..count {
+                let n_servers = if servers > 0 { servers } else { unpred_sizes[j] };
+                let util = profile.sample_util(&mut rng, pattern);
+                let reimage = profile.sample_reimage(&mut rng);
+                tenants.push(TenantSpec {
+                    name: format!("testbed-t{idx:02}"),
+                    environment: idx, // scale-down: one tenant per environment
+                    n_servers,
+                    util,
+                    reimage,
+                });
+                idx += 1;
+            }
+        }
+        debug_assert_eq!(tenants.iter().map(|t| t.n_servers).sum::<usize>(), 102);
+        tenants
+    }
+}
+
+fn pattern_quotas(n: usize, mix: &PatternMix) -> [usize; 3] {
+    let raw = [
+        n as f64 * mix.periodic,
+        n as f64 * mix.constant,
+        n as f64 * mix.unpredictable,
+    ];
+    let mut quotas = [raw[0] as usize, raw[1] as usize, raw[2] as usize];
+    let mut remainder: Vec<(usize, f64)> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (i, r - r.floor()))
+        .collect();
+    remainder.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN quota"));
+    let mut assigned: usize = quotas.iter().sum();
+    let mut i = 0;
+    while assigned < n {
+        quotas[remainder[i % 3].0] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    quotas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_profiles_exist() {
+        let all = DatacenterProfile::all();
+        assert_eq!(all.len(), 10);
+        for (i, p) in all.iter().enumerate() {
+            assert_eq!(p.id, i);
+            assert_eq!(p.name(), format!("DC-{i}"));
+            p.tenant_mix.validate();
+        }
+    }
+
+    #[test]
+    fn variation_ordering_matches_paper() {
+        // DC-0 and DC-2 lowest variation; DC-1 and DC-4 highest.
+        let v: Vec<f64> = DatacenterProfile::all().iter().map(|p| p.variation).collect();
+        for i in 0..10 {
+            if i != 0 && i != 2 {
+                assert!(v[i] > v[0].max(v[2]), "DC-{i} should vary more than DC-0/2");
+            }
+            if i != 1 && i != 4 {
+                assert!(v[i] < v[1].min(v[4]), "DC-{i} should vary less than DC-1/4");
+            }
+        }
+    }
+
+    #[test]
+    fn three_dcs_have_low_reimage_rates() {
+        let rates: Vec<f64> = DatacenterProfile::all()
+            .iter()
+            .map(|p| p.reimage_median)
+            .collect();
+        let low = rates.iter().filter(|&&r| r < 0.1).count();
+        assert_eq!(low, 3, "paper: three DCs show substantially lower rates");
+    }
+
+    #[test]
+    fn sampled_tenants_match_mix() {
+        let p = DatacenterProfile::dc(9);
+        let tenants = p.sample_tenants(42);
+        assert_eq!(tenants.len(), p.n_tenants);
+        let count = |pat: UtilizationPattern| {
+            tenants.iter().filter(|t| t.pattern() == pat).count() as f64 / tenants.len() as f64
+        };
+        assert!((count(UtilizationPattern::Periodic) - p.tenant_mix.periodic).abs() < 0.01);
+        assert!((count(UtilizationPattern::Constant) - p.tenant_mix.constant).abs() < 0.01);
+    }
+
+    #[test]
+    fn periodic_tenants_hold_about_forty_percent_of_servers() {
+        let p = DatacenterProfile::dc(6);
+        let tenants = p.sample_tenants(7);
+        let total: usize = tenants.iter().map(|t| t.n_servers).sum();
+        let periodic: usize = tenants
+            .iter()
+            .filter(|t| t.pattern() == UtilizationPattern::Periodic)
+            .map(|t| t.n_servers)
+            .sum();
+        let frac = periodic as f64 / total as f64;
+        assert!(
+            (0.28..=0.52).contains(&frac),
+            "periodic server share {frac} outside Figure 3 band"
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let p = DatacenterProfile::dc(3);
+        assert_eq!(p.sample_tenants(5), p.sample_tenants(5));
+        assert_ne!(p.sample_tenants(5), p.sample_tenants(6));
+    }
+
+    #[test]
+    fn scaled_shrinks_tenant_count() {
+        let p = DatacenterProfile::dc(0).scaled(0.01);
+        assert_eq!(p.n_tenants, 7);
+        let tiny = DatacenterProfile::dc(0).scaled(1e-9);
+        assert_eq!(tiny.n_tenants, 3);
+    }
+
+    #[test]
+    fn environments_group_small_tenant_sets() {
+        let tenants = DatacenterProfile::dc(2).sample_tenants(11);
+        let mut sizes = std::collections::HashMap::new();
+        for t in &tenants {
+            *sizes.entry(t.environment).or_insert(0usize) += 1;
+        }
+        assert!(sizes.values().all(|&s| (1..=4).contains(&s)));
+        assert!(sizes.len() > tenants.len() / 4);
+    }
+
+    #[test]
+    fn testbed_is_102_servers_21_tenants() {
+        let tenants = DatacenterProfile::testbed_dc9(42);
+        assert_eq!(tenants.len(), 21);
+        assert_eq!(tenants.iter().map(|t| t.n_servers).sum::<usize>(), 102);
+        let count = |pat: UtilizationPattern| tenants.iter().filter(|t| t.pattern() == pat).count();
+        assert_eq!(count(UtilizationPattern::Periodic), 13);
+        assert_eq!(count(UtilizationPattern::Constant), 3);
+        assert_eq!(count(UtilizationPattern::Unpredictable), 5);
+    }
+
+    #[test]
+    fn expected_servers_is_plausible() {
+        let p = DatacenterProfile::dc(6);
+        let expected = p.expected_servers();
+        let actual: usize = p.sample_tenants(1).iter().map(|t| t.n_servers).sum();
+        let ratio = actual as f64 / expected as f64;
+        assert!((0.8..1.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn quotas_sum_to_n() {
+        let mix = PatternMix {
+            periodic: 0.1,
+            constant: 0.65,
+            unpredictable: 0.25,
+        };
+        for n in [3usize, 7, 10, 99, 1000] {
+            let q = pattern_quotas(n, &mix);
+            assert_eq!(q.iter().sum::<usize>(), n, "n={n}");
+        }
+    }
+}

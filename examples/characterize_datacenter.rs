@@ -1,0 +1,92 @@
+//! Characterize a datacenter the way §3 of the paper does: classify
+//! every tenant's utilization trace with the FFT pipeline and summarize
+//! its reimaging behaviour.
+//!
+//! ```sh
+//! cargo run --release --example characterize_datacenter -- [DC_ID]
+//! ```
+
+use harvest::prelude::*;
+use harvest::signal::classify::{classify, ClassifierConfig};
+use harvest::signal::spectrum::{dominant_period_samples, spectral_flatness};
+use harvest::sim::rng::indexed_rng;
+use harvest::trace::reimage::{per_server_monthly_rates, tenant_monthly_rate};
+use harvest::trace::{SAMPLES_PER_DAY, SAMPLES_PER_MONTH};
+
+fn main() {
+    let dc_id: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(9);
+    let seed = 42;
+    let profile = DatacenterProfile::dc(dc_id).scaled(0.1);
+    let tenants = profile.sample_tenants(seed);
+    println!(
+        "{}: {} tenants (scaled-down profile)\n",
+        profile.name(),
+        tenants.len()
+    );
+
+    let classifier = ClassifierConfig::default();
+    let mut counts = [0usize; 3];
+    let mut server_counts = [0usize; 3];
+
+    println!("== utilization patterns (FFT classification) ==");
+    for (i, t) in tenants.iter().enumerate() {
+        let mut rng = indexed_rng(seed, "example-trace", i as u64);
+        let trace = t.util.generate(&mut rng, SAMPLES_PER_MONTH);
+        let pattern = classify(trace.values(), &classifier);
+        let slot = match pattern {
+            UtilizationPattern::Periodic => 0,
+            UtilizationPattern::Constant => 1,
+            UtilizationPattern::Unpredictable => 2,
+        };
+        counts[slot] += 1;
+        server_counts[slot] += t.n_servers;
+        if i < 8 {
+            let period = dominant_period_samples(trace.values())
+                .map(|p| format!("{:.1}d", p / SAMPLES_PER_DAY as f64))
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "  {:<12} {:>13}  mean {:>4.0}%  peak {:>4.0}%  dominant period {:>6}  flatness {:.2}",
+                t.name,
+                pattern.to_string(),
+                trace.mean() * 100.0,
+                trace.peak() * 100.0,
+                period,
+                spectral_flatness(trace.values()),
+            );
+        }
+    }
+    let total_servers: usize = tenants.iter().map(|t| t.n_servers).sum();
+    println!("  ... ({} tenants total)\n", tenants.len());
+    for (slot, name) in ["periodic", "constant", "unpredictable"].iter().enumerate() {
+        println!(
+            "  {name:>13}: {:>5.1}% of tenants, {:>5.1}% of servers",
+            counts[slot] as f64 / tenants.len() as f64 * 100.0,
+            server_counts[slot] as f64 / total_servers as f64 * 100.0,
+        );
+    }
+
+    println!("\n== reimaging behaviour (12 simulated months) ==");
+    let mut all_server_rates = Vec::new();
+    for (i, t) in tenants.iter().enumerate() {
+        let mut rng = indexed_rng(seed, "example-reimage", i as u64);
+        let (events, _) = t.reimage.generate(&mut rng, t.n_servers, 12);
+        all_server_rates.extend(per_server_monthly_rates(&events, t.n_servers, 12));
+        if i < 4 {
+            println!(
+                "  {:<12} {:>6.2} reimages/server/month ({} events on {} servers)",
+                t.name,
+                tenant_monthly_rate(&events, t.n_servers, 12),
+                events.len(),
+                t.n_servers,
+            );
+        }
+    }
+    let below_one = all_server_rates.iter().filter(|&&r| r <= 1.0).count();
+    println!(
+        "  ... fleet: {:.1}% of servers at <=1 reimage/month (paper: >=90%)",
+        below_one as f64 / all_server_rates.len() as f64 * 100.0
+    );
+}

@@ -1,0 +1,61 @@
+//! Harvest spare disk space durably: place replicated blocks with
+//! Algorithm 2 and watch what a year of disk reimages does to them,
+//! compared against stock HDFS placement.
+//!
+//! ```sh
+//! cargo run --release --example harvest_storage
+//! ```
+
+use harvest::cluster::Datacenter;
+use harvest::dfs::durability::{simulate_durability, DurabilityConfig};
+use harvest::dfs::grid::Grid2D;
+use harvest::dfs::placement::PlacementPolicy;
+use harvest::prelude::DatacenterProfile;
+
+fn main() {
+    let seed = 42;
+    // DC-3 has the paper's highest reimage rate — the hardest case.
+    let profile = DatacenterProfile::dc(3).scaled(0.04);
+    let dc = Datacenter::generate(&profile, seed);
+    println!(
+        "{}: {} tenants, {} servers, {:.1}M harvestable blocks\n",
+        dc.name,
+        dc.n_tenants(),
+        dc.n_servers(),
+        dc.total_harvest_blocks() as f64 / 1e6,
+    );
+
+    // The 3x3 grid Algorithm 2 places against.
+    let grid = Grid2D::build(&dc);
+    println!("Algorithm 2's 3x3 grid (reimage frequency x peak utilization):");
+    for row in 0..3u8 {
+        let cells: Vec<String> = (0..3u8)
+            .map(|col| {
+                let cell = harvest::dfs::grid::Cell { col, row };
+                format!(
+                    "{:>2} tenants / {:>7} blocks",
+                    grid.members(cell).len(),
+                    grid.space(cell)
+                )
+            })
+            .collect();
+        println!("  row {row}: [{}]", cells.join(" | "));
+    }
+
+    println!("\nsimulating one year of reimages, 3-way replication:");
+    for policy in [PlacementPolicy::Stock, PlacementPolicy::History] {
+        let cfg = DurabilityConfig::paper(policy, 3, seed);
+        let result = simulate_durability(&dc, &cfg);
+        println!(
+            "  {:<11} {:>8} blocks, {:>6} reimages, {:>8} repairs -> lost {:>6} ({:.2e}%)",
+            policy.to_string(),
+            result.n_blocks,
+            result.reimages,
+            result.repairs,
+            result.lost_blocks,
+            result.lost_percent,
+        );
+    }
+    println!("\n(the paper: HDFS-H cuts losses by over two orders of magnitude at R=3");
+    println!(" and eliminates them entirely at R=4 — try changing the replication.)");
+}

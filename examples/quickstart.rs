@@ -1,0 +1,71 @@
+//! Quickstart: build a datacenter, classify its tenants, and co-locate a
+//! batch workload under the history-based scheduler.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use harvest::prelude::*;
+use harvest::jobs::tpcds::tpcds_suite;
+use harvest::jobs::workload::Workload;
+use harvest::sched::sim::{SchedSim, SchedSimConfig};
+use harvest::sim::rng::stream_rng;
+use harvest::sim::SimDuration;
+
+fn main() {
+    let seed = 42;
+
+    // 1. A scaled-down DC-9: a few dozen primary tenants with one month
+    //    of two-minute utilization history each.
+    let profile = DatacenterProfile::dc(9).scaled(0.05);
+    let dc = harvest::cluster::Datacenter::generate(&profile, seed);
+    println!(
+        "datacenter {}: {} tenants, {} servers, mean utilization {:.0}%",
+        dc.name,
+        dc.n_tenants(),
+        dc.n_servers(),
+        dc.mean_utilization() * 100.0
+    );
+
+    // 2. The clustering service: FFT classification + K-Means, as the
+    //    paper's daily clustering job does.
+    let svc = ClusteringService::build(&dc, seed);
+    println!("clustering produced {} classes:", svc.class_count());
+    for class in svc.classes() {
+        println!(
+            "  class {:>2} [{:>13}] {:>3} tenants {:>5} servers  avg {:>4.0}% peak {:>4.0}%",
+            class.id,
+            class.pattern.to_string(),
+            class.tenants.len(),
+            class.n_servers(),
+            class.avg_util * 100.0,
+            class.peak_util * 100.0,
+        );
+    }
+
+    // 3. Five hours of TPC-DS-like jobs under YARN-H/Tez-H.
+    let view = harvest::cluster::UtilizationView::unscaled(&dc);
+    let mut rng = stream_rng(seed, "quickstart-workload");
+    let workload = Workload::poisson(
+        &mut rng,
+        tpcds_suite(),
+        SimDuration::from_secs(30),
+        SimDuration::from_hours(5),
+    );
+    println!("\nsubmitting {} jobs over 5 hours...", workload.n_jobs());
+    let cfg = SchedSimConfig::testbed(SchedPolicy::History, seed);
+    let stats = SchedSim::new(&dc, &view, &workload, cfg).run();
+
+    println!(
+        "completed {}/{} jobs, mean execution {:.0}s, {} task kills",
+        stats.completed_jobs(),
+        stats.jobs.len(),
+        stats.mean_execution_secs(),
+        stats.total_kills,
+    );
+    println!(
+        "cluster utilization: primary-only {:.1}% -> with harvesting {:.1}%",
+        stats.avg_primary_utilization * 100.0,
+        stats.avg_total_utilization * 100.0,
+    );
+}

@@ -1,0 +1,61 @@
+//! # harvest — history-based harvesting of spare cycles and storage
+//!
+//! A Rust reproduction of *"History-Based Harvesting of Spare Cycles and
+//! Storage in Large-Scale Datacenters"* (Zhang et al., OSDI 2016).
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`trace`] — synthetic primary-tenant utilization traces, disk-reimage
+//!   histories, and the ten datacenter profiles (DC-0 … DC-9);
+//! * [`signal`] — FFT, spectral analysis, the periodic/constant/
+//!   unpredictable classifier, and K-Means clustering;
+//! * [`sim`] — the deterministic discrete-event engine, distributions,
+//!   and metrics;
+//! * [`cluster`] — the datacenter model (servers, tenants, environments,
+//!   racks, resource reserves);
+//! * [`jobs`] — DAG batch jobs, concurrency estimation, job-length typing,
+//!   and the TPC-DS-like workload suite;
+//! * [`sched`] — the primary-tenant-aware cluster scheduler with
+//!   history-based class selection (YARN-H / Tez-H);
+//! * [`dfs`] — the co-location-aware distributed block store with
+//!   history-based replica placement (HDFS-H);
+//! * [`service`] — the latency-critical service model used to evaluate
+//!   primary-tenant protection;
+//! * [`core`] — the experiment harness that regenerates every table and
+//!   figure in the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use harvest::prelude::*;
+//!
+//! // Build a scaled-down datacenter from the DC-9 profile and classify
+//! // its primary tenants from one month of utilization history.
+//! let profile = DatacenterProfile::dc(9).scaled(0.02);
+//! let dc = Datacenter::generate(&profile, 42);
+//! let svc = ClusteringService::build(&dc, 42);
+//! assert!(svc.class_count() > 0);
+//! ```
+
+pub use harvest_cluster as cluster;
+pub use harvest_core as core;
+pub use harvest_dfs as dfs;
+pub use harvest_jobs as jobs;
+pub use harvest_sched as sched;
+pub use harvest_service as service;
+pub use harvest_signal as signal;
+pub use harvest_sim as sim;
+pub use harvest_trace as trace;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use harvest_cluster::{Datacenter, Server, ServerId, TenantId};
+    pub use harvest_dfs::placement::PlacementPolicy;
+    pub use harvest_jobs::{DagJob, JobLength};
+    pub use harvest_sched::classes::ClusteringService;
+    pub use harvest_sched::policy::SchedPolicy;
+    pub use harvest_signal::classify::UtilizationPattern;
+    pub use harvest_sim::{SimDuration, SimTime};
+    pub use harvest_trace::datacenter::DatacenterProfile;
+    pub use harvest_trace::timeseries::TimeSeries;
+}

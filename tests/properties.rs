@@ -1,0 +1,210 @@
+//! Property-based tests over the workspace's core invariants.
+
+use harvest::dfs::grid::Grid2D;
+use harvest::dfs::placement::{Placer, PlacementPolicy};
+use harvest::dfs::store::BlockStore;
+use harvest::jobs::length::LengthThresholds;
+use harvest::signal::fft::{fft_in_place, ifft_in_place};
+use harvest::signal::kmeans::kmeans;
+use harvest::signal::Complex;
+use harvest::sim::engine::EventQueue;
+use harvest::sim::metrics::{empirical_cdf, Percentiles, StreamingStats};
+use harvest::sim::time::{SimDuration, SimTime};
+use harvest::trace::scaling::{calibrate, scale, ScalingKind};
+use harvest::trace::timeseries::TimeSeries;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// FFT followed by inverse FFT reproduces any real signal.
+    #[test]
+    fn fft_round_trips(values in prop::collection::vec(-100.0f64..100.0, 1..128)) {
+        let n = values.len().next_power_of_two();
+        let mut data: Vec<Complex> = values.iter().map(|&x| Complex::from_real(x)).collect();
+        data.resize(n, Complex::ZERO);
+        fft_in_place(&mut data);
+        ifft_in_place(&mut data);
+        for (orig, z) in values.iter().zip(&data) {
+            prop_assert!((z.re - orig).abs() < 1e-6);
+            prop_assert!(z.im.abs() < 1e-6);
+        }
+    }
+
+    /// Linear scaling never leaves [0, 1] and is monotone in the factor.
+    #[test]
+    fn scaling_stays_in_unit_interval(
+        values in prop::collection::vec(0.0f64..1.0, 1..200),
+        factor in 0.0f64..8.0,
+    ) {
+        let ts = TimeSeries::new(SimDuration::from_mins(2), values);
+        let scaled = scale(&ts, ScalingKind::Linear, factor);
+        prop_assert!(scaled.values().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let scaled_more = scale(&ts, ScalingKind::Linear, factor + 0.5);
+        for (a, b) in scaled.values().iter().zip(scaled_more.values()) {
+            prop_assert!(b >= a);
+        }
+    }
+
+    /// Calibration hits any reachable target mean for both scalings.
+    #[test]
+    fn calibration_converges(
+        values in prop::collection::vec(0.05f64..0.6, 10..100),
+        target in 0.1f64..0.8,
+    ) {
+        let ts = TimeSeries::new(SimDuration::from_mins(2), values);
+        for kind in [ScalingKind::Linear, ScalingKind::Root] {
+            let param = calibrate(&[&ts], kind, target);
+            let mean = scale(&ts, kind, param).mean();
+            prop_assert!((mean - target).abs() < 0.01, "{kind}: {mean} vs {target}");
+        }
+    }
+
+    /// K-Means assigns every point to an existing centroid and never
+    /// leaves a cluster empty.
+    #[test]
+    fn kmeans_assignments_valid(
+        points in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 2), 4..60),
+        k in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = kmeans(&mut rng, &points, k, 30);
+        prop_assert_eq!(result.assignments.len(), points.len());
+        prop_assert!(result.assignments.iter().all(|&a| a < result.k()));
+        prop_assert!(result.cluster_sizes().iter().all(|&s| s > 0));
+        prop_assert!(result.inertia >= 0.0);
+    }
+
+    /// The event queue pops in non-decreasing time order with FIFO ties,
+    /// for any push sequence.
+    #[test]
+    fn event_queue_is_stable_priority_queue(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_millis(t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(item) = q.pop() {
+            popped.push(item);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated on equal times");
+            }
+        }
+    }
+
+    /// The 3x3 grid always partitions tenants, never loses space, and
+    /// orders columns by reimage rate.
+    #[test]
+    fn grid_partitions_tenants(
+        stats in prop::collection::vec((0.0f64..2.0, 0.0f64..1.0, 10u64..5000), 9..80),
+    ) {
+        let grid = Grid2D::from_stats(&stats);
+        let member_total: usize = Grid2D::cells().map(|c| grid.members(c).len()).sum();
+        prop_assert_eq!(member_total, stats.len());
+        let space_total: u64 = Grid2D::cells().map(|c| grid.space(c)).sum();
+        prop_assert_eq!(space_total, stats.iter().map(|s| s.2).sum::<u64>());
+        // Column rate ordering.
+        let max_rate_col0 = (0..stats.len())
+            .filter(|&t| grid.cell_of(harvest::cluster::TenantId(t as u32)).col == 0)
+            .map(|t| stats[t].0)
+            .fold(f64::MIN, f64::max);
+        let min_rate_col2 = (0..stats.len())
+            .filter(|&t| grid.cell_of(harvest::cluster::TenantId(t as u32)).col == 2)
+            .map(|t| stats[t].0)
+            .fold(f64::MAX, f64::min);
+        prop_assert!(max_rate_col0 <= min_rate_col2 + 1e-12);
+    }
+
+    /// Job-length thresholds from any history are ordered and classify
+    /// consistently.
+    #[test]
+    fn thresholds_are_ordered(durs in prop::collection::vec(1u64..100_000, 3..300)) {
+        let thresholds = LengthThresholds::from_history(
+            durs.iter().map(|&d| SimDuration::from_secs(d)).collect(),
+        );
+        prop_assert!(thresholds.short_max <= thresholds.long_min);
+        use harvest::jobs::JobLength;
+        let mut last = JobLength::Short;
+        for d in [1u64, 1_000, 200_000] {
+            let len = thresholds.classify(SimDuration::from_secs(d));
+            prop_assert!(len >= last, "classification not monotone");
+            last = len;
+        }
+    }
+
+    /// Streaming stats agree with exact computations.
+    #[test]
+    fn streaming_stats_match_exact(values in prop::collection::vec(-1e4f64..1e4, 1..300)) {
+        let mut s = StreamingStats::new();
+        for &v in &values {
+            s.push(v);
+        }
+        let exact_mean = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((s.mean() - exact_mean).abs() < 1e-6 * (1.0 + exact_mean.abs()));
+        let exact_min = values.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert_eq!(s.min(), exact_min);
+    }
+
+    /// Empirical CDFs are monotone and end at 1.
+    #[test]
+    fn cdf_is_monotone(values in prop::collection::vec(-100.0f64..100.0, 1..200)) {
+        let cdf = empirical_cdf(values);
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantiles_monotone(values in prop::collection::vec(-1e3f64..1e3, 1..200)) {
+        let mut p = Percentiles::new();
+        p.extend(values.iter().copied());
+        let q25 = p.quantile(0.25).unwrap();
+        let q50 = p.quantile(0.50).unwrap();
+        let q99 = p.quantile(0.99).unwrap();
+        prop_assert!(q25 <= q50 && q50 <= q99);
+        let lo = values.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = values.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(q25 >= lo && q99 <= hi);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Algorithm 2 placements never duplicate a server and never exceed
+    /// capacity, for arbitrary writers and replication levels.
+    #[test]
+    fn history_placement_invariants(seed in 0u64..50, replication in 1usize..6) {
+        let dc = harvest::cluster::Datacenter::generate(
+            &harvest::trace::datacenter::DatacenterProfile::dc(9).scaled(0.03),
+            7,
+        );
+        let placer = Placer::new(&dc, PlacementPolicy::History);
+        let mut store = BlockStore::new(&dc);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..50u32 {
+            let writer = harvest::cluster::ServerId(
+                (seed as u32 * 31 + i) % dc.n_servers() as u32,
+            );
+            if let Some(p) = placer.place_new(&mut rng, &store, writer, replication, None) {
+                prop_assert_eq!(p.servers.len(), replication);
+                let mut dedup = p.servers.clone();
+                dedup.sort();
+                dedup.dedup();
+                prop_assert_eq!(dedup.len(), replication, "duplicate replica servers");
+                store.create_block(&p.servers);
+            }
+        }
+        // Space accounting never goes negative (has_space guards it).
+        for s in &dc.servers {
+            prop_assert!(store.free_on(s.id) <= s.harvest_blocks);
+        }
+    }
+}
