@@ -72,7 +72,11 @@ fn bench_characterization(c: &mut Criterion) {
 
     // Figure 6: group-change analysis over 36 months x 200 tenants.
     let monthly: Vec<Vec<f64>> = (0..36)
-        .map(|m| (0..200).map(|t| ((t * 7 + m) % 100) as f64 / 100.0).collect())
+        .map(|m| {
+            (0..200)
+                .map(|t| ((t * 7 + m) % 100) as f64 / 100.0)
+                .collect()
+        })
         .collect();
     c.bench_function("fig6_group_changes_36_months", |b| {
         b.iter(|| black_box(group_changes(black_box(&monthly))))

@@ -1,0 +1,63 @@
+//! Benchmarks for the harvest-net fabric: max-min re-sharing under
+//! contention, and the bandwidth-constrained repair storm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvest_cluster::{Datacenter, ServerId};
+use harvest_dfs::repair::{simulate_reimage_storm, StormConfig};
+use harvest_net::{Fabric, NetworkConfig};
+use harvest_sim::SimTime;
+use harvest_trace::datacenter::DatacenterProfile;
+use std::hint::black_box;
+
+const MB: u64 = 1024 * 1024;
+
+fn bench_network(c: &mut Criterion) {
+    let dc = Datacenter::generate(&DatacenterProfile::dc(9).scaled(0.02), 42);
+
+    // A convoy of flows across the fabric: exercises start, progressive
+    // filling, and stale-event handling end to end.
+    c.bench_function("fabric_200_flow_convoy", |b| {
+        b.iter(|| {
+            let mut f = Fabric::from_datacenter(&dc, &NetworkConfig::datacenter());
+            let n = dc.n_servers();
+            for i in 0..200u64 {
+                let src = ServerId((i as usize * 7 % n) as u32);
+                let dst = ServerId((i as usize * 13 + 1) as u32 % n as u32);
+                f.schedule_flow(SimTime::from_millis(i * 11), src, dst, 64 * MB, i);
+            }
+            black_box(f.drain().len())
+        })
+    });
+
+    // The §7 lesson-2 scenario: a tenant-wide reimage whose recovery is
+    // bandwidth-constrained.
+    let mut group = c.benchmark_group("reimage_storm");
+    group.sample_size(10);
+    let tenant = dc
+        .tenants
+        .iter()
+        .max_by_key(|t| t.n_servers())
+        .expect("dc has tenants")
+        .id;
+    for (label, network) in [
+        ("network_off", None),
+        ("network_on", Some(NetworkConfig::datacenter())),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = StormConfig::new(tenant, 7);
+                cfg.fill_fraction = 0.2;
+                cfg.network = network;
+                black_box(simulate_reimage_storm(black_box(&dc), &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_network
+}
+criterion_main!(benches);

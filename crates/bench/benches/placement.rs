@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use harvest_cluster::{Datacenter, ServerId};
 use harvest_dfs::grid::Grid2D;
-use harvest_dfs::placement::{Placer, PlacementPolicy};
+use harvest_dfs::placement::{PlacementPolicy, Placer};
 use harvest_dfs::store::BlockStore;
 use harvest_sim::rng::stream_rng;
 use harvest_trace::datacenter::DatacenterProfile;

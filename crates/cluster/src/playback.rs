@@ -8,9 +8,9 @@
 //! balanced across all servers of a primary tenant".
 
 use harvest_sim::rng::splitmix64;
+use harvest_sim::SimTime;
 use harvest_trace::scaling::{scale, ScalingKind};
 use harvest_trace::timeseries::TimeSeries;
-use harvest_sim::SimTime;
 
 use crate::datacenter::Datacenter;
 use crate::server::{ServerId, TenantId};
@@ -84,7 +84,11 @@ impl UtilizationView {
             return 0.0;
         }
         let slot = t.as_millis() / harvest_trace::SAMPLE_INTERVAL.as_millis();
-        let h = splitmix64(self.jitter_seed ^ splitmix64(server.0 as u64) ^ slot.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let h = splitmix64(
+            self.jitter_seed
+                ^ splitmix64(server.0 as u64)
+                ^ slot.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
         (unit * 2.0 - 1.0) * self.jitter_amp
     }

@@ -56,16 +56,11 @@ impl Resources {
     /// The number of containers of size `unit` that fit in `self`
     /// (limited by the scarcer dimension).
     pub fn container_count(&self, unit: Resources) -> u32 {
-        let by_cores = if unit.cores == 0 {
-            u32::MAX
-        } else {
-            self.cores / unit.cores
-        };
-        let by_mem = if unit.memory_mb == 0 {
-            u32::MAX
-        } else {
-            self.memory_mb / unit.memory_mb
-        };
+        let by_cores = self.cores.checked_div(unit.cores).unwrap_or(u32::MAX);
+        let by_mem = self
+            .memory_mb
+            .checked_div(unit.memory_mb)
+            .unwrap_or(u32::MAX);
         by_cores.min(by_mem)
     }
 }

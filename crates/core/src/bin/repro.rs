@@ -1,10 +1,12 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--full] [--seed N] [EXPERIMENT...]
+//! repro [--full] [--net] [--seed N] [EXPERIMENT...]
 //!
 //!   EXPERIMENT   fig1..fig8, fig10..fig16, micro, or "all" (default)
 //!   --full       bigger clusters, more runs (slower, tighter bands)
+//!   --net        run over the harvest-net fabric (repair, remote
+//!                reads, and shuffles pay for bandwidth)
 //!   --seed N     master seed (default 42)
 //! ```
 
@@ -13,26 +15,38 @@ use std::process::ExitCode;
 use harvest_core::{run_experiment, Scale, ALL_EXPERIMENTS};
 
 fn main() -> ExitCode {
-    let mut scale = Scale::quick();
+    // Collect flags first, apply them to the scale afterwards, so flag
+    // order never matters (`--seed 7 --full` must keep seed 7).
+    let mut full = false;
+    let mut net = false;
+    let mut seed = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--full" => scale = Scale::full(),
+            "--full" => full = true,
+            "--net" => net = true,
             "--seed" => match args.next().and_then(|s| s.parse().ok()) {
-                Some(seed) => scale.seed = seed,
+                Some(s) => seed = Some(s),
                 None => {
                     eprintln!("--seed requires an integer");
                     return ExitCode::FAILURE;
                 }
             },
             "--help" | "-h" => {
-                println!("usage: repro [--full] [--seed N] [EXPERIMENT...]");
+                println!("usage: repro [--full] [--net] [--seed N] [EXPERIMENT...]");
                 println!("experiments: {} all", ALL_EXPERIMENTS.join(" "));
                 return ExitCode::SUCCESS;
             }
             other => experiments.push(other.to_string()),
         }
+    }
+    let mut scale = if full { Scale::full() } else { Scale::quick() };
+    if net {
+        scale.network = Some(harvest_net::NetworkConfig::datacenter());
+    }
+    if let Some(seed) = seed {
+        scale.seed = seed;
     }
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
         experiments = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();

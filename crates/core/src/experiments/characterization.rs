@@ -38,7 +38,12 @@ pub fn fig1(scale: &Scale) -> String {
     let mut table = Table::new(
         "Figure 1: sample traces, time and frequency domains",
         &[
-            "tenant", "mean", "peak", "cv", "dominant period (days)", "diurnal strength",
+            "tenant",
+            "mean",
+            "peak",
+            "cv",
+            "dominant period (days)",
+            "diurnal strength",
         ],
     );
     for (label, spec) in [("periodic", periodic), ("unpredictable", unpredictable)] {

@@ -30,11 +30,7 @@ pub fn fig7() -> String {
             .filter(|(i, _)| levels[*i] == level)
             .map(|(_, s)| s.tasks)
             .sum();
-        table.row(&[
-            level.to_string(),
-            members.join(", "),
-            tasks.to_string(),
-        ]);
+        table.row(&[level.to_string(), members.join(", "), tasks.to_string()]);
     }
     let estimate = max_concurrent_tasks(&q);
     table.note(format!(

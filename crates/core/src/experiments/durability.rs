@@ -3,6 +3,7 @@
 use harvest_cluster::Datacenter;
 use harvest_dfs::durability::{simulate_durability, DurabilityConfig};
 use harvest_dfs::placement::PlacementPolicy;
+use harvest_net::NetworkConfig;
 use harvest_trace::datacenter::DatacenterProfile;
 
 use crate::report::{sci, Table};
@@ -22,6 +23,7 @@ pub struct LossSummary {
 }
 
 /// Runs `runs` durability simulations for one (DC, policy, replication).
+#[allow(clippy::too_many_arguments)]
 pub fn loss_summary(
     dc: &Datacenter,
     policy: PlacementPolicy,
@@ -29,12 +31,14 @@ pub fn loss_summary(
     months: usize,
     runs: usize,
     base_seed: u64,
+    network: Option<NetworkConfig>,
 ) -> LossSummary {
     let mut percents = Vec::with_capacity(runs);
     let mut blocks = 0.0;
     for r in 0..runs {
         let mut cfg = DurabilityConfig::paper(policy, replication, base_seed ^ (r as u64) << 32);
         cfg.months = months;
+        cfg.network = network;
         let result = simulate_durability(dc, &cfg);
         percents.push(result.lost_percent);
         blocks += result.lost_blocks as f64;
@@ -78,6 +82,7 @@ pub fn fig15(scale: &Scale) -> String {
                 scale.durability_months,
                 scale.runs,
                 scale.run_seed("fig15", dc_id),
+                scale.network,
             )
         };
         let stock3 = cell(PlacementPolicy::Stock, 3);
@@ -89,8 +94,18 @@ pub fn fig15(scale: &Scale) -> String {
         h4_blocks += h4.avg_blocks;
         table.row(&[
             format!("DC-{dc_id}"),
-            format!("{} [{}..{}]", sci(stock3.avg_percent), sci(stock3.min_percent), sci(stock3.max_percent)),
-            format!("{} [{}..{}]", sci(h3.avg_percent), sci(h3.min_percent), sci(h3.max_percent)),
+            format!(
+                "{} [{}..{}]",
+                sci(stock3.avg_percent),
+                sci(stock3.min_percent),
+                sci(stock3.max_percent)
+            ),
+            format!(
+                "{} [{}..{}]",
+                sci(h3.avg_percent),
+                sci(h3.min_percent),
+                sci(h3.max_percent)
+            ),
             sci(stock4.avg_percent),
             sci(h4.avg_percent),
             format!("{:.0}", h3.avg_blocks),
@@ -104,7 +119,11 @@ pub fn fig15(scale: &Scale) -> String {
     table.note("paper: HDFS-H reduces loss by more than two orders of magnitude at R=3, eliminates loss at R=4 in every DC, and its R=3 beats Stock's R=4 in all but one DC (max 81 lost blocks, DC-3)");
     table.note(format!(
         "measured: Stock-R3 / H-R3 loss ratio = {}; H-R4 lost blocks across all DCs = {:.0}",
-        if ratio.is_finite() { format!("{ratio:.0}x") } else { "inf (H lost nothing)".into() },
+        if ratio.is_finite() {
+            format!("{ratio:.0}x")
+        } else {
+            "inf (H lost nothing)".into()
+        },
         h4_blocks
     ));
     table.render()
@@ -118,7 +137,7 @@ mod tests {
     fn summary_statistics_are_consistent() {
         let profile = DatacenterProfile::dc(3).scaled(0.02);
         let dc = Datacenter::generate(&profile, 42);
-        let s = loss_summary(&dc, PlacementPolicy::Stock, 3, 3, 2, 7);
+        let s = loss_summary(&dc, PlacementPolicy::Stock, 3, 3, 2, 7, None);
         assert!(s.min_percent <= s.avg_percent);
         assert!(s.avg_percent <= s.max_percent);
         assert!(s.avg_blocks >= 0.0);
@@ -128,8 +147,8 @@ mod tests {
     fn history_beats_stock_in_high_reimage_dc() {
         let profile = DatacenterProfile::dc(3).scaled(0.02);
         let dc = Datacenter::generate(&profile, 42);
-        let stock = loss_summary(&dc, PlacementPolicy::Stock, 3, 4, 1, 7);
-        let hist = loss_summary(&dc, PlacementPolicy::History, 3, 4, 1, 7);
+        let stock = loss_summary(&dc, PlacementPolicy::Stock, 3, 4, 1, 7, None);
+        let hist = loss_summary(&dc, PlacementPolicy::History, 3, 4, 1, 7, None);
         assert!(
             hist.avg_percent < stock.avg_percent,
             "H {} vs Stock {}",

@@ -72,7 +72,10 @@ mod tests {
         // Nine cells: (0,0) through (2,2).
         for col in 0..3 {
             for row in 0..3 {
-                assert!(out.contains(&format!("({col}, {row})")), "missing cell {col},{row}");
+                assert!(
+                    out.contains(&format!("({col}, {row})")),
+                    "missing cell {col},{row}"
+                );
             }
         }
     }

@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use harvest_cluster::{Datacenter, ServerId, UtilizationView};
-use harvest_dfs::placement::{Placer, PlacementPolicy};
+use harvest_dfs::placement::{PlacementPolicy, Placer};
 use harvest_dfs::store::BlockStore;
 use harvest_jobs::length::JobLength;
 use harvest_sched::classes::ClusteringService;

@@ -60,6 +60,7 @@ pub fn sweep_point(
     utilization: f64,
     hours: u64,
     seed: u64,
+    network: Option<harvest_net::NetworkConfig>,
 ) -> SweepPoint {
     let traces: Vec<_> = dc.tenants.iter().map(|t| &t.trace).collect();
     let param = calibrate(&traces, scaling, utilization);
@@ -87,7 +88,10 @@ pub fn sweep_point(
         let mut cfg = SchedSimConfig::testbed(policy, seed);
         cfg.horizon = horizon;
         cfg.drain = horizon; // generous drain so every job can finish
-        SchedSim::new(dc, &view, &workload, cfg).run().mean_execution_secs()
+        cfg.network = network;
+        SchedSim::new(dc, &view, &workload, cfg)
+            .run()
+            .mean_execution_secs()
     };
 
     SweepPoint {
@@ -108,14 +112,27 @@ pub fn fig13(scale: &Scale) -> String {
             "Figure 13: batch execution time vs utilization, DC-9 ({} servers)",
             dc.n_servers()
         ),
-        &["scaling", "utilization", "YARN-PT (s)", "YARN-H (s)", "improvement"],
+        &[
+            "scaling",
+            "utilization",
+            "YARN-PT (s)",
+            "YARN-H (s)",
+            "improvement",
+        ],
     );
     for scaling in [ScalingKind::Linear, ScalingKind::Root] {
         for &util in &scale.utilizations {
             let mut pt = 0.0;
             let mut h = 0.0;
             for r in 0..scale.runs {
-                let p = sweep_point(&dc, scaling, util, scale.sched_hours, scale.run_seed("fig13", r));
+                let p = sweep_point(
+                    &dc,
+                    scaling,
+                    util,
+                    scale.sched_hours,
+                    scale.run_seed("fig13", r),
+                    scale.network,
+                );
                 pt += p.pt_secs;
                 h += p.h_secs;
             }
@@ -166,7 +183,8 @@ pub fn fig14(scale: &Scale) -> String {
                         scaling,
                         util,
                         scale.sched_hours,
-                        scale.run_seed("fig14", (dc_id * 100 + r) as usize),
+                        scale.run_seed("fig14", dc_id * 100 + r),
+                        scale.network,
                     );
                     imps.push(p.improvement());
                 }
@@ -215,10 +233,7 @@ mod tests {
             h_secs: 800.0,
         };
         assert!((p.improvement() - 20.0).abs() < 1e-12);
-        let zero = SweepPoint {
-            pt_secs: 0.0,
-            ..p
-        };
+        let zero = SweepPoint { pt_secs: 0.0, ..p };
         assert_eq!(zero.improvement(), 0.0);
     }
 
@@ -226,7 +241,7 @@ mod tests {
     fn history_improves_on_pt_at_moderate_utilization() {
         let profile = DatacenterProfile::dc(9).scaled(0.03);
         let dc = Datacenter::generate(&profile, 42);
-        let p = sweep_point(&dc, ScalingKind::Linear, 0.45, 8, 7);
+        let p = sweep_point(&dc, ScalingKind::Linear, 0.45, 8, 7, None);
         assert!(p.pt_secs > 0.0 && p.h_secs > 0.0);
         assert!(
             p.improvement() > -10.0,

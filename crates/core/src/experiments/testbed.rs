@@ -9,7 +9,7 @@
 
 use harvest_cluster::{Datacenter, ServerId, UtilizationView};
 use harvest_dfs::availability::busy_mask;
-use harvest_dfs::placement::{Placer, PlacementPolicy};
+use harvest_dfs::placement::{PlacementPolicy, Placer};
 use harvest_dfs::store::{BlockId, BlockStore};
 use harvest_jobs::tpcds::{scale_job, tpcds_suite};
 use harvest_jobs::workload::Workload;
@@ -50,6 +50,7 @@ fn run_testbed(scale: &Scale, policy: SchedPolicy, record: bool) -> SimStats {
     cfg.horizon = horizon;
     cfg.drain = SimDuration::from_hours(2);
     cfg.record_server_load = record;
+    cfg.network = scale.network;
     SchedSim::new(&dc, &view, &workload, cfg).run()
 }
 
@@ -58,7 +59,13 @@ pub fn fig10(scale: &Scale) -> String {
     let model = LatencyModel::paper_calibrated();
     let mut table = Table::new(
         "Figure 10: primary tenant p99 latency (fleet average per minute, ms)",
-        &["system", "avg", "p95 minute", "worst minute", "avg diff vs no-harvest"],
+        &[
+            "system",
+            "avg",
+            "p95 minute",
+            "worst minute",
+            "avg diff vs no-harvest",
+        ],
     );
 
     // The no-harvesting baseline: the same utilization playback with zero
@@ -155,15 +162,20 @@ pub fn fig12(scale: &Scale) -> String {
         harvest_trace::scaling::ScalingKind::Linear,
         FIG12_UTILIZATION,
     );
-    let view =
-        UtilizationView::scaled(&dc, harvest_trace::scaling::ScalingKind::Linear, factor);
+    let view = UtilizationView::scaled(&dc, harvest_trace::scaling::ScalingKind::Linear, factor);
     let tick = harvest_trace::SAMPLE_INTERVAL;
     let span = SimDuration::from_hours(scale.sched_hours.min(5));
     let n_ticks = span.div_duration(tick) as usize;
 
     let mut table = Table::new(
         "Figure 12: primary tenant p99 latency under HDFS variants (ms)",
-        &["system", "avg", "worst minute", "failed accesses", "avg diff vs no-harvest"],
+        &[
+            "system",
+            "avg",
+            "worst minute",
+            "failed accesses",
+            "avg diff vs no-harvest",
+        ],
     );
 
     // No-harvesting baseline.
@@ -241,9 +253,8 @@ pub fn fig12(scale: &Scale) -> String {
             let loads: Vec<(f64, u32)> = (0..dc.n_servers())
                 .map(|s| {
                     let util = view.server_util(ServerId(s as u32), now);
-                    let dn_cores = (dn_load[s] as f64 * ACCESS_CORE_SECS
-                        / tick.as_secs_f64())
-                    .round() as u32;
+                    let dn_cores =
+                        (dn_load[s] as f64 * ACCESS_CORE_SECS / tick.as_secs_f64()).round() as u32;
                     (util, dn_cores)
                 })
                 .collect();

@@ -7,11 +7,17 @@
 //! across scales because block density, reserve fractions, and tenant
 //! mixes are scale-invariant.
 
+use harvest_net::NetworkConfig;
+
 /// Scale parameters shared by the experiments.
 #[derive(Debug, Clone)]
 pub struct Scale {
     /// Fraction of each datacenter profile to instantiate.
     pub dc_scale: f64,
+    /// Network fabric the experiments run over: `None` keeps the seed
+    /// model's free, instantaneous data movement; `Some` makes repair,
+    /// remote reads, and shuffles pay for bandwidth (`repro --net`).
+    pub network: Option<NetworkConfig>,
     /// Runs per data point (the paper uses five).
     pub runs: usize,
     /// Simulated hours for the scheduling sweeps.
@@ -32,6 +38,7 @@ impl Scale {
     pub fn quick() -> Self {
         Scale {
             dc_scale: 0.03,
+            network: None,
             runs: 1,
             sched_hours: 8,
             durability_months: 6,
@@ -47,6 +54,7 @@ impl Scale {
     pub fn full() -> Self {
         Scale {
             dc_scale: 0.06,
+            network: None,
             runs: 3,
             sched_hours: 12,
             durability_months: 12,

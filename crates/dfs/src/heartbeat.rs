@@ -109,7 +109,9 @@ pub fn replay_heartbeats(
 /// Builds a throttling trace: `total` intervals with one solid throttled
 /// burst of `burst` intervals starting at `start`.
 pub fn burst_trace(total: usize, start: usize, burst: usize) -> Vec<bool> {
-    (0..total).map(|i| i >= start && i < start + burst).collect()
+    (0..total)
+        .map(|i| i >= start && i < start + burst)
+        .collect()
 }
 
 #[cfg(test)]

@@ -15,10 +15,15 @@
 //! * [`store`] — the block store state: blocks, replicas, per-server
 //!   space accounting;
 //! * [`durability`] — the year-long reimage simulation behind Figure 15;
+//!   with a [`harvest_net::NetworkConfig`] each re-replication is a real
+//!   256 MB flow and blocks stay vulnerable until the transfer lands;
 //! * [`availability`] — the access simulation behind Figure 16 (a block
-//!   access fails when every replica sits on a busy server);
+//!   access fails when every replica sits on a busy server); with the
+//!   fabric on, a busy local replica forces a paid remote read;
 //! * [`repair`] — re-replication throttled at 30 blocks/hour/server with
-//!   a heartbeat-loss detection delay (§5.1);
+//!   a heartbeat-loss detection delay (§5.1), plus
+//!   [`repair::simulate_reimage_storm`]: a tenant-wide mass reimage whose
+//!   recovery is bandwidth-constrained by the shared fabric;
 //! * [`quality`] — the production placement-quality monitor (§7, lesson
 //!   3): diversity measurement and the space-vs-diversity tradeoff;
 //! * [`heartbeat`] — the §7 lesson-2 scenario: synchronous heartbeat

@@ -161,8 +161,7 @@ impl<'a> Placer<'a> {
                 let in_round = existing.len() % 3;
                 let mut cons = Constraints::default();
                 for &s in existing {
-                    cons.envs
-                        .push(self.dc.tenant_of(ServerId(s)).environment);
+                    cons.envs.push(self.dc.tenant_of(ServerId(s)).environment);
                 }
                 for &s in existing.iter().rev().take(in_round) {
                     let cell = grid.cell_of(store.tenant_of(ServerId(s)));
@@ -208,9 +207,9 @@ impl<'a> Placer<'a> {
             match pick {
                 Some(sid) => chosen.push(sid),
                 // Rack full: fall back to any server (stock behaviour).
-                None => chosen.push(self.random_server(rng, store, busy, |sid| {
-                    !chosen.contains(&sid)
-                })?),
+                None => {
+                    chosen.push(self.random_server(rng, store, busy, |sid| !chosen.contains(&sid))?)
+                }
             }
         }
 
@@ -224,8 +223,7 @@ impl<'a> Placer<'a> {
                 Some(sid) => chosen.push(sid),
                 None => {
                     // No remote-rack option: relax to any distinct server.
-                    let sid =
-                        self.random_server(rng, store, busy, |sid| !chosen.contains(&sid))?;
+                    let sid = self.random_server(rng, store, busy, |sid| !chosen.contains(&sid))?;
                     chosen.push(sid);
                 }
             }
@@ -370,8 +368,7 @@ impl<'a> Placer<'a> {
             let n = tenant.n_servers();
             for _ in 0..PROBES {
                 let sid = ServerId(tenant.server_range.start + rng.random_range(0..n) as u32);
-                if store.has_space(sid) && !already.contains(&sid.0) && !self.is_busy(sid, busy)
-                {
+                if store.has_space(sid) && !already.contains(&sid.0) && !self.is_busy(sid, busy) {
                     return Some(sid);
                 }
             }

@@ -104,7 +104,7 @@ impl QualityMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::placement::{Placer, PlacementPolicy};
+    use crate::placement::{PlacementPolicy, Placer};
     use harvest_cluster::Datacenter;
     use harvest_sim::rng::stream_rng;
     use harvest_trace::datacenter::DatacenterProfile;

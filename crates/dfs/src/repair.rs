@@ -1,4 +1,4 @@
-//! Re-replication throttling.
+//! Re-replication throttling and the repair network path.
 //!
 //! §5.1: after missing heartbeats from a data node, "the NN starts to
 //! re-create the corresponding replicas in other servers without
@@ -7,8 +7,24 @@
 //! every lost replica waits for detection plus its place in the repair
 //! pipeline — the window in which further reimages can destroy the
 //! remaining copies.
+//!
+//! The throttle alone misses the §7 lesson-2 failure mode: after a mass
+//! reimage (a tenant-wide redeployment), every repair converges on the
+//! same few racks and the fabric — not the 30 blocks/hour budget — sets
+//! recovery time. [`simulate_reimage_storm`] replays exactly that
+//! scenario, with each re-replication a real 256 MB flow through a
+//! [`harvest_net::Fabric`] when a [`NetworkConfig`] is given.
 
+use std::collections::BinaryHeap;
+
+use harvest_cluster::{Datacenter, ServerId, TenantId};
+use harvest_net::NetworkConfig;
+use harvest_sim::rng::stream_rng;
 use harvest_sim::{SimDuration, SimTime};
+use rand::RngExt;
+
+use crate::placement::{PlacementPolicy, Placer};
+use crate::store::{BlockStore, BLOCK_BYTES};
 
 /// Repair-timing parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,6 +91,281 @@ impl RepairPipeline {
     }
 }
 
+/// Configuration of a tenant-wide reimage-storm replay.
+#[derive(Debug, Clone)]
+pub struct StormConfig {
+    /// Placement policy used both to fill the store and to repair.
+    pub policy: PlacementPolicy,
+    /// Replicas per block.
+    pub replication: usize,
+    /// Fraction of harvestable space filled before the storm.
+    pub fill_fraction: f64,
+    /// The tenant whose every server is reimaged at time zero.
+    pub tenant: TenantId,
+    /// Master seed.
+    pub seed: u64,
+    /// Repair timing (detection delay and throttle).
+    pub repair: RepairConfig,
+    /// When set, every re-replication is a 256 MB flow through the
+    /// fabric and only counts as durable when its last byte lands; when
+    /// `None`, a repair is durable the moment the throttle releases it
+    /// (the seed model's free-and-instant network).
+    pub network: Option<NetworkConfig>,
+    /// Cap on simultaneously in-flight repair streams (HDFS's
+    /// `replication.max-streams` backpressure, cluster-wide). Slots past
+    /// the cap wait for a stream to finish. Only meaningful with the
+    /// network on; `None` leaves concurrency to the throttle alone —
+    /// safe at the default 30 blocks/hour, but an aggressive throttle
+    /// over a slow fabric then grows an unbounded flow backlog (and the
+    /// fabric's re-share cost is quadratic in active flows), so set a
+    /// cap whenever the throttle outruns fabric capacity.
+    pub max_repair_streams: Option<usize>,
+}
+
+impl StormConfig {
+    /// A storm over `tenant` with the paper's defaults.
+    pub fn new(tenant: TenantId, seed: u64) -> Self {
+        StormConfig {
+            policy: PlacementPolicy::History,
+            replication: 3,
+            fill_fraction: 0.5,
+            tenant,
+            seed,
+            repair: RepairConfig::default(),
+            network: None,
+            max_repair_streams: None,
+        }
+    }
+}
+
+/// Outcome of a reimage-storm replay.
+#[derive(Debug, Clone)]
+pub struct StormResult {
+    /// Blocks that existed before the storm.
+    pub n_blocks: u64,
+    /// Replicas destroyed by the reimage.
+    pub replicas_lost: u64,
+    /// Replicas successfully re-created.
+    pub repairs: u64,
+    /// Blocks whose every replica sat on the reimaged tenant.
+    pub lost_blocks: u64,
+    /// When the last re-replication became durable (the
+    /// time-to-full-durability after the storm).
+    pub recovered_at: SimTime,
+    /// Mean seconds a repair spent in flight on the fabric (0 with the
+    /// network off).
+    pub mean_transfer_secs: f64,
+}
+
+/// One queued repair: the block becomes eligible at `at` (its throttle
+/// slot). Reverse-ordered so a `BinaryHeap` pops earliest-first, with
+/// the block id as a deterministic tie-break. Shared by the storm
+/// replay and the durability simulation so the two repair paths use one
+/// queue discipline.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) struct QueuedRepair {
+    pub(crate) at: SimTime,
+    pub(crate) block: crate::store::BlockId,
+}
+
+impl Ord for QueuedRepair {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at).then(other.block.cmp(&self.block))
+    }
+}
+
+impl PartialOrd for QueuedRepair {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Picks the survivor a re-replication streams from: a same-rack
+/// replica of the destination when one exists (the cheapest path), else
+/// the first survivor. Shared by the storm replay and the durability
+/// simulation so the two repair paths cannot drift apart.
+///
+/// # Panics
+///
+/// Panics if `existing` is empty (a lost block has no repair source).
+pub fn repair_source(dc: &Datacenter, existing: &[u32], dest: ServerId) -> ServerId {
+    let dest_rack = dc.server(dest).rack;
+    ServerId(
+        existing
+            .iter()
+            .copied()
+            .find(|&s| dc.server(ServerId(s)).rack == dest_rack)
+            .unwrap_or(existing[0]),
+    )
+}
+
+/// Replays a tenant-wide mass reimage and the recovery that follows.
+///
+/// Phase 1 fills the store, phase 2 reimages every server of
+/// `cfg.tenant` at time zero, phase 3 replays recovery: each lost
+/// replica waits for heartbeat detection and its throttle slot, then —
+/// with the network on — streams 256 MB from a surviving replica to its
+/// new home through the shared fabric. Hundreds of concurrent
+/// re-replications converging on a few racks saturate the
+/// oversubscribed uplinks, which is exactly the §7 lesson-2 storm.
+///
+/// # Panics
+///
+/// Panics if the tenant id is out of range or the config is invalid.
+pub fn simulate_reimage_storm(dc: &Datacenter, cfg: &StormConfig) -> StormResult {
+    assert!(cfg.replication >= 1, "replication must be at least 1");
+    assert!(
+        (cfg.tenant.0 as usize) < dc.n_tenants(),
+        "tenant {} out of range",
+        cfg.tenant
+    );
+    assert!(
+        cfg.max_repair_streams != Some(0),
+        "a zero stream cap can never repair anything"
+    );
+    let placer = Placer::new(dc, cfg.policy);
+    let mut store = BlockStore::new(dc);
+    let mut rng = stream_rng(cfg.seed, "reimage-storm");
+    let n_servers = dc.n_servers();
+
+    // Phase 1: fill the store.
+    let capacity = dc.total_harvest_blocks();
+    let target = ((capacity as f64 * cfg.fill_fraction) / cfg.replication as f64) as u64;
+    let mut created = 0u64;
+    for _ in 0..target {
+        let writer = ServerId(rng.random_range(0..n_servers) as u32);
+        match placer.place_new(&mut rng, &store, writer, cfg.replication, None) {
+            Some(p) => {
+                store.create_block(&p.servers);
+                created += 1;
+            }
+            None => break,
+        }
+    }
+
+    // Phase 2: reimage the whole tenant at t = 0.
+    let t0 = SimTime::ZERO;
+    let mut pipeline = RepairPipeline::new(cfg.repair, n_servers);
+    let mut heap: BinaryHeap<QueuedRepair> = BinaryHeap::new();
+    let mut replicas_lost = 0u64;
+    for server in dc.tenant(cfg.tenant).server_ids() {
+        for block in store.reimage_server(server) {
+            replicas_lost += 1;
+            if store.replica_count(block) > 0 {
+                heap.push(QueuedRepair {
+                    at: pipeline.schedule(t0),
+                    block,
+                });
+            }
+        }
+    }
+    let lost_blocks = store.lost_blocks();
+
+    // Phase 3: recovery. With the network on, a throttle slot starts a
+    // flow from a surviving replica to the chosen destination; the
+    // repair is durable at flow completion. Destination space is
+    // reserved up front via `add_replica` at flow start, so concurrent
+    // in-flight repairs cannot over-commit a server. This differs from
+    // `simulate_durability`, which commits replicas only when transfers
+    // land: the storm replays a single failure at t = 0 with no further
+    // reimages, so an early-committed copy can never be destroyed or
+    // invalidated mid-flight and the two disciplines are observationally
+    // identical here — while keeping this loop free of the durability
+    // path's in-flight bookkeeping. If the storm ever gains
+    // mid-recovery failures, adopt `simulate_durability`'s land-time
+    // commitment (in_flight/doomed accounting) instead.
+    let mut fabric = cfg
+        .network
+        .as_ref()
+        .map(|net| harvest_net::Fabric::from_datacenter(dc, net));
+    let mut repairs = 0u64;
+    let mut recovered_at = t0;
+    let mut transfer_secs_total = 0.0;
+    let mut transfers = 0u64;
+
+    loop {
+        // Backpressure: at the stream cap, only a completion can free a
+        // slot, so time jumps straight to the fabric's next event.
+        let at_cap = match (&fabric, cfg.max_repair_streams) {
+            (Some(f), Some(cap)) => f.n_active() + f.n_pending() >= cap,
+            _ => false,
+        };
+        let t_slot = heap.peek().map(|r| r.at).filter(|_| !at_cap);
+        let t_net = fabric.as_ref().and_then(|f| f.next_event_time());
+        let now = match (t_slot, t_net) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => break,
+        };
+
+        // Fabric events first: a completed transfer is durable before a
+        // simultaneous slot release is processed.
+        if let Some(f) = fabric.as_mut() {
+            for done in f.pump(now) {
+                repairs += 1;
+                recovered_at = recovered_at.max(done.at);
+                transfer_secs_total += done.at.since(done.started).as_secs_f64();
+                transfers += 1;
+            }
+        }
+
+        while heap.peek().map(|r| r.at <= now).unwrap_or(false) {
+            if let (Some(f), Some(cap)) = (fabric.as_ref(), cfg.max_repair_streams) {
+                if f.n_active() + f.n_pending() >= cap {
+                    break; // resume when a stream completes
+                }
+            }
+            let r = heap.pop().expect("peeked");
+            let block = r.block;
+            if store.replica_count(block) >= cfg.replication {
+                continue; // duplicate entry
+            }
+            let existing: Vec<u32> = store.replicas(block).to_vec();
+            let Some(dest) = placer.place_repair(&mut rng, &store, &existing, None) else {
+                // Cluster momentarily full; retry after another slot.
+                heap.push(QueuedRepair {
+                    at: pipeline.schedule(r.at),
+                    block,
+                });
+                continue;
+            };
+            store.add_replica(block, dest);
+            match fabric.as_mut() {
+                Some(f) => {
+                    let src = repair_source(dc, &existing, dest);
+                    // A slot deferred by backpressure starts now, not at
+                    // its original release time.
+                    f.schedule_flow(r.at.max(now), src, dest, BLOCK_BYTES, block.0);
+                }
+                None => {
+                    repairs += 1;
+                    recovered_at = recovered_at.max(r.at);
+                }
+            }
+            if store.replica_count(block) < cfg.replication {
+                heap.push(QueuedRepair {
+                    at: pipeline.schedule(r.at),
+                    block,
+                });
+            }
+        }
+    }
+
+    StormResult {
+        n_blocks: created,
+        replicas_lost,
+        repairs,
+        lost_blocks,
+        recovered_at,
+        mean_transfer_secs: if transfers == 0 {
+            0.0
+        } else {
+            transfer_secs_total / transfers as f64
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +414,97 @@ mod tests {
         let small_last = (0..1_000).map(|_| small.schedule(lost)).last().unwrap();
         let big_last = (0..1_000).map(|_| big.schedule(lost)).last().unwrap();
         assert!(big_last < small_last);
+    }
+
+    fn storm_dc() -> Datacenter {
+        use harvest_trace::datacenter::DatacenterProfile;
+        Datacenter::generate(&DatacenterProfile::dc(9).scaled(0.02), 17)
+    }
+
+    fn biggest_tenant(dc: &Datacenter) -> TenantId {
+        dc.tenants
+            .iter()
+            .max_by_key(|t| t.n_servers())
+            .expect("dc has tenants")
+            .id
+    }
+
+    #[test]
+    fn storm_recovers_every_survivable_block() {
+        let dc = storm_dc();
+        let cfg = StormConfig::new(biggest_tenant(&dc), 3);
+        let r = simulate_reimage_storm(&dc, &cfg);
+        assert!(r.n_blocks > 0);
+        assert!(r.replicas_lost > 0, "reimaging a tenant lost nothing");
+        // Every lost replica of a surviving block is eventually repaired
+        // (a lost block is one whose full replica set sat on the tenant).
+        assert_eq!(
+            r.repairs,
+            r.replicas_lost - r.lost_blocks * cfg.replication as u64,
+            "repairs do not cover the surviving blocks' losses"
+        );
+        assert!(r.recovered_at > SimTime::ZERO);
+    }
+
+    #[test]
+    fn network_extends_recovery_time() {
+        let dc = storm_dc();
+        let tenant = biggest_tenant(&dc);
+        let mut base = StormConfig::new(tenant, 3);
+        base.fill_fraction = 0.2;
+        let off = simulate_reimage_storm(&dc, &base);
+        let mut with_net = base.clone();
+        with_net.network = Some(NetworkConfig::datacenter());
+        let on = simulate_reimage_storm(&dc, &with_net);
+        assert_eq!(off.repairs, on.repairs, "network changed repair count");
+        assert!(
+            on.recovered_at >= off.recovered_at,
+            "fabric made recovery faster? off {} on {}",
+            off.recovered_at,
+            on.recovered_at
+        );
+        assert!(on.mean_transfer_secs > 0.0);
+        assert_eq!(off.mean_transfer_secs, 0.0);
+    }
+
+    #[test]
+    fn tighter_oversubscription_slows_the_storm() {
+        let dc = storm_dc();
+        let tenant = biggest_tenant(&dc);
+        let mut cfg = StormConfig::new(tenant, 3);
+        cfg.fill_fraction = 0.2;
+        // A pathologically slow fabric (100 Mb NICs) must stretch
+        // transfers well past the fast fabric's. Its capacity sits below
+        // the throttle's demand, so backpressure is required to keep the
+        // backlog (and the simulation) bounded.
+        cfg.max_repair_streams = Some(64);
+        cfg.network = Some(NetworkConfig {
+            nic_gbps: 0.1,
+            oversubscription: 8.0,
+            ..NetworkConfig::datacenter()
+        });
+        let slow = simulate_reimage_storm(&dc, &cfg);
+        cfg.network = Some(NetworkConfig::non_blocking());
+        let fast = simulate_reimage_storm(&dc, &cfg);
+        assert!(
+            slow.mean_transfer_secs > fast.mean_transfer_secs * 2.0,
+            "slow fabric {}s vs fast {}s",
+            slow.mean_transfer_secs,
+            fast.mean_transfer_secs
+        );
+        assert!(slow.recovered_at >= fast.recovered_at);
+    }
+
+    #[test]
+    fn storm_replays_deterministically() {
+        let dc = storm_dc();
+        let mut cfg = StormConfig::new(biggest_tenant(&dc), 9);
+        cfg.fill_fraction = 0.15;
+        cfg.network = Some(NetworkConfig::datacenter());
+        let a = simulate_reimage_storm(&dc, &cfg);
+        let b = simulate_reimage_storm(&dc, &cfg);
+        assert_eq!(a.repairs, b.repairs);
+        assert_eq!(a.recovered_at, b.recovered_at);
+        assert_eq!(a.mean_transfer_secs, b.mean_transfer_secs);
     }
 }

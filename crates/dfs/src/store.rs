@@ -6,6 +6,10 @@ use harvest_cluster::{Datacenter, ServerId, TenantId};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId(pub u64);
 
+/// Size of one block in bytes (the paper's 256 MB HDFS default). Network
+/// consumers use this to turn replica movement into flow bytes.
+pub const BLOCK_BYTES: u64 = 256 * 1024 * 1024;
+
 /// Replica locations and space accounting for every block in the cluster.
 ///
 /// Blocks are 256 MB (the paper's HDFS default); capacities are counted

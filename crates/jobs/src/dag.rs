@@ -109,24 +109,14 @@ impl DagJob {
     pub fn levels(&self) -> Vec<usize> {
         let mut level = vec![0usize; self.stages.len()];
         for (i, s) in self.stages.iter().enumerate() {
-            level[i] = s
-                .deps
-                .iter()
-                .map(|d| level[d.0] + 1)
-                .max()
-                .unwrap_or(0);
+            level[i] = s.deps.iter().map(|d| level[d.0] + 1).max().unwrap_or(0);
         }
         level
     }
 }
 
 /// Convenience constructor for a stage.
-pub fn stage(
-    name: impl Into<String>,
-    tasks: u32,
-    task_secs: u64,
-    deps: Vec<usize>,
-) -> Stage {
+pub fn stage(name: impl Into<String>, tasks: u32, task_secs: u64, deps: Vec<usize>) -> Stage {
     Stage {
         name: name.into(),
         tasks,

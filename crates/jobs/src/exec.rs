@@ -179,10 +179,7 @@ mod tests {
     fn job() -> DagJob {
         DagJob::new(
             "j",
-            vec![
-                stage("m", 2, 10, vec![]),
-                stage("r", 1, 20, vec![0]),
-            ],
+            vec![stage("m", 2, 10, vec![]), stage("r", 1, 20, vec![0])],
         )
     }
 

@@ -13,12 +13,15 @@
 //!   Figure 7;
 //! * [`workload`] — Poisson job arrivals (§6.1: mean 300 s);
 //! * [`exec`] — the per-job execution state machine the Application
-//!   Master drives (ready/running/killed/finished tasks).
+//!   Master drives (ready/running/killed/finished tasks);
+//! * [`shuffle`] — deterministic inter-stage shuffle volumes, the bytes
+//!   the `harvest-net` fabric carries between dependent stages.
 
 pub mod dag;
 pub mod estimate;
 pub mod exec;
 pub mod length;
+pub mod shuffle;
 pub mod tpcds;
 pub mod workload;
 

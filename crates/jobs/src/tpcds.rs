@@ -130,9 +130,7 @@ fn synth_query(n: usize) -> DagJob {
         stages.push(Stage {
             name: format!("Reducer {}", r + 1),
             tasks: width,
-            task_duration: SimDuration::from_secs(
-                rng.random_range(task_secs_lo..=task_secs_hi),
-            ),
+            task_duration: SimDuration::from_secs(rng.random_range(task_secs_lo..=task_secs_hi)),
             deps: deps.into_iter().map(StageId).collect(),
         });
     }
@@ -231,7 +229,7 @@ mod tests {
         );
         let orig_m2 = &q.stages[5];
         let new_m2 = &scaled.stages[5];
-        assert_eq!(new_m2.tasks, (orig_m2.tasks + 1) / 2);
+        assert_eq!(new_m2.tasks, orig_m2.tasks.div_ceil(2));
         // Tiny stages never drop to zero tasks.
         assert!(scaled.stages.iter().all(|s| s.tasks >= 1));
     }

@@ -36,7 +36,7 @@ pub fn poisson_arrivals<R: Rng + ?Sized>(
     let mut t = SimTime::ZERO;
     loop {
         let gap = SimDuration::from_secs_f64(dist::exponential(rng, rate));
-        t = t + gap;
+        t += gap;
         if t.since(SimTime::ZERO) >= horizon {
             break;
         }

@@ -1,0 +1,637 @@
+//! Event-driven flow-level simulation with max-min fair sharing.
+//!
+//! A [`Fabric`] carries [`Flow`]s between servers over a [`Topology`].
+//! Whenever the active-flow set changes — a flow starts or finishes —
+//! link bandwidth is re-divided max-min fairly (progressive filling) and
+//! every in-flight flow's completion is re-predicted. Starts,
+//! completions, and those re-share reschedules all travel through one
+//! [`EventQueue`]; a stale completion (superseded by a later re-share) is
+//! recognized by its version stamp and ignored, which is the standard
+//! trick for event-driven flow models with time-varying rates.
+//!
+//! Everything is exact integer time plus deterministic `f64` arithmetic
+//! over deterministically ordered collections, so a fabric replay is
+//! bit-identical for identical inputs.
+//!
+//! # Cost model
+//!
+//! Every flow start/finish re-shares and re-predicts *all* active
+//! flows, so work grows with the square of the concurrently active
+//! population. That is the right trade for the tens-to-hundreds of
+//! concurrent flows real repair throttles and shuffles produce, but it
+//! means offered load must not exceed fabric capacity for sustained
+//! periods — a persistent backlog grows without bound and the
+//! simulation with it. Callers injecting unthrottled demand must bound
+//! concurrency themselves (see `StormConfig::max_repair_streams` in
+//! `harvest-dfs` for the repair-path backpressure).
+
+use std::collections::BTreeMap;
+
+use harvest_cluster::ServerId;
+use harvest_sim::engine::EventQueue;
+use harvest_sim::{SimDuration, SimTime};
+
+use crate::config::NetworkConfig;
+use crate::topology::{LinkId, Topology};
+
+/// Identifies a flow within a fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+/// A finished transfer, as reported by [`Fabric::pump`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowCompletion {
+    /// The flow that finished.
+    pub flow: FlowId,
+    /// When its last byte arrived.
+    pub at: SimTime,
+    /// The caller's tag, echoed back.
+    pub tag: u64,
+    /// Total bytes moved.
+    pub bytes: u64,
+    /// When the flow entered the fabric.
+    pub started: SimTime,
+}
+
+/// One in-flight transfer.
+#[derive(Debug, Clone)]
+struct Flow {
+    tag: u64,
+    bytes: u64,
+    remaining: f64,
+    /// Current max-min allocation in bytes/s.
+    rate: f64,
+    /// Bumped on every re-share; completion events carry the version they
+    /// were predicted under.
+    version: u64,
+    started: SimTime,
+    path: Vec<LinkId>,
+}
+
+/// A transfer waiting for its scheduled start time.
+#[derive(Debug, Clone)]
+struct PendingFlow {
+    src: ServerId,
+    dst: ServerId,
+    bytes: u64,
+    tag: u64,
+}
+
+#[derive(Debug)]
+enum NetEvent {
+    Start(FlowId),
+    Complete(FlowId, u64),
+}
+
+/// Aggregate fabric counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FabricStats {
+    /// Flows completed.
+    pub completed: u64,
+    /// Bytes delivered by completed flows.
+    pub bytes_delivered: u64,
+    /// High-water mark of concurrently active flows.
+    pub peak_active: usize,
+    /// Re-share passes run (a measure of contention churn).
+    pub reshares: u64,
+}
+
+/// The flow-level network simulator. See the module docs.
+#[derive(Debug)]
+pub struct Fabric {
+    topo: Topology,
+    queue: EventQueue<NetEvent>,
+    pending: BTreeMap<u64, PendingFlow>,
+    active: BTreeMap<u64, Flow>,
+    /// When `active` flows' `remaining` counters were last advanced.
+    last_update: SimTime,
+    next_id: u64,
+    hop_latency: SimDuration,
+    stats: FabricStats,
+    completions: Vec<FlowCompletion>,
+}
+
+impl Fabric {
+    /// A fabric over an explicit topology.
+    pub fn new(topo: Topology, config: &NetworkConfig) -> Self {
+        Fabric {
+            topo,
+            queue: EventQueue::new(),
+            pending: BTreeMap::new(),
+            active: BTreeMap::new(),
+            last_update: SimTime::ZERO,
+            next_id: 0,
+            hop_latency: SimDuration::from_secs_f64(config.hop_latency_ms / 1_000.0),
+            stats: FabricStats::default(),
+            completions: Vec::new(),
+        }
+    }
+
+    /// Builds topology and fabric for a datacenter in one step.
+    pub fn from_datacenter(dc: &harvest_cluster::Datacenter, config: &NetworkConfig) -> Self {
+        Fabric::new(Topology::from_datacenter(dc, config), config)
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    /// Flows currently moving bytes.
+    pub fn n_active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Flows scheduled but not yet started.
+    pub fn n_pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Bytes still in flight across all active flows.
+    pub fn in_flight_bytes(&self) -> f64 {
+        self.active.values().map(|f| f.remaining).sum()
+    }
+
+    /// The current max-min rate of a flow in bytes/s, if it is active.
+    pub fn flow_rate(&self, flow: FlowId) -> Option<f64> {
+        self.active.get(&flow.0).map(|f| f.rate)
+    }
+
+    /// Ids of the currently active flows, ascending.
+    pub fn active_flow_ids(&self) -> Vec<FlowId> {
+        self.active.keys().map(|&id| FlowId(id)).collect()
+    }
+
+    /// The links a flow traverses, if it is active.
+    pub fn flow_path(&self, flow: FlowId) -> Option<&[LinkId]> {
+        self.active.get(&flow.0).map(|f| f.path.as_slice())
+    }
+
+    /// Sum of active-flow rates crossing `link`, in bytes/s.
+    pub fn link_load(&self, link: LinkId) -> f64 {
+        self.active
+            .values()
+            .filter(|f| f.path.contains(&link))
+            .map(|f| f.rate)
+            .sum()
+    }
+
+    /// Schedules a `src → dst` transfer of `bytes` to start at `at`.
+    /// Returns the flow's id; its completion will be reported by a later
+    /// [`Fabric::pump`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `at` is before the fabric's clock —
+    /// the fabric never runs backwards.
+    pub fn schedule_flow(
+        &mut self,
+        at: SimTime,
+        src: ServerId,
+        dst: ServerId,
+        bytes: u64,
+        tag: u64,
+    ) -> FlowId {
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.pending.insert(
+            id.0,
+            PendingFlow {
+                src,
+                dst,
+                bytes,
+                tag,
+            },
+        );
+        self.queue.push(at, NetEvent::Start(id));
+        id
+    }
+
+    /// A lower bound on the next instant anything can happen in the
+    /// fabric (`None` when it is idle). Stale completion events make this
+    /// conservative: pumping to this time may be a no-op, never wrong.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Advances the fabric through every event at or before `until`,
+    /// returning the transfers that completed, in completion order.
+    pub fn pump(&mut self, until: SimTime) -> Vec<FlowCompletion> {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked");
+            match ev {
+                NetEvent::Start(id) => self.on_start(id, now),
+                NetEvent::Complete(id, version) => self.on_complete(id, version, now),
+            }
+        }
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Drains the fabric to quiescence, returning all remaining
+    /// completions. Useful at the end of a simulation.
+    pub fn drain(&mut self) -> Vec<FlowCompletion> {
+        self.pump(SimTime::MAX)
+    }
+
+    fn on_start(&mut self, id: FlowId, now: SimTime) {
+        let Some(p) = self.pending.remove(&id.0) else {
+            return; // cancelled
+        };
+        let path = self.topo.path(p.src, p.dst);
+        // Per-hop switching latency: charge it up front by extending the
+        // effective start; for the empty path (local copy) the flow
+        // completes immediately.
+        if path.is_empty() {
+            self.finish_flow(
+                id,
+                now,
+                Flow {
+                    tag: p.tag,
+                    bytes: p.bytes,
+                    remaining: 0.0,
+                    rate: f64::INFINITY,
+                    version: 0,
+                    started: now,
+                    path,
+                },
+            );
+            return;
+        }
+        self.advance_to(now);
+        let latency = self.hop_latency.mul_f64(path.len() as f64);
+        self.active.insert(
+            id.0,
+            Flow {
+                tag: p.tag,
+                bytes: p.bytes,
+                // Fold per-hop latency in as bottleneck-bytes so a tiny
+                // flow still takes ≥ the path latency.
+                remaining: p.bytes as f64 + latency.as_secs_f64() * self.path_bottleneck(&path),
+                rate: 0.0,
+                version: 0,
+                started: now,
+                path,
+            },
+        );
+        self.stats.peak_active = self.stats.peak_active.max(self.active.len());
+        self.reshare(now);
+    }
+
+    fn on_complete(&mut self, id: FlowId, version: u64, now: SimTime) {
+        let stale = match self.active.get(&id.0) {
+            Some(f) => f.version != version,
+            None => true,
+        };
+        if stale {
+            return;
+        }
+        self.advance_to(now);
+        let flow = self.active.remove(&id.0).expect("checked above");
+        self.finish_flow(id, now, flow);
+        self.reshare(now);
+    }
+
+    fn finish_flow(&mut self, id: FlowId, now: SimTime, flow: Flow) {
+        self.stats.completed += 1;
+        self.stats.bytes_delivered += flow.bytes;
+        self.completions.push(FlowCompletion {
+            flow: id,
+            at: now,
+            tag: flow.tag,
+            bytes: flow.bytes,
+            started: flow.started,
+        });
+    }
+
+    /// Drains transferred bytes from every active flow for the time
+    /// elapsed since the last update.
+    fn advance_to(&mut self, now: SimTime) {
+        let dt = now.since(self.last_update).as_secs_f64();
+        if dt > 0.0 {
+            for f in self.active.values_mut() {
+                f.remaining = (f.remaining - f.rate * dt).max(0.0);
+            }
+        }
+        self.last_update = now;
+    }
+
+    fn path_bottleneck(&self, path: &[LinkId]) -> f64 {
+        path.iter()
+            .map(|&l| self.topo.capacity(l))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Recomputes max-min fair rates (progressive filling) and
+    /// re-predicts every active flow's completion.
+    ///
+    /// Progressive filling: repeatedly find the most-contended link (the
+    /// one whose remaining capacity split across its unfrozen flows is
+    /// smallest), freeze those flows at that fair share, subtract their
+    /// demand everywhere, and repeat. The result is the unique max-min
+    /// fair allocation; every flow ends up bottlenecked by (at least) one
+    /// saturated link on its path.
+    fn reshare(&mut self, now: SimTime) {
+        self.stats.reshares += 1;
+        if self.active.is_empty() {
+            return;
+        }
+
+        // Work over only the links active flows actually touch (≤ 4 per
+        // flow), not the whole topology — a trickle of flows in a large
+        // datacenter must not pay O(n_servers) per event. Sorted ids
+        // keep the bottleneck scan's lowest-link-id tie-break.
+        let ids: Vec<u64> = self.active.keys().copied().collect();
+        let mut used: Vec<u32> = ids
+            .iter()
+            .flat_map(|id| self.active[id].path.iter().map(|l| l.0))
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        let slot_of =
+            |link: LinkId| -> usize { used.binary_search(&link.0).expect("link in used set") };
+        let mut spare: Vec<f64> = used
+            .iter()
+            .map(|&l| self.topo.capacity(LinkId(l)))
+            .collect();
+        let mut unfrozen_on: Vec<u32> = vec![0; used.len()];
+        // Deterministic flow order: BTreeMap iterates by ascending id.
+        for id in &ids {
+            for l in &self.active[id].path {
+                unfrozen_on[slot_of(*l)] += 1;
+            }
+        }
+        let mut frozen: Vec<bool> = vec![false; ids.len()];
+        let mut rates: Vec<f64> = vec![0.0; ids.len()];
+        let mut left = ids.len();
+
+        while left > 0 {
+            // The bottleneck link and its fair share.
+            let mut best: Option<(f64, usize)> = None;
+            for (slot, &cnt) in unfrozen_on.iter().enumerate() {
+                if cnt == 0 {
+                    continue;
+                }
+                let share = spare[slot] / cnt as f64;
+                match best {
+                    Some((s, _)) if s <= share => {}
+                    _ => best = Some((share, slot)),
+                }
+            }
+            let Some((share, bottleneck)) = best else {
+                break; // no unfrozen flow crosses any link
+            };
+            let share = share.max(0.0);
+            let bottleneck = LinkId(used[bottleneck]);
+            // Freeze every unfrozen flow crossing the bottleneck.
+            for (i, id) in ids.iter().enumerate() {
+                if frozen[i] || !self.active[id].path.contains(&bottleneck) {
+                    continue;
+                }
+                frozen[i] = true;
+                rates[i] = share;
+                left -= 1;
+                for l in &self.active[id].path {
+                    let slot = slot_of(*l);
+                    spare[slot] = (spare[slot] - share).max(0.0);
+                    unfrozen_on[slot] -= 1;
+                }
+            }
+        }
+
+        // Apply rates and re-predict completions. A flow whose rate is
+        // bitwise-unchanged keeps its pending Complete event: `remaining`
+        // was advanced at the old rate, so the previously predicted
+        // absolute completion time is still exact, and skipping the
+        // re-push avoids O(active) stale events per re-share for flows
+        // on disjoint paths. (`version > 0` guarantees an event exists.)
+        for (i, id) in ids.iter().enumerate() {
+            let f = self.active.get_mut(id).expect("active");
+            if f.version > 0 && rates[i] == f.rate {
+                continue;
+            }
+            f.rate = rates[i];
+            f.version += 1;
+            let eta = if f.rate > 0.0 {
+                SimDuration::from_secs_f64(f.remaining / f.rate)
+            } else {
+                // Starved flow (zero-capacity link): park the completion
+                // far in the future; a later re-share will rescue it.
+                SimDuration::from_days(365_000)
+            };
+            self.queue
+                .push(now + eta, NetEvent::Complete(FlowId(*id), f.version));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvest_cluster::Datacenter;
+    use harvest_trace::datacenter::DatacenterProfile;
+
+    const MB: u64 = 1024 * 1024;
+
+    fn fabric() -> (Datacenter, Fabric) {
+        let dc = Datacenter::generate(&DatacenterProfile::dc(9).scaled(0.02), 42);
+        let f = Fabric::from_datacenter(&dc, &NetworkConfig::datacenter());
+        (dc, f)
+    }
+
+    fn cross_rack_pair(dc: &Datacenter) -> (ServerId, ServerId) {
+        let a = dc.servers[0].id;
+        let b = dc
+            .servers
+            .iter()
+            .find(|s| s.rack != dc.servers[0].rack)
+            .expect("multi-rack dc")
+            .id;
+        (a, b)
+    }
+
+    #[test]
+    fn single_flow_runs_at_nic_speed() {
+        let (dc, mut f) = fabric();
+        let (a, b) = cross_rack_pair(&dc);
+        f.schedule_flow(SimTime::ZERO, a, b, 1_250 * MB, 1);
+        let done = f.drain();
+        assert_eq!(done.len(), 1);
+        // 1250 MiB at 1.25e9 B/s ≈ 1.05 s (MiB vs MB) + hop latency.
+        let secs = done[0].at.since(done[0].started).as_secs_f64();
+        assert!((1.0..1.2).contains(&secs), "single flow took {secs}s");
+    }
+
+    #[test]
+    fn local_copy_is_instant() {
+        let (dc, mut f) = fabric();
+        let a = dc.servers[0].id;
+        f.schedule_flow(SimTime::from_secs(5), a, a, 999 * MB, 7);
+        let done = f.drain();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].at, SimTime::from_secs(5));
+        assert_eq!(done[0].tag, 7);
+    }
+
+    #[test]
+    fn two_flows_share_a_nic_fairly() {
+        let (dc, mut f) = fabric();
+        let (a, b) = cross_rack_pair(&dc);
+        // Both flows leave server `a`: its TX NIC is the bottleneck.
+        f.schedule_flow(SimTime::ZERO, a, b, 125 * MB, 1);
+        f.schedule_flow(SimTime::ZERO, a, b, 125 * MB, 2);
+        f.pump(SimTime::ZERO);
+        let r1 = f.flow_rate(FlowId(0)).unwrap();
+        let r2 = f.flow_rate(FlowId(1)).unwrap();
+        assert!((r1 - r2).abs() < 1.0, "unequal shares {r1} vs {r2}");
+        let nic = NetworkConfig::datacenter().nic_bytes_per_sec();
+        assert!((r1 + r2 - nic).abs() / nic < 1e-9, "NIC not saturated");
+        // Sharing doubles the transfer time vs. running alone.
+        let done = f.drain();
+        let secs = done[1].at.since(done[1].started).as_secs_f64();
+        assert!((0.2..0.25).contains(&secs), "shared pair took {secs}s");
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interact() {
+        let (dc, mut f) = fabric();
+        // Two flows between entirely different rack pairs.
+        let racks = dc.n_racks();
+        assert!(racks >= 4, "need 4 racks, have {racks}");
+        let by_rack = |r: u32| {
+            dc.servers
+                .iter()
+                .find(|s| s.rack.0 == r)
+                .expect("rack populated")
+                .id
+        };
+        f.schedule_flow(SimTime::ZERO, by_rack(0), by_rack(1), 125 * MB, 1);
+        f.schedule_flow(SimTime::ZERO, by_rack(2), by_rack(3), 125 * MB, 2);
+        f.pump(SimTime::ZERO);
+        let nic = NetworkConfig::datacenter().nic_bytes_per_sec();
+        for id in [0, 1] {
+            let r = f.flow_rate(FlowId(id)).unwrap();
+            assert!((r - nic).abs() / nic < 1e-9, "flow {id} throttled to {r}");
+        }
+        f.drain();
+    }
+
+    #[test]
+    fn oversubscribed_uplink_throttles_a_storm() {
+        let (dc, mut f) = fabric();
+        // Many flows out of one rack to distinct remote servers: the
+        // 4:1-oversubscribed uplink (5 NICs worth) is the bottleneck.
+        let rack0: Vec<ServerId> = dc
+            .servers
+            .iter()
+            .filter(|s| s.rack.0 == 0)
+            .map(|s| s.id)
+            .collect();
+        let remote: Vec<ServerId> = dc
+            .servers
+            .iter()
+            .filter(|s| s.rack.0 != 0)
+            .take(rack0.len())
+            .map(|s| s.id)
+            .collect();
+        assert!(rack0.len() >= 10, "rack 0 has {}", rack0.len());
+        for (i, (&s, &d)) in rack0.iter().zip(&remote).enumerate() {
+            f.schedule_flow(SimTime::ZERO, s, d, 125 * MB, i as u64);
+        }
+        f.pump(SimTime::ZERO);
+        let uplink = f.topology().rack_up(0);
+        let cap = f.topology().capacity(uplink);
+        let load = f.link_load(uplink);
+        assert!(
+            load <= cap * (1.0 + 1e-9),
+            "uplink overloaded: {load} > {cap}"
+        );
+        assert!(
+            load >= cap * (1.0 - 1e-9),
+            "uplink not work-conserving: {load} < {cap}"
+        );
+        // Each flow gets the uplink fair share, which is below NIC speed.
+        let nic = NetworkConfig::datacenter().nic_bytes_per_sec();
+        let share = f.flow_rate(FlowId(0)).unwrap();
+        assert!(share < nic, "share {share} not throttled below NIC {nic}");
+        f.drain();
+    }
+
+    #[test]
+    fn departures_release_bandwidth() {
+        let (dc, mut f) = fabric();
+        let (a, b) = cross_rack_pair(&dc);
+        // A short and a long flow share `a`'s NIC; after the short one
+        // leaves, the long one speeds up, finishing sooner than it would
+        // have at the half-rate.
+        f.schedule_flow(SimTime::ZERO, a, b, 125 * MB, 1);
+        f.schedule_flow(SimTime::ZERO, a, b, 1_250 * MB, 2);
+        let done = f.drain();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].tag, 1, "short flow finishes first");
+        let long_secs = done[1].at.as_secs_f64();
+        // Alone: ~1.05 s. Always halved: ~2.1 s. With the short flow
+        // departing around 0.21 s the long one lands near 1.16 s.
+        assert!(
+            (1.05..1.6).contains(&long_secs),
+            "long flow took {long_secs}s — bandwidth not released?"
+        );
+    }
+
+    #[test]
+    fn staggered_starts_replay_deterministically() {
+        let run = || {
+            let (dc, mut f) = fabric();
+            let (a, b) = cross_rack_pair(&dc);
+            let mut ends = Vec::new();
+            for i in 0..20u64 {
+                f.schedule_flow(
+                    SimTime::from_millis(i * 37),
+                    dc.servers[(i as usize * 13) % dc.n_servers()].id,
+                    if i % 3 == 0 { a } else { b },
+                    (i + 1) * 10 * MB,
+                    i,
+                );
+            }
+            for c in f.drain() {
+                ends.push((c.tag, c.at));
+            }
+            ends
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pump_respects_the_horizon() {
+        let (dc, mut f) = fabric();
+        let (a, b) = cross_rack_pair(&dc);
+        f.schedule_flow(SimTime::ZERO, a, b, 1_250 * MB, 1); // ~1 s
+        let early = f.pump(SimTime::from_millis(500));
+        assert!(early.is_empty(), "flow finished early: {early:?}");
+        assert_eq!(f.n_active(), 1);
+        let late = f.pump(SimTime::from_secs(10));
+        assert_eq!(late.len(), 1);
+        assert_eq!(f.n_active(), 0);
+    }
+
+    #[test]
+    fn stats_track_the_population() {
+        let (dc, mut f) = fabric();
+        let (a, b) = cross_rack_pair(&dc);
+        f.schedule_flow(SimTime::ZERO, a, b, 10 * MB, 1);
+        f.schedule_flow(SimTime::ZERO, a, b, 10 * MB, 2);
+        f.drain();
+        let s = f.stats();
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.bytes_delivered, 20 * MB);
+        assert_eq!(s.peak_active, 2);
+        assert!(s.reshares >= 4);
+    }
+}

@@ -1,0 +1,273 @@
+//! The fabric's link graph, derived from a datacenter's rack layout.
+
+use harvest_cluster::datacenter::RACK_SIZE;
+use harvest_cluster::{Datacenter, ServerId};
+
+use crate::config::NetworkConfig;
+
+/// Identifies a directed link in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u32);
+
+/// The hierarchical topology: every server hangs off its rack's ToR
+/// switch through a full-duplex NIC link, and every ToR reaches the
+/// (non-blocking) aggregation/core tier through an oversubscribed uplink
+/// pair.
+///
+/// Links are directed. Layout, for `n` servers and `r` racks:
+///
+/// * `[0, n)` — server transmit (server → ToR);
+/// * `[n, 2n)` — server receive (ToR → server);
+/// * `[2n, 2n + r)` — rack uplink (ToR → core);
+/// * `[2n + r, 2n + 2r)` — rack downlink (core → ToR).
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Per-link capacity in bytes per second.
+    capacity: Vec<f64>,
+    /// Rack of each server.
+    rack_of: Vec<u32>,
+    n_servers: u32,
+    n_racks: u32,
+    /// Fixed per-hop latency.
+    hop_latency_ms: f64,
+}
+
+impl Topology {
+    /// Builds the fabric for `dc` under `config`.
+    ///
+    /// Rack membership comes from the datacenter's own layout
+    /// ([`harvest_cluster::Server::rack`]); rack uplink capacity is
+    /// `RACK_SIZE * nic / oversubscription` regardless of how full the
+    /// last rack is, as real ToRs are provisioned for full racks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the datacenter has no servers or the config is invalid.
+    pub fn from_datacenter(dc: &Datacenter, config: &NetworkConfig) -> Self {
+        config.validate();
+        let n = dc.n_servers() as u32;
+        assert!(n > 0, "cannot build a fabric over zero servers");
+        let r = dc.n_racks() as u32;
+        let nic = config.nic_bytes_per_sec();
+        let uplink = nic * RACK_SIZE as f64 / config.oversubscription;
+
+        let mut capacity = Vec::with_capacity((2 * n + 2 * r) as usize);
+        capacity.extend(std::iter::repeat_n(nic, 2 * n as usize));
+        capacity.extend(std::iter::repeat_n(uplink, 2 * r as usize));
+
+        Topology {
+            capacity,
+            rack_of: dc.servers.iter().map(|s| s.rack.0).collect(),
+            n_servers: n,
+            n_racks: r,
+            hop_latency_ms: config.hop_latency_ms,
+        }
+    }
+
+    /// Number of servers.
+    pub fn n_servers(&self) -> usize {
+        self.n_servers as usize
+    }
+
+    /// Number of racks.
+    pub fn n_racks(&self) -> usize {
+        self.n_racks as usize
+    }
+
+    /// Number of directed links.
+    pub fn n_links(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// Capacity of a link in bytes per second.
+    pub fn capacity(&self, link: LinkId) -> f64 {
+        self.capacity[link.0 as usize]
+    }
+
+    /// The rack a server sits in.
+    pub fn rack_of(&self, server: ServerId) -> u32 {
+        self.rack_of[server.0 as usize]
+    }
+
+    /// The server's transmit link (server → ToR).
+    pub fn server_tx(&self, server: ServerId) -> LinkId {
+        LinkId(server.0)
+    }
+
+    /// The server's receive link (ToR → server).
+    pub fn server_rx(&self, server: ServerId) -> LinkId {
+        LinkId(self.n_servers + server.0)
+    }
+
+    /// A rack's uplink (ToR → core).
+    pub fn rack_up(&self, rack: u32) -> LinkId {
+        LinkId(2 * self.n_servers + rack)
+    }
+
+    /// A rack's downlink (core → ToR).
+    pub fn rack_down(&self, rack: u32) -> LinkId {
+        LinkId(2 * self.n_servers + self.n_racks + rack)
+    }
+
+    /// The directed path a `src → dst` flow traverses. Empty when source
+    /// and destination are the same server (a local copy never touches
+    /// the fabric); two links within a rack; four links across racks.
+    pub fn path(&self, src: ServerId, dst: ServerId) -> Vec<LinkId> {
+        if src == dst {
+            return Vec::new();
+        }
+        let (sr, dr) = (self.rack_of(src), self.rack_of(dst));
+        if sr == dr {
+            vec![self.server_tx(src), self.server_rx(dst)]
+        } else {
+            vec![
+                self.server_tx(src),
+                self.rack_up(sr),
+                self.rack_down(dr),
+                self.server_rx(dst),
+            ]
+        }
+    }
+
+    /// The bottleneck capacity of the `src → dst` path in bytes/s
+    /// (`f64::INFINITY` for a local copy).
+    pub fn path_capacity(&self, src: ServerId, dst: ServerId) -> f64 {
+        self.path(src, dst)
+            .into_iter()
+            .map(|l| self.capacity(l))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Transfer time of `bytes` over an otherwise-idle fabric, in
+    /// seconds: bandwidth term plus per-hop latency. This is the static
+    /// estimate consumers use when they only need a latency, not
+    /// contention (e.g. scoring a remote read). Allocation-free — it is
+    /// called once per simulated read in hot loops.
+    pub fn idle_transfer_secs(&self, src: ServerId, dst: ServerId, bytes: u64) -> f64 {
+        if src == dst {
+            return 0.0;
+        }
+        let (sr, dr) = (self.rack_of(src), self.rack_of(dst));
+        let mut bw = self
+            .capacity(self.server_tx(src))
+            .min(self.capacity(self.server_rx(dst)));
+        let hops = if sr == dr {
+            2.0
+        } else {
+            bw = bw
+                .min(self.capacity(self.rack_up(sr)))
+                .min(self.capacity(self.rack_down(dr)));
+            4.0
+        };
+        bytes as f64 / bw + hops * self.hop_latency_ms / 1_000.0
+    }
+
+    /// An upper bound on [`Topology::idle_transfer_secs`] for `bytes`
+    /// over any server pair: the slowest link in the fabric plus the
+    /// full four-hop path. Used to size latency histograms.
+    pub fn max_idle_transfer_secs(&self, bytes: u64) -> f64 {
+        let min_bw = self.capacity.iter().copied().fold(f64::INFINITY, f64::min);
+        bytes as f64 / min_bw + 4.0 * self.hop_latency_ms / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvest_trace::datacenter::DatacenterProfile;
+
+    fn topo() -> (Datacenter, Topology) {
+        let dc = Datacenter::generate(&DatacenterProfile::dc(9).scaled(0.02), 42);
+        let t = Topology::from_datacenter(&dc, &NetworkConfig::datacenter());
+        (dc, t)
+    }
+
+    #[test]
+    fn link_layout_covers_everything() {
+        let (dc, t) = topo();
+        assert_eq!(t.n_servers(), dc.n_servers());
+        assert_eq!(t.n_racks(), dc.n_racks());
+        assert_eq!(t.n_links(), 2 * dc.n_servers() + 2 * dc.n_racks());
+        // Every helper returns a distinct in-range link.
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..dc.n_servers() as u32 {
+            assert!(seen.insert(t.server_tx(ServerId(s))));
+            assert!(seen.insert(t.server_rx(ServerId(s))));
+        }
+        for r in 0..dc.n_racks() as u32 {
+            assert!(seen.insert(t.rack_up(r)));
+            assert!(seen.insert(t.rack_down(r)));
+        }
+        assert_eq!(seen.len(), t.n_links());
+        assert!(seen.iter().all(|l| (l.0 as usize) < t.n_links()));
+    }
+
+    #[test]
+    fn paths_follow_the_hierarchy() {
+        let (dc, t) = topo();
+        // Same server: no fabric.
+        assert!(t.path(ServerId(0), ServerId(0)).is_empty());
+        // Same rack: two links.
+        let same_rack = dc
+            .servers
+            .iter()
+            .find(|s| s.id.0 != 0 && s.rack == dc.servers[0].rack)
+            .expect("rack has a second server");
+        assert_eq!(t.path(ServerId(0), same_rack.id).len(), 2);
+        // Cross rack: four links, including both rack links.
+        let other_rack = dc
+            .servers
+            .iter()
+            .find(|s| s.rack != dc.servers[0].rack)
+            .expect("dc has a second rack");
+        let path = t.path(ServerId(0), other_rack.id);
+        assert_eq!(path.len(), 4);
+        assert!(path.contains(&t.rack_up(t.rack_of(ServerId(0)))));
+        assert!(path.contains(&t.rack_down(t.rack_of(other_rack.id))));
+    }
+
+    #[test]
+    fn oversubscription_shrinks_uplinks() {
+        let (dc, _) = topo();
+        let tight = Topology::from_datacenter(
+            &dc,
+            &NetworkConfig {
+                oversubscription: 8.0,
+                ..NetworkConfig::datacenter()
+            },
+        );
+        let loose = Topology::from_datacenter(&dc, &NetworkConfig::non_blocking());
+        assert!(tight.capacity(tight.rack_up(0)) < loose.capacity(loose.rack_up(0)));
+        // NICs are unaffected by oversubscription.
+        assert_eq!(
+            tight.capacity(tight.server_tx(ServerId(0))),
+            loose.capacity(loose.server_tx(ServerId(0)))
+        );
+    }
+
+    #[test]
+    fn idle_transfer_times_are_ordered_by_distance() {
+        let (dc, t) = topo();
+        let same_rack = dc
+            .servers
+            .iter()
+            .find(|s| s.id.0 != 0 && s.rack == dc.servers[0].rack)
+            .unwrap()
+            .id;
+        let other_rack = dc
+            .servers
+            .iter()
+            .find(|s| s.rack != dc.servers[0].rack)
+            .unwrap()
+            .id;
+        let bytes = 256 * 1024 * 1024;
+        let local = t.idle_transfer_secs(ServerId(0), ServerId(0), bytes);
+        let rack = t.idle_transfer_secs(ServerId(0), same_rack, bytes);
+        let cross = t.idle_transfer_secs(ServerId(0), other_rack, bytes);
+        assert_eq!(local, 0.0);
+        assert!(rack > 0.0);
+        assert!(cross > rack, "cross-rack {cross} <= in-rack {rack}");
+        // 256 MB at 10 Gb/s is ~0.21 s.
+        assert!((0.2..0.3).contains(&rack), "in-rack transfer {rack}s");
+    }
+}

@@ -70,7 +70,12 @@ impl ClusteringService {
     pub fn build_adaptive(dc: &Datacenter, view: &UtilizationView, seed: u64) -> Self {
         let n = dc.n_tenants();
         let k = |cap: usize| (n / 12).clamp(1, cap);
-        Self::build_from_view(dc, view, seed, [k(DEFAULT_K[0]), k(DEFAULT_K[1]), k(DEFAULT_K[2])])
+        Self::build_from_view(
+            dc,
+            view,
+            seed,
+            [k(DEFAULT_K[0]), k(DEFAULT_K[1]), k(DEFAULT_K[2])],
+        )
     }
 
     /// Clusters from a (possibly scaled) utilization view.
@@ -116,9 +121,7 @@ impl ClusteringService {
             let k = k_per_pattern[slot].max(1);
             let features: Vec<Vec<f64>> = members
                 .iter()
-                .map(|&tid| {
-                    TraceFeatures::extract(view.tenant_trace(tid).values(), 720.0).to_vec()
-                })
+                .map(|&tid| TraceFeatures::extract(view.tenant_trace(tid).values(), 720.0).to_vec())
                 .collect();
             let normalized = normalize_features(&features);
             let result = kmeans(&mut rng, &normalized, k.min(members.len()), 50);
@@ -234,12 +237,8 @@ mod tests {
     #[test]
     fn respects_k_bounds() {
         let dc = dc();
-        let svc = ClusteringService::build_from_view(
-            &dc,
-            &UtilizationView::unscaled(&dc),
-            42,
-            [2, 2, 2],
-        );
+        let svc =
+            ClusteringService::build_from_view(&dc, &UtilizationView::unscaled(&dc), 42, [2, 2, 2]);
         for pattern in UtilizationPattern::ALL {
             assert!(svc.count_by_pattern(pattern) <= 2);
         }

@@ -63,11 +63,7 @@ impl RankingWeights {
 /// duration of a job of the given length, per the paper's three formulas.
 ///
 /// `current_util` is the class's current average CPU utilization.
-pub fn headroom_fraction(
-    length: JobLength,
-    class: &TenantClass,
-    current_util: f64,
-) -> f64 {
+pub fn headroom_fraction(length: JobLength, class: &TenantClass, current_util: f64) -> f64 {
     let used = match length {
         JobLength::Short => current_util,
         JobLength::Medium => class.avg_util.max(current_util),
@@ -80,8 +76,8 @@ pub fn headroom_fraction(
 /// the class can host: per server, the headroom cores minus the burst
 /// reserve, summed across the class's servers.
 pub fn headroom_containers(headroom_frac: f64, n_servers: usize) -> u64 {
-    let per_server = (headroom_frac * SERVER_CAPACITY.cores as f64).floor() as i64
-        - RESERVE.cores as i64;
+    let per_server =
+        (headroom_frac * SERVER_CAPACITY.cores as f64).floor() as i64 - RESERVE.cores as i64;
     per_server.max(0) as u64 * n_servers as u64
 }
 

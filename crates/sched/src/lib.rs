@@ -21,7 +21,9 @@
 //! workload of DAG jobs against a [`harvest_cluster::Datacenter`] under
 //! any of the three policies, producing per-job execution times, kill
 //! counts, and utilization — the quantities behind Figures 10, 11, 13,
-//! and 14.
+//! and 14. With a [`harvest_net::NetworkConfig`] the simulator also
+//! carries inter-stage shuffles over the shared fabric, so stage
+//! runtimes stretch under network contention.
 
 pub mod classes;
 pub mod headroom;

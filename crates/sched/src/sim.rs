@@ -24,6 +24,13 @@
 //! violations are detected and repaired on the same grid (the paper's
 //! reaction time is "a few seconds at most"; both are far shorter than
 //! task durations).
+//!
+//! With a [`NetworkConfig`], inter-stage shuffles become real flows: a
+//! stage whose dependencies just finished cannot start tasks until its
+//! shuffle bytes have crossed the fabric, where they share bandwidth
+//! max-min fairly with every other in-flight shuffle. Under contention
+//! (and against repair storms sharing the same uplinks) stage runtimes
+//! stretch exactly the way Tez jobs do on a busy cluster.
 
 use harvest_cluster::reserve::{secondary_capacity, SERVER_CAPACITY};
 use harvest_cluster::{Datacenter, Resources, ServerId, UtilizationView};
@@ -31,7 +38,9 @@ use harvest_jobs::dag::StageId;
 use harvest_jobs::estimate::max_concurrent_tasks;
 use harvest_jobs::exec::JobExecution;
 use harvest_jobs::length::{JobHistory, LengthThresholds};
+use harvest_jobs::shuffle::{stage_shuffle_bytes, DEFAULT_BYTES_PER_TASK};
 use harvest_jobs::workload::Workload;
+use harvest_net::{Fabric, NetworkConfig};
 use harvest_sim::engine::EventQueue;
 use harvest_sim::rng::stream_rng;
 use harvest_sim::{SimDuration, SimTime};
@@ -70,6 +79,13 @@ pub struct SchedSimConfig {
     /// Record per-server load samples every tick (only sensible for
     /// testbed-sized clusters).
     pub record_server_load: bool,
+    /// When set, inter-stage shuffles travel the fabric and gate
+    /// dependent stages; `None` keeps data movement free and instant
+    /// (the seed model).
+    pub network: Option<NetworkConfig>,
+    /// Intermediate bytes each upstream task ships per dependent edge
+    /// (only meaningful with `network` set).
+    pub shuffle_bytes_per_task: u64,
 }
 
 impl SchedSimConfig {
@@ -83,6 +99,8 @@ impl SchedSimConfig {
             thresholds: LengthThresholds::paper_testbed(),
             preseed_history: true,
             record_server_load: false,
+            network: None,
+            shuffle_bytes_per_task: DEFAULT_BYTES_PER_TASK,
         }
     }
 }
@@ -98,6 +116,26 @@ enum Ev {
     Arrival(usize),
     Finish(usize),
     Tick,
+    /// Wake-up so in-flight shuffle completions are observed promptly
+    /// rather than at the next two-minute tick.
+    NetWake,
+}
+
+/// How many aggregate flows one stage's shuffle is split into (one per
+/// distinct upstream server, capped — real shuffles open thousands of
+/// fetches, but their aggregate bandwidth behavior is that of a few
+/// parallel streams per source).
+const MAX_SHUFFLE_FLOWS: usize = 16;
+
+/// Whether a stage may start tasks, shuffle-wise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ShuffleGate {
+    /// Shuffle not yet started (stage not ready, or never attempted).
+    Unstarted,
+    /// Shuffle flows in flight; `0` remaining means about to open.
+    Waiting(u32),
+    /// Shuffle done (or not needed): tasks may be placed.
+    Open,
 }
 
 #[derive(Debug)]
@@ -173,6 +211,14 @@ struct Runner<'a> {
     server_load: Vec<Vec<LoadSample>>,
     kills_per_server: Vec<u64>,
     end_of_time: SimTime,
+    fabric: Option<Fabric>,
+    /// Per job, per stage: whether the stage's shuffle has landed.
+    shuffle_gate: Vec<Vec<ShuffleGate>>,
+    /// Per job, per stage: servers its tasks ran on (shuffle sources;
+    /// populated only with the fabric on).
+    stage_servers: Vec<Vec<Vec<ServerId>>>,
+    /// The NetWake instant currently queued, to avoid duplicates.
+    pending_wake: Option<SimTime>,
 }
 
 impl<'a> Runner<'a> {
@@ -211,9 +257,24 @@ impl<'a> Runner<'a> {
             primary_core_ms: 0.0,
             secondary_core_ms: 0.0,
             observed_ms: 0.0,
-            server_load: vec![Vec::new(); if sim.cfg.record_server_load { n_servers } else { 0 }],
+            server_load: vec![
+                Vec::new();
+                if sim.cfg.record_server_load {
+                    n_servers
+                } else {
+                    0
+                }
+            ],
             kills_per_server: vec![0u64; n_servers],
             end_of_time: SimTime::ZERO + sim.cfg.horizon + sim.cfg.drain,
+            fabric: sim
+                .cfg
+                .network
+                .as_ref()
+                .map(|net| Fabric::from_datacenter(sim.dc, net)),
+            shuffle_gate: Vec::new(),
+            stage_servers: Vec::new(),
+            pending_wake: None,
         }
     }
 
@@ -231,11 +292,19 @@ impl<'a> Runner<'a> {
             if now > self.end_of_time {
                 break;
             }
+            self.pump_fabric(now);
             match ev {
                 Ev::Arrival(idx) => self.on_arrival(idx, now),
                 Ev::Finish(cid) => self.on_finish(cid, now),
                 Ev::Tick => self.on_tick(now),
+                Ev::NetWake => {
+                    if self.pending_wake == Some(now) {
+                        self.pending_wake = None;
+                    }
+                    self.schedule_pass(now);
+                }
             }
+            self.arm_net_wake(now);
         }
 
         let jobs = self
@@ -274,9 +343,54 @@ impl<'a> Runner<'a> {
         }
     }
 
+    /// Applies every fabric event due by `now`: finished shuffle flows
+    /// open their stage gates and make the owning job runnable again.
+    fn pump_fabric(&mut self, now: SimTime) {
+        let Some(fabric) = self.fabric.as_mut() else {
+            return;
+        };
+        let mut opened = false;
+        for done in fabric.pump(now) {
+            let job_id = (done.tag >> 32) as usize;
+            let stage = (done.tag & 0xFFFF_FFFF) as usize;
+            let gate = &mut self.shuffle_gate[job_id][stage];
+            if let ShuffleGate::Waiting(left) = *gate {
+                *gate = if left <= 1 {
+                    opened = true;
+                    if !self.runnable.contains(&job_id) {
+                        self.runnable.push(job_id);
+                    }
+                    ShuffleGate::Open
+                } else {
+                    ShuffleGate::Waiting(left - 1)
+                };
+            }
+        }
+        if opened {
+            self.schedule_pass(now);
+        }
+    }
+
+    /// Keeps one NetWake queued at the fabric's next event time, so
+    /// shuffle completions between ticks are handled promptly.
+    fn arm_net_wake(&mut self, now: SimTime) {
+        let Some(fabric) = self.fabric.as_ref() else {
+            return;
+        };
+        let Some(t) = fabric.next_event_time() else {
+            return;
+        };
+        let t = t.max(now);
+        if t <= self.end_of_time && self.pending_wake != Some(t) {
+            self.queue.push(t, Ev::NetWake);
+            self.pending_wake = Some(t);
+        }
+    }
+
     fn on_arrival(&mut self, idx: usize, now: SimTime) {
         let arrival = &self.sim.workload.arrivals[idx];
         let job = self.sim.workload.job_of(arrival).clone();
+        let n_stages = job.n_stages();
         let exec = JobExecution::new(job, now);
         let job_id = self.jobs.len();
         debug_assert_eq!(job_id, idx, "jobs must be created in arrival order");
@@ -286,6 +400,12 @@ impl<'a> Runner<'a> {
             allowed: None,
             done: false,
         });
+        self.shuffle_gate
+            .push(vec![ShuffleGate::Unstarted; n_stages]);
+        self.stage_servers.push(vec![
+            Vec::new();
+            if self.fabric.is_some() { n_stages } else { 0 }
+        ]);
         if self.sim.cfg.policy.uses_history() {
             self.select_for(job_id, now);
         }
@@ -389,8 +509,7 @@ impl<'a> Runner<'a> {
         if let Some(pos) = list.iter().position(|&c| c == cid) {
             list.remove(pos);
         }
-        self.secondary_core_ms +=
-            CONTAINER.cores as f64 * now.since(start).as_millis() as f64;
+        self.secondary_core_ms += CONTAINER.cores as f64 * now.since(start).as_millis() as f64;
     }
 
     fn on_tick(&mut self, now: SimTime) {
@@ -448,6 +567,14 @@ impl<'a> Runner<'a> {
         };
         self.release(cid, server, start, now);
         self.jobs[job_id].exec.kill_task(stage);
+        // A killed task produced no output here; drop its server from
+        // the stage's shuffle sources (the re-run records its new home).
+        if self.fabric.is_some() {
+            let sources = &mut self.stage_servers[job_id][stage.0];
+            if let Some(pos) = sources.iter().position(|&s| s == server) {
+                sources.remove(pos);
+            }
+        }
         self.total_kills += 1;
         self.kills_per_server[server.0 as usize] += 1;
         if !self.runnable.contains(&job_id) {
@@ -483,14 +610,24 @@ impl<'a> Runner<'a> {
     }
 
     /// Places one ready task of job `j`, returning whether it succeeded.
+    /// A ready stage whose shuffle is still crossing the fabric is
+    /// skipped (and its shuffle is started if it has not been).
     fn try_place_one(&mut self, j: usize, now: SimTime) -> bool {
+        let ready = self.jobs[j].exec.ready_stages();
+        let mut target = None;
+        for stage in ready {
+            if self.gate_for(j, stage, now) == ShuffleGate::Open {
+                target = Some(stage);
+                break;
+            }
+        }
+        let Some(stage) = target else {
+            return false;
+        };
         let Some(server) = self.find_server(j, now) else {
             return false;
         };
         let job = &mut self.jobs[j];
-        let Some(stage) = job.exec.ready_stages().first().copied() else {
-            return false;
-        };
         job.exec.start_task(stage);
         let duration = job.exec.task_duration(stage);
         let cid = self.containers.len();
@@ -503,9 +640,71 @@ impl<'a> Runner<'a> {
         });
         self.alloc[server.0 as usize] += CONTAINER;
         self.server_containers[server.0 as usize].push(cid);
+        if self.fabric.is_some() {
+            self.stage_servers[j][stage.0].push(server);
+        }
         self.tasks_started += 1;
         self.queue.push(now + duration, Ev::Finish(cid));
         true
+    }
+
+    /// The shuffle gate of `(j, stage)`, starting the shuffle on first
+    /// contact. Without a fabric every gate is open.
+    fn gate_for(&mut self, j: usize, stage: StageId, now: SimTime) -> ShuffleGate {
+        if self.fabric.is_none() {
+            return ShuffleGate::Open;
+        }
+        match self.shuffle_gate[j][stage.0] {
+            ShuffleGate::Unstarted => self.start_shuffle(j, stage, now),
+            g => g,
+        }
+    }
+
+    /// Launches the aggregate shuffle flows feeding `stage`: one flow
+    /// per distinct upstream server (capped at [`MAX_SHUFFLE_FLOWS`]),
+    /// each to a server drawn from the job's placement pool — where the
+    /// consuming tasks are about to run.
+    fn start_shuffle(&mut self, j: usize, stage: StageId, now: SimTime) -> ShuffleGate {
+        let total = stage_shuffle_bytes(
+            self.jobs[j].exec.job(),
+            stage,
+            self.sim.cfg.shuffle_bytes_per_task,
+        );
+        let mut sources: Vec<ServerId> = Vec::new();
+        if total > 0 {
+            let deps = self.jobs[j].exec.job().stages[stage.0].deps.clone();
+            'outer: for d in &deps {
+                for &s in &self.stage_servers[j][d.0] {
+                    if !sources.contains(&s) {
+                        sources.push(s);
+                        if sources.len() >= MAX_SHUFFLE_FLOWS {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        let gate = if total == 0 || sources.is_empty() {
+            ShuffleGate::Open
+        } else {
+            let n = sources.len() as u64;
+            let tag = ((j as u64) << 32) | stage.0 as u64;
+            let fabric = self.fabric.as_mut().expect("gated on fabric");
+            for (i, src) in sources.iter().enumerate() {
+                let dst = match &self.jobs[j].allowed {
+                    Some(list) if !list.is_empty() => list[self.rng.random_range(0..list.len())],
+                    _ => ServerId(self.rng.random_range(0..self.sim.dc.n_servers()) as u32),
+                };
+                // Spread the volume evenly; the first flow carries the
+                // remainder.
+                let bytes = total / n + if i == 0 { total % n } else { 0 };
+                fabric.schedule_flow(now, *src, dst, bytes, tag);
+            }
+            ShuffleGate::Waiting(sources.len() as u32)
+        };
+        self.shuffle_gate[j][stage.0] = gate;
+        self.arm_net_wake(now);
+        gate
     }
 
     /// Free secondary capacity of a server under the active policy.
@@ -687,6 +886,67 @@ mod tests {
         let b = run(SchedPolicy::History, 9);
         assert_eq!(a.total_kills, b.total_kills);
         assert_eq!(a.tasks_started, b.tasks_started);
+        assert_eq!(a.mean_execution_secs(), b.mean_execution_secs());
+    }
+
+    fn run_netted(policy: SchedPolicy, seed: u64, network: Option<NetworkConfig>) -> SimStats {
+        let (dc, view) = testbed();
+        let wl = small_workload(seed, 1);
+        let mut cfg = SchedSimConfig::testbed(policy, seed);
+        cfg.horizon = SimDuration::from_hours(1);
+        cfg.drain = SimDuration::from_hours(3);
+        cfg.network = network;
+        SchedSim::new(&dc, &view, &wl, cfg).run()
+    }
+
+    #[test]
+    fn shuffle_flows_stretch_stage_runtimes() {
+        // A slow fabric (1 GbE) makes every reducer wait on its shuffle;
+        // execution times must stretch relative to free data movement.
+        let off = run_netted(SchedPolicy::Stock, 11, None);
+        let slow_net = NetworkConfig {
+            nic_gbps: 1.0,
+            ..NetworkConfig::datacenter()
+        };
+        let on = run_netted(SchedPolicy::Stock, 11, Some(slow_net));
+        assert!(
+            on.completed_jobs() > 0,
+            "nothing completed under the fabric"
+        );
+        assert!(
+            on.mean_execution_secs() > off.mean_execution_secs(),
+            "shuffles were free? on {:.0}s off {:.0}s",
+            on.mean_execution_secs(),
+            off.mean_execution_secs()
+        );
+    }
+
+    #[test]
+    fn faster_fabric_hurts_less() {
+        let slow = run_netted(
+            SchedPolicy::Stock,
+            12,
+            Some(NetworkConfig {
+                nic_gbps: 0.5,
+                ..NetworkConfig::datacenter()
+            }),
+        );
+        let fast = run_netted(SchedPolicy::Stock, 12, Some(NetworkConfig::non_blocking()));
+        assert!(
+            fast.mean_execution_secs() <= slow.mean_execution_secs(),
+            "faster fabric slower? fast {:.0}s slow {:.0}s",
+            fast.mean_execution_secs(),
+            slow.mean_execution_secs()
+        );
+    }
+
+    #[test]
+    fn networked_scheduling_is_deterministic() {
+        let net = Some(NetworkConfig::datacenter());
+        let a = run_netted(SchedPolicy::History, 13, net);
+        let b = run_netted(SchedPolicy::History, 13, net);
+        assert_eq!(a.tasks_started, b.tasks_started);
+        assert_eq!(a.total_kills, b.total_kills);
         assert_eq!(a.mean_execution_secs(), b.mean_execution_secs());
     }
 }

@@ -155,7 +155,9 @@ mod tests {
     #[test]
     fn parseval_energy_is_conserved() {
         let n = 512;
-        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 2.0 + 1.0).collect();
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.37).sin() * 2.0 + 1.0)
+            .collect();
         let time_energy: f64 = signal.iter().map(|x| x * x).sum();
         let spec = fft_real_padded(&signal);
         let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;

@@ -152,10 +152,7 @@ fn kmeanspp_init<R: Rng + ?Sized>(rng: &mut R, points: &[Vec<f64>], k: usize) ->
     let first = rng.random_range(0..points.len());
     centroids.push(points[first].clone());
 
-    let mut dists: Vec<f64> = points
-        .iter()
-        .map(|p| sq_dist(p, &centroids[0]))
-        .collect();
+    let mut dists: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
 
     while centroids.len() < k {
         let total: f64 = dists.iter().sum();

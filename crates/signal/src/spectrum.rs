@@ -35,7 +35,7 @@ pub fn power_spectrum_truncated(signal: &[f64]) -> (Vec<f64>, usize) {
         .collect();
     fft_in_place(&mut data);
     let half = n / 2;
-    let powers = data[..=half.max(0)].iter().map(|z| z.norm_sqr()).collect();
+    let powers = data[..=half].iter().map(|z| z.norm_sqr()).collect();
     (powers, n)
 }
 
@@ -72,9 +72,9 @@ pub fn periodicity_strength(signal: &[f64], period_samples: f64) -> f64 {
     for harmonic in 1..=4u32 {
         let center = fundamental * harmonic as f64;
         let lo = (center - 2.0).floor().max(first_bin as f64) as usize;
-        let hi = (center + 2.0).ceil() as usize;
-        for k in lo..=hi.min(powers.len().saturating_sub(1)) {
-            band += powers[k];
+        let hi = ((center + 2.0).ceil() as usize).min(powers.len().saturating_sub(1));
+        if lo <= hi {
+            band += powers[lo..=hi].iter().sum::<f64>();
         }
     }
     (band / total).clamp(0.0, 1.0)
@@ -146,7 +146,9 @@ mod tests {
         let mut state = 0x2545_F491_4F6C_DD1Du64;
         let sig: Vec<f64> = (0..21_600)
             .map(|_| {
-                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1);
                 (state >> 11) as f64 / (1u64 << 53) as f64
             })
             .collect();

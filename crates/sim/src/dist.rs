@@ -65,7 +65,10 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
 ///
 /// Panics if `std_dev` is negative.
 pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
-    assert!(std_dev >= 0.0, "std_dev must be non-negative, got {std_dev}");
+    assert!(
+        std_dev >= 0.0,
+        "std_dev must be non-negative, got {std_dev}"
+    );
     if std_dev == 0.0 {
         return mean;
     }
@@ -94,7 +97,10 @@ pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
 /// Panics if `mean` is not strictly positive or `std_dev` is negative.
 pub fn log_normal_mean_std<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
     assert!(mean > 0.0, "log-normal mean must be positive, got {mean}");
-    assert!(std_dev >= 0.0, "std_dev must be non-negative, got {std_dev}");
+    assert!(
+        std_dev >= 0.0,
+        "std_dev must be non-negative, got {std_dev}"
+    );
     if std_dev == 0.0 {
         return mean;
     }

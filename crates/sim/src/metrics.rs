@@ -261,6 +261,21 @@ impl Histogram {
         self.lo + w * i as f64
     }
 
+    /// Reads quantile `q` off the histogram as the right edge of the
+    /// first bin whose CDF reaches `q`. Returns `None` when the
+    /// histogram is empty, and the histogram's upper bound when the
+    /// quantile lands in the overflow. Resolution is one bin width.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let cdf = self.cdf();
+        Some(match cdf.iter().position(|&f| f >= q) {
+            Some(i) => self.bin_left(i + 1),
+            None => self.hi,
+        })
+    }
+
     /// Empirical CDF evaluated at each bin's *right* edge, as fractions in
     /// `[0, 1]`. Underflow counts toward every point; overflow toward none.
     pub fn cdf(&self) -> Vec<f64> {
@@ -378,6 +393,24 @@ mod tests {
         // Last in-range point covers underflow + all 10 bins = 11/12.
         assert!((cdf[9] - 11.0 / 12.0).abs() < 1e-12);
         assert!(cdf.windows(2).all(|w| w[0] <= w[1]), "CDF not monotone");
+    }
+
+    #[test]
+    fn histogram_quantile_reads_bin_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        // Median of 10 uniform points: right edge of the 5th bin.
+        assert_eq!(h.quantile(0.5), Some(5.0));
+        assert_eq!(h.quantile(1.0), Some(10.0));
+        // Overflow-heavy histogram: quantile lands at the upper bound.
+        let mut o = Histogram::new(0.0, 1.0, 4);
+        o.push(0.5);
+        o.push(50.0);
+        assert_eq!(o.quantile(0.99), Some(1.0));
+        // Empty histogram has no quantiles.
+        assert_eq!(Histogram::new(0.0, 1.0, 4).quantile(0.5), None);
     }
 
     #[test]

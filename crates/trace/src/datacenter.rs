@@ -253,7 +253,8 @@ impl DatacenterProfile {
         let base_rate = self.reimage_median * dist::log_normal(rng, 0.0, self.reimage_sigma);
         let base_rate = base_rate.min(4.0);
         // Tenants that reimage more also redeploy more (same engineers).
-        let redeploys = self.redeploy_rate * (base_rate / self.reimage_median).min(3.0)
+        let redeploys = self.redeploy_rate
+            * (base_rate / self.reimage_median).min(3.0)
             * dist::uniform(rng, 0.5, 1.5);
         TenantReimageModel {
             base_rate,
@@ -271,15 +272,20 @@ impl DatacenterProfile {
         let mut rng = indexed_rng(seed, "testbed-dc9", 9);
         let mut tenants = Vec::with_capacity(21);
         let plan: [(UtilizationPattern, usize, usize); 3] = [
-            (UtilizationPattern::Periodic, 13, 5),   // 65 servers
-            (UtilizationPattern::Constant, 3, 5),    // 15 servers
+            (UtilizationPattern::Periodic, 13, 5),     // 65 servers
+            (UtilizationPattern::Constant, 3, 5),      // 15 servers
             (UtilizationPattern::Unpredictable, 5, 0), // 22 servers, sized below
         ];
         let unpred_sizes = [4usize, 4, 4, 5, 5];
         let mut idx = 0usize;
         for (pattern, count, servers) in plan {
+            #[allow(clippy::needless_range_loop)] // `j` indexes only the unpredictable row
             for j in 0..count {
-                let n_servers = if servers > 0 { servers } else { unpred_sizes[j] };
+                let n_servers = if servers > 0 {
+                    servers
+                } else {
+                    unpred_sizes[j]
+                };
                 let util = profile.sample_util(&mut rng, pattern);
                 let reimage = profile.sample_reimage(&mut rng);
                 tenants.push(TenantSpec {
@@ -338,7 +344,10 @@ mod tests {
     #[test]
     fn variation_ordering_matches_paper() {
         // DC-0 and DC-2 lowest variation; DC-1 and DC-4 highest.
-        let v: Vec<f64> = DatacenterProfile::all().iter().map(|p| p.variation).collect();
+        let v: Vec<f64> = DatacenterProfile::all()
+            .iter()
+            .map(|p| p.variation)
+            .collect();
         for i in 0..10 {
             if i != 0 && i != 2 {
                 assert!(v[i] > v[0].max(v[2]), "DC-{i} should vary more than DC-0/2");

@@ -104,8 +104,8 @@ impl PeriodicGen {
                 } else {
                     self.amplitude
                 };
-                let angle = 2.0 * std::f64::consts::PI * (i as f64 + self.phase)
-                    / SAMPLES_PER_DAY as f64;
+                let angle =
+                    2.0 * std::f64::consts::PI * (i as f64 + self.phase) / SAMPLES_PER_DAY as f64;
                 let mut v = self.base + amp * angle.sin();
                 if spike_left > 0 {
                     spike_left -= 1;

@@ -40,5 +40,4 @@ pub const DAYS_PER_MONTH: usize = 30;
 pub const SAMPLES_PER_MONTH: usize = SAMPLES_PER_DAY * DAYS_PER_MONTH;
 
 /// The sampling interval (two minutes), as a simulation duration.
-pub const SAMPLE_INTERVAL: harvest_sim::SimDuration =
-    harvest_sim::SimDuration::from_mins(2);
+pub const SAMPLE_INTERVAL: harvest_sim::SimDuration = harvest_sim::SimDuration::from_mins(2);

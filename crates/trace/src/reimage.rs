@@ -303,7 +303,11 @@ mod tests {
         // (a sweep touches >= 80 of 100 servers within an hour).
         let has_burst = events.iter().enumerate().any(|(i, e)| {
             let window_end = e.time + SimDuration::from_hours(1);
-            events[i..].iter().take_while(|x| x.time <= window_end).count() >= 50
+            events[i..]
+                .iter()
+                .take_while(|x| x.time <= window_end)
+                .count()
+                >= 50
         });
         assert!(has_burst, "no correlated burst found");
     }

@@ -83,7 +83,11 @@ pub fn calibrate(traces: &[&TimeSeries], kind: ScalingKind, target_mean: f64) ->
     for _ in 0..60 {
         let mid = 0.5 * (lo + hi);
         let m = mean_with(mid);
-        let go_up = if increasing { m < target_mean } else { m > target_mean };
+        let go_up = if increasing {
+            m < target_mean
+        } else {
+            m > target_mean
+        };
         if go_up {
             lo = mid;
         } else {

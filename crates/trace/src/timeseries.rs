@@ -82,7 +82,10 @@ impl TimeSeries {
 
     /// Maximum sample.
     pub fn peak(&self) -> f64 {
-        self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum sample.
@@ -93,12 +96,8 @@ impl TimeSeries {
     /// Population standard deviation of the samples.
     pub fn std_dev(&self) -> f64 {
         let mean = self.mean();
-        let var = self
-            .values
-            .iter()
-            .map(|v| (v - mean).powi(2))
-            .sum::<f64>()
-            / self.values.len() as f64;
+        let var =
+            self.values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / self.values.len() as f64;
         var.sqrt()
     }
 

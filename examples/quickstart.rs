@@ -5,9 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use harvest::prelude::*;
 use harvest::jobs::tpcds::tpcds_suite;
 use harvest::jobs::workload::Workload;
+use harvest::prelude::*;
 use harvest::sched::sim::{SchedSim, SchedSimConfig};
 use harvest::sim::rng::stream_rng;
 use harvest::sim::SimDuration;

@@ -1,0 +1,74 @@
+//! Reimage a whole tenant and replay the recovery with the network
+//! fabric on vs. off: time-to-full-durability is set by whichever is
+//! scarcer, the name node's repair throttle or cross-rack bandwidth.
+//!
+//! ```sh
+//! cargo run --release --example replication_storm
+//! ```
+
+use harvest::cluster::Datacenter;
+use harvest::dfs::repair::{simulate_reimage_storm, StormConfig};
+use harvest::net::NetworkConfig;
+use harvest::prelude::DatacenterProfile;
+
+fn main() {
+    let seed = 42;
+    let profile = DatacenterProfile::dc(9).scaled(0.03);
+    let dc = Datacenter::generate(&profile, seed);
+    let tenant = dc
+        .tenants
+        .iter()
+        .max_by_key(|t| t.n_servers())
+        .expect("datacenter has tenants");
+    println!(
+        "{}: {} servers in {} racks; reimaging tenant '{}' ({} servers) at t=0\n",
+        dc.name,
+        dc.n_servers(),
+        dc.n_racks(),
+        tenant.name,
+        tenant.n_servers(),
+    );
+
+    // Two repair regimes: the paper's steady 30 blocks/hour/server
+    // throttle (which hides the fabric), and the §7 lesson-2 failure
+    // mode — an effectively unthrottled synchronous storm, bounded only
+    // by HDFS's max-streams backpressure, where cross-rack bandwidth
+    // sets the recovery time.
+    for (regime, blocks_per_hour, streams) in [
+        ("default throttle (30 blocks/h/server)", 30.0, None),
+        (
+            "unthrottled storm, 64 repair streams",
+            1_000_000.0,
+            Some(64),
+        ),
+    ] {
+        println!("{regime}:");
+        let mut base = StormConfig::new(tenant.id, seed);
+        base.fill_fraction = 0.4;
+        base.repair.blocks_per_server_per_hour = blocks_per_hour;
+        base.max_repair_streams = streams;
+        let mut results = Vec::new();
+        for network in [None, Some(NetworkConfig::datacenter())] {
+            let mut cfg = base.clone();
+            cfg.network = network;
+            let label = if cfg.network.is_some() {
+                "fabric on "
+            } else {
+                "fabric off"
+            };
+            let r = simulate_reimage_storm(&dc, &cfg);
+            println!(
+                "  {label}  {:>7} replicas lost, {:>7} repairs, full durability at {} \
+                 (mean transfer {:.2}s)",
+                r.replicas_lost, r.repairs, r.recovered_at, r.mean_transfer_secs,
+            );
+            results.push(r);
+        }
+        let off = &results[0];
+        let on = &results[1];
+        let delta = on.recovered_at.since(off.recovered_at);
+        println!("  -> the fabric adds {delta} to time-to-full-durability\n",);
+    }
+    println!("(the 30 blocks/hour throttle hides the network; remove it — the paper's");
+    println!(" synchronous-heartbeat storm — and the fabric sets time-to-durability.)");
+}

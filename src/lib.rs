@@ -11,6 +11,9 @@
 //!   unpredictable classifier, and K-Means clustering;
 //! * [`sim`] — the deterministic discrete-event engine, distributions,
 //!   and metrics;
+//! * [`net`] — the flow-level datacenter network fabric (hierarchical
+//!   topology, max-min fair sharing, event-driven flows) that repair,
+//!   remote reads, and shuffles ride on;
 //! * [`cluster`] — the datacenter model (servers, tenants, environments,
 //!   racks, resource reserves);
 //! * [`jobs`] — DAG batch jobs, concurrency estimation, job-length typing,
@@ -41,6 +44,7 @@ pub use harvest_cluster as cluster;
 pub use harvest_core as core;
 pub use harvest_dfs as dfs;
 pub use harvest_jobs as jobs;
+pub use harvest_net as net;
 pub use harvest_sched as sched;
 pub use harvest_service as service;
 pub use harvest_signal as signal;

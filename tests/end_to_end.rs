@@ -135,5 +135,5 @@ fn umbrella_prelude_is_usable() {
     let svc = ClusteringService::build(&dc, 42);
     assert!(svc.class_count() > 0);
     let ts: &TimeSeries = &dc.tenants[0].trace;
-    assert!(ts.len() > 0);
+    assert!(!ts.is_empty());
 }

@@ -1,9 +1,11 @@
 //! Property-based tests over the workspace's core invariants.
 
+use harvest::cluster::{Datacenter, ServerId};
 use harvest::dfs::grid::Grid2D;
-use harvest::dfs::placement::{Placer, PlacementPolicy};
+use harvest::dfs::placement::{PlacementPolicy, Placer};
 use harvest::dfs::store::BlockStore;
 use harvest::jobs::length::LengthThresholds;
+use harvest::net::{Fabric, NetworkConfig};
 use harvest::signal::fft::{fft_in_place, ifft_in_place};
 use harvest::signal::kmeans::kmeans;
 use harvest::signal::Complex;
@@ -172,6 +174,130 @@ proptest! {
         let lo = values.iter().cloned().fold(f64::MAX, f64::min);
         let hi = values.iter().cloned().fold(f64::MIN, f64::max);
         prop_assert!(q25 >= lo && q99 <= hi);
+    }
+}
+
+/// A small, fixed datacenter for fabric properties (the properties are
+/// over the random *flow populations*, not the topology).
+fn fabric_dc() -> Datacenter {
+    Datacenter::generate(
+        &harvest::trace::datacenter::DatacenterProfile::dc(9).scaled(0.015),
+        13,
+    )
+}
+
+/// Builds a fabric carrying `flows` (src, dst, bytes, start-ms tuples
+/// mapped into the datacenter) and pumps it to `probe_ms`.
+fn loaded_fabric(dc: &Datacenter, flows: &[(usize, usize, u64, u64)], probe_ms: u64) -> Fabric {
+    let mut fabric = Fabric::from_datacenter(dc, &NetworkConfig::datacenter());
+    let n = dc.n_servers();
+    for (i, &(s, d, bytes, at)) in flows.iter().enumerate() {
+        fabric.schedule_flow(
+            SimTime::from_millis(at),
+            ServerId((s % n) as u32),
+            ServerId((d % n) as u32),
+            // 1-64 MB so populations overlap at the probe instant.
+            (bytes % 64 + 1) * 1024 * 1024,
+            i as u64,
+        );
+    }
+    fabric.pump(SimTime::from_millis(probe_ms));
+    fabric
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Max-min allocation invariant 1 — capacity conservation: no link
+    /// carries more than its capacity, for any flow population.
+    #[test]
+    fn fabric_conserves_link_capacity(
+        flows in prop::collection::vec((0usize..500, 0usize..500, 0u64..64, 0u64..200), 1..60),
+    ) {
+        let dc = fabric_dc();
+        let fabric = loaded_fabric(&dc, &flows, 100);
+        for l in 0..fabric.topology().n_links() {
+            let link = harvest::net::LinkId(l as u32);
+            let cap = fabric.topology().capacity(link);
+            let load = fabric.link_load(link);
+            prop_assert!(
+                load <= cap * (1.0 + 1e-9),
+                "link {l} overloaded: {load} > {cap}"
+            );
+        }
+    }
+
+    /// Max-min allocation invariant 2 — work conservation: every active
+    /// flow is bottlenecked by at least one saturated link on its path
+    /// (otherwise it could be given more bandwidth).
+    #[test]
+    fn fabric_is_work_conserving(
+        flows in prop::collection::vec((0usize..500, 0usize..500, 0u64..64, 0u64..200), 1..60),
+    ) {
+        let dc = fabric_dc();
+        let fabric = loaded_fabric(&dc, &flows, 100);
+        for id in fabric.active_flow_ids() {
+            let rate = fabric.flow_rate(id).unwrap();
+            prop_assert!(rate > 0.0, "active flow {id:?} starved");
+            let path = fabric.flow_path(id).unwrap().to_vec();
+            let bottlenecked = path.iter().any(|&l| {
+                fabric.link_load(l) >= fabric.topology().capacity(l) * (1.0 - 1e-9)
+            });
+            prop_assert!(bottlenecked, "flow {id:?} has no saturated link");
+        }
+    }
+
+    /// Max-min allocation invariant 3 — no flow exceeds its bottleneck
+    /// fair share: a flow's rate never beats capacity/contenders on any
+    /// of its links by more than the share ceded by flows frozen at
+    /// other bottlenecks (i.e. it never exceeds the link capacity, and
+    /// equal-demand flows sharing a link get equal rates).
+    #[test]
+    fn fabric_shares_fairly(
+        flows in prop::collection::vec((0usize..500, 0u64..64), 2..40),
+        src in 0usize..500,
+    ) {
+        // All flows leave one server, so its TX NIC is every flow's
+        // bottleneck: rates must be (nearly) identical.
+        let dc = fabric_dc();
+        let shaped: Vec<(usize, usize, u64, u64)> = flows
+            .iter()
+            .map(|&(d, b)| (src, if d % dc.n_servers() == src % dc.n_servers() { d + 1 } else { d }, b, 0))
+            .collect();
+        let fabric = loaded_fabric(&dc, &shaped, 0);
+        let rates: Vec<f64> = fabric
+            .active_flow_ids()
+            .iter()
+            .filter_map(|&id| fabric.flow_rate(id))
+            .collect();
+        if rates.len() >= 2 {
+            let (min, max) = rates
+                .iter()
+                .fold((f64::MAX, f64::MIN), |(lo, hi), &r| (lo.min(r), hi.max(r)));
+            prop_assert!(
+                (max - min) / max < 1e-9,
+                "unequal shares on a single bottleneck: {min} vs {max}"
+            );
+        }
+    }
+
+    /// The fabric replays bit-identically for identical inputs.
+    #[test]
+    fn fabric_replays_deterministically(
+        flows in prop::collection::vec((0usize..500, 0usize..500, 0u64..64, 0u64..500), 1..40),
+    ) {
+        let dc = fabric_dc();
+        let ends = |fl: &[(usize, usize, u64, u64)]| {
+            let mut f = loaded_fabric(&dc, fl, 0);
+            f.drain()
+                .into_iter()
+                .map(|c| (c.tag, c.at.as_millis()))
+                .collect::<Vec<_>>()
+        };
+        let a = ends(&flows);
+        let b = ends(&flows);
+        prop_assert_eq!(a.len(), flows.len(), "flows went missing");
+        prop_assert_eq!(a, b);
     }
 }
 
