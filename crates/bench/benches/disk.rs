@@ -1,0 +1,74 @@
+//! Benchmarks for the harvest-disk pool: per-channel re-sharing under
+//! heavy concurrency, and the disk-bounded repair storm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvest_cluster::{Datacenter, ServerId};
+use harvest_dfs::repair::{simulate_reimage_storm, StormConfig};
+use harvest_disk::{DiskConfig, DiskPool, IoDir};
+use harvest_sim::SimTime;
+use harvest_trace::datacenter::DatacenterProfile;
+use std::hint::black_box;
+
+const MB: u64 = 1024 * 1024;
+
+fn bench_disk(c: &mut Criterion) {
+    // Throughput of the event-driven model itself: 10k concurrent
+    // streams spread over 1k disks. Each event re-shares only its own
+    // channel (~5 streams), so this measures the per-event constant,
+    // not an O(population) scan.
+    let mut group = c.benchmark_group("disk_pool");
+    group.sample_size(10);
+    group.bench_function("10k_streams_1k_disks", |b| {
+        b.iter(|| {
+            let mut pool = DiskPool::new(1_000, &DiskConfig::datacenter());
+            for i in 0..10_000u64 {
+                pool.schedule_stream(
+                    SimTime::from_millis(i % 977),
+                    ServerId((i % 1_000) as u32),
+                    if i % 2 == 0 {
+                        IoDir::Read
+                    } else {
+                        IoDir::Write
+                    },
+                    (i % 32 + 1) * MB,
+                    i,
+                );
+            }
+            black_box(pool.drain().len())
+        })
+    });
+    group.finish();
+
+    // The §7 lesson-2 scenario with platters modeled: a tenant-wide
+    // reimage whose recovery is bounded by destination-disk writes.
+    let dc = Datacenter::generate(&DatacenterProfile::dc(9).scaled(0.02), 42);
+    let tenant = dc
+        .tenants
+        .iter()
+        .max_by_key(|t| t.n_servers())
+        .expect("dc has tenants")
+        .id;
+    let mut group = c.benchmark_group("reimage_storm_disk");
+    group.sample_size(10);
+    for (label, disk) in [
+        ("disk_off", None),
+        ("disk_on", Some(DiskConfig::datacenter())),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = StormConfig::new(tenant, 7);
+                cfg.fill_fraction = 0.2;
+                cfg.disk = disk;
+                black_box(simulate_reimage_storm(black_box(&dc), &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_disk
+}
+criterion_main!(benches);

@@ -1,12 +1,14 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--full] [--net] [--seed N] [EXPERIMENT...]
+//! repro [--full] [--net] [--disk] [--seed N] [EXPERIMENT...]
 //!
 //!   EXPERIMENT   fig1..fig8, fig10..fig16, micro, or "all" (default)
 //!   --full       bigger clusters, more runs (slower, tighter bands)
 //!   --net        run over the harvest-net fabric (repair, remote
 //!                reads, and shuffles pay for bandwidth)
+//!   --disk       run over the harvest-disk model (the same bytes pay
+//!                for platter bandwidth too; composes with --net)
 //!   --seed N     master seed (default 42)
 //! ```
 
@@ -19,6 +21,7 @@ fn main() -> ExitCode {
     // order never matters (`--seed 7 --full` must keep seed 7).
     let mut full = false;
     let mut net = false;
+    let mut disk = false;
     let mut seed = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -26,6 +29,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--full" => full = true,
             "--net" => net = true,
+            "--disk" => disk = true,
             "--seed" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = Some(s),
                 None => {
@@ -34,7 +38,7 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: repro [--full] [--net] [--seed N] [EXPERIMENT...]");
+                println!("usage: repro [--full] [--net] [--disk] [--seed N] [EXPERIMENT...]");
                 println!("experiments: {} all", ALL_EXPERIMENTS.join(" "));
                 return ExitCode::SUCCESS;
             }
@@ -45,8 +49,26 @@ fn main() -> ExitCode {
     if net {
         scale.network = Some(harvest_net::NetworkConfig::datacenter());
     }
+    if disk {
+        scale.disk = Some(harvest_disk::DiskConfig::datacenter());
+    }
     if let Some(seed) = seed {
         scale.seed = seed;
+    }
+    // Validate every experiment name before expanding "all" or running
+    // anything: a typo anywhere in the list (including a mistyped flag,
+    // which parses as a name) must not cost the hour of experiments
+    // around it.
+    let unknown: Vec<&String> = experiments
+        .iter()
+        .filter(|e| *e != "all" && !ALL_EXPERIMENTS.contains(&e.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        for e in unknown {
+            eprintln!("error: unknown experiment '{e}'");
+        }
+        eprintln!("valid experiments: {} all", ALL_EXPERIMENTS.join(" "));
+        return ExitCode::FAILURE;
     }
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
         experiments = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();

@@ -39,11 +39,12 @@ pub fn fig16(scale: &Scale) -> String {
         let view =
             UtilizationView::scaled(&dc, harvest_trace::scaling::ScalingKind::Linear, factor);
         let mut row = vec![num(util, 2)];
-        // Remote-read aggregates for Stock R=3, averaged over the same
-        // runs as the failure column they sit next to.
+        // Remote-read and disk aggregates for Stock R=3, averaged over
+        // the same runs as the failure column they sit next to.
         let mut remote_reads = 0.0;
         let mut read_ms = 0.0;
         let mut p99_ms: f64 = 0.0;
+        let mut disk_failures = 0.0;
         for (policy, replication) in [
             (PlacementPolicy::Stock, 3),
             (PlacementPolicy::History, 3),
@@ -56,21 +57,32 @@ pub fn fig16(scale: &Scale) -> String {
                     AvailabilityConfig::paper(policy, replication, scale.run_seed("fig16", r));
                 cfg.span = SimDuration::from_days(scale.availability_days);
                 cfg.network = scale.network;
+                cfg.disk = scale.disk;
                 let result = simulate_availability(&dc, &view, &cfg);
                 total += result.failed_percent;
-                if scale.network.is_some() && policy == PlacementPolicy::Stock && replication == 3 {
+                if (scale.network.is_some() || scale.disk.is_some())
+                    && policy == PlacementPolicy::Stock
+                    && replication == 3
+                {
                     remote_reads += result.forced_remote_reads as f64 / scale.runs as f64;
                     read_ms += result.mean_read_ms / scale.runs as f64;
                     p99_ms = p99_ms.max(result.p99_read_ms);
+                    disk_failures += result.disk_only_failures as f64 / scale.runs as f64;
                 }
             }
             row.push(sci(total / scale.runs as f64));
         }
         table.row(&row);
-        if scale.network.is_some() {
+        if scale.network.is_some() || scale.disk.is_some() {
+            let disk_note = if scale.disk.is_some() {
+                format!(", {disk_failures:.0} disk-only failures/run")
+            } else {
+                String::new()
+            };
             table.note(format!(
                 "util {util:.2} (Stock R=3): {remote_reads:.0} forced-remote reads/run, \
-                 mean over all served reads {read_ms:.1} ms, worst-run p99 {p99_ms:.1} ms"
+                 mean over all served reads {read_ms:.1} ms, worst-run p99 {p99_ms:.1} ms\
+                 {disk_note}"
             ));
         }
     }

@@ -3,6 +3,7 @@
 use harvest_cluster::Datacenter;
 use harvest_dfs::durability::{simulate_durability, DurabilityConfig};
 use harvest_dfs::placement::PlacementPolicy;
+use harvest_disk::DiskConfig;
 use harvest_net::NetworkConfig;
 use harvest_trace::datacenter::DatacenterProfile;
 
@@ -32,6 +33,7 @@ pub fn loss_summary(
     runs: usize,
     base_seed: u64,
     network: Option<NetworkConfig>,
+    disk: Option<DiskConfig>,
 ) -> LossSummary {
     let mut percents = Vec::with_capacity(runs);
     let mut blocks = 0.0;
@@ -39,6 +41,7 @@ pub fn loss_summary(
         let mut cfg = DurabilityConfig::paper(policy, replication, base_seed ^ (r as u64) << 32);
         cfg.months = months;
         cfg.network = network;
+        cfg.disk = disk;
         let result = simulate_durability(dc, &cfg);
         percents.push(result.lost_percent);
         blocks += result.lost_blocks as f64;
@@ -83,6 +86,7 @@ pub fn fig15(scale: &Scale) -> String {
                 scale.runs,
                 scale.run_seed("fig15", dc_id),
                 scale.network,
+                scale.disk,
             )
         };
         let stock3 = cell(PlacementPolicy::Stock, 3);
@@ -137,7 +141,7 @@ mod tests {
     fn summary_statistics_are_consistent() {
         let profile = DatacenterProfile::dc(3).scaled(0.02);
         let dc = Datacenter::generate(&profile, 42);
-        let s = loss_summary(&dc, PlacementPolicy::Stock, 3, 3, 2, 7, None);
+        let s = loss_summary(&dc, PlacementPolicy::Stock, 3, 3, 2, 7, None, None);
         assert!(s.min_percent <= s.avg_percent);
         assert!(s.avg_percent <= s.max_percent);
         assert!(s.avg_blocks >= 0.0);
@@ -147,8 +151,8 @@ mod tests {
     fn history_beats_stock_in_high_reimage_dc() {
         let profile = DatacenterProfile::dc(3).scaled(0.02);
         let dc = Datacenter::generate(&profile, 42);
-        let stock = loss_summary(&dc, PlacementPolicy::Stock, 3, 4, 1, 7, None);
-        let hist = loss_summary(&dc, PlacementPolicy::History, 3, 4, 1, 7, None);
+        let stock = loss_summary(&dc, PlacementPolicy::Stock, 3, 4, 1, 7, None, None);
+        let hist = loss_summary(&dc, PlacementPolicy::History, 3, 4, 1, 7, None, None);
         assert!(
             hist.avg_percent < stock.avg_percent,
             "H {} vs Stock {}",

@@ -54,6 +54,7 @@ impl SweepPoint {
 }
 
 /// Runs one (datacenter, scaling, utilization, run) comparison point.
+#[allow(clippy::too_many_arguments)]
 pub fn sweep_point(
     dc: &Datacenter,
     scaling: ScalingKind,
@@ -61,6 +62,7 @@ pub fn sweep_point(
     hours: u64,
     seed: u64,
     network: Option<harvest_net::NetworkConfig>,
+    disk: Option<harvest_disk::DiskConfig>,
 ) -> SweepPoint {
     let traces: Vec<_> = dc.tenants.iter().map(|t| &t.trace).collect();
     let param = calibrate(&traces, scaling, utilization);
@@ -89,6 +91,7 @@ pub fn sweep_point(
         cfg.horizon = horizon;
         cfg.drain = horizon; // generous drain so every job can finish
         cfg.network = network;
+        cfg.disk = disk;
         SchedSim::new(dc, &view, &workload, cfg)
             .run()
             .mean_execution_secs()
@@ -132,6 +135,7 @@ pub fn fig13(scale: &Scale) -> String {
                     scale.sched_hours,
                     scale.run_seed("fig13", r),
                     scale.network,
+                    scale.disk,
                 );
                 pt += p.pt_secs;
                 h += p.h_secs;
@@ -185,6 +189,7 @@ pub fn fig14(scale: &Scale) -> String {
                         scale.sched_hours,
                         scale.run_seed("fig14", dc_id * 100 + r),
                         scale.network,
+                        scale.disk,
                     );
                     imps.push(p.improvement());
                 }
@@ -241,7 +246,7 @@ mod tests {
     fn history_improves_on_pt_at_moderate_utilization() {
         let profile = DatacenterProfile::dc(9).scaled(0.03);
         let dc = Datacenter::generate(&profile, 42);
-        let p = sweep_point(&dc, ScalingKind::Linear, 0.45, 8, 7, None);
+        let p = sweep_point(&dc, ScalingKind::Linear, 0.45, 8, 7, None, None);
         assert!(p.pt_secs > 0.0 && p.h_secs > 0.0);
         assert!(
             p.improvement() > -10.0,

@@ -7,6 +7,7 @@
 //! across scales because block density, reserve fractions, and tenant
 //! mixes are scale-invariant.
 
+use harvest_disk::DiskConfig;
 use harvest_net::NetworkConfig;
 
 /// Scale parameters shared by the experiments.
@@ -18,6 +19,11 @@ pub struct Scale {
     /// model's free, instantaneous data movement; `Some` makes repair,
     /// remote reads, and shuffles pay for bandwidth (`repro --net`).
     pub network: Option<NetworkConfig>,
+    /// Shared-disk model the experiments run over: `None` keeps disks
+    /// free and instant; `Some` makes repairs, reads, and shuffle
+    /// spills pay for platter bandwidth against the primary tenants'
+    /// modeled I/O (`repro --disk`, composes with `--net`).
+    pub disk: Option<DiskConfig>,
     /// Runs per data point (the paper uses five).
     pub runs: usize,
     /// Simulated hours for the scheduling sweeps.
@@ -39,6 +45,7 @@ impl Scale {
         Scale {
             dc_scale: 0.03,
             network: None,
+            disk: None,
             runs: 1,
             sched_hours: 8,
             durability_months: 6,
@@ -55,6 +62,7 @@ impl Scale {
         Scale {
             dc_scale: 0.06,
             network: None,
+            disk: None,
             runs: 3,
             sched_hours: 12,
             durability_months: 12,

@@ -11,10 +11,19 @@
 //! busy first replica forces a *remote* read from the nearest available
 //! copy — in-rack or across the oversubscribed core — which is the
 //! latency penalty hiding inside Figure 16's busy-server story.
+//!
+//! With a [`DiskConfig`], the story deepens: every read pays disk
+//! service time at its source, the source's primary tenant competes for
+//! that disk through the configured util→demand mapping, and a replica
+//! whose disk the isolation manager has throttled (§6) cannot serve
+//! secondary reads at all — so "busy local replica" stops being a CPU
+//! coin flip and becomes an emergent property of modeled primary I/O.
 
 use harvest_cluster::reserve::is_busy;
 use harvest_cluster::{Datacenter, ServerId, UtilizationView};
+use harvest_disk::{DiskConfig, MIN_SERVE_FRACTION};
 use harvest_net::{NetworkConfig, Topology};
+use harvest_signal::classify::UtilizationPattern;
 use harvest_sim::metrics::Histogram;
 use harvest_sim::rng::stream_rng;
 use harvest_sim::{dist, SimDuration, SimTime};
@@ -42,6 +51,11 @@ pub struct AvailabilityConfig {
     /// latency over this fabric (`None` keeps reads free, as the seed
     /// model did).
     pub network: Option<NetworkConfig>,
+    /// When set, reads also pay disk service time at their source, and
+    /// a replica whose disk the isolation manager is throttling (its
+    /// primary is doing substantial I/O) cannot serve at all. `None`
+    /// keeps disks free and infinitely fast.
+    pub disk: Option<DiskConfig>,
 }
 
 impl AvailabilityConfig {
@@ -55,6 +69,7 @@ impl AvailabilityConfig {
             accesses_per_second: 10.0,
             seed,
             network: None,
+            disk: None,
         }
     }
 }
@@ -73,13 +88,19 @@ pub struct AvailabilityResult {
     /// Mean fleet utilization of the view (Figure 16's x-axis).
     pub mean_utilization: f64,
     /// Reads forced off the block's first (local) replica because its
-    /// server was busy (0 with the network off).
+    /// server was busy — CPU-busy, or disk-throttled with the disk model
+    /// on (0 with both models off).
     pub forced_remote_reads: u64,
-    /// Mean read latency in milliseconds (0 with the network off).
+    /// Mean read latency in milliseconds: network transfer plus disk
+    /// service, whichever models are on (0 with both off).
     pub mean_read_ms: f64,
-    /// 99th-percentile read latency in milliseconds (0 with the network
+    /// 99th-percentile read latency in milliseconds (0 with both models
     /// off).
     pub p99_read_ms: f64,
+    /// Accesses that failed *only* because every CPU-available replica
+    /// sat behind a throttled disk (0 with the disk model off) — the
+    /// unavailability the seed model could not see.
+    pub disk_only_failures: u64,
 }
 
 /// Runs the availability simulation.
@@ -116,53 +137,106 @@ pub fn simulate_availability(
         .network
         .as_ref()
         .map(|net| Topology::from_datacenter(dc, net));
+    // With the disk model on, each server's primary disk demand follows
+    // its tenant's class and CPU utilization.
+    let patterns: Vec<UtilizationPattern> = if cfg.disk.is_some() {
+        dc.servers
+            .iter()
+            .map(|s| dc.tenant(s.tenant).pattern)
+            .collect()
+    } else {
+        Vec::new()
+    };
     let tick = harvest_trace::SAMPLE_INTERVAL;
     let accesses_per_tick = cfg.accesses_per_second * tick.as_secs_f64();
     let n_ticks = cfg.span.div_duration(tick);
     let mut accesses = 0u64;
     let mut failed = 0u64;
     let mut forced_remote = 0u64;
+    let mut disk_only = 0u64;
     // A month of accesses is tens of millions of samples; a fixed-bin
     // histogram gives the mean and p99 the result reports in O(bins)
     // memory instead of storing every latency. Its ceiling is the
-    // fabric's own worst-case idle transfer (plus slack), so no
+    // fabric's worst-case idle transfer plus the slowest disk read a
+    // replica is still allowed to serve (plus slack), so no
     // configuration — however slow — can clamp the reported p99.
-    let ceiling_ms = topo
+    let net_ceiling = topo
         .as_ref()
-        .map(|t| t.max_idle_transfer_secs(BLOCK_BYTES) * 1_000.0 * 1.01)
-        .unwrap_or(1_000.0);
+        .map(|t| t.max_idle_transfer_secs(BLOCK_BYTES) * 1_000.0);
+    let disk_ceiling = cfg.disk.as_ref().map(|d| {
+        (BLOCK_BYTES as f64 / (d.read_bytes_per_sec() * MIN_SERVE_FRACTION) + d.seek_ms / 1_000.0)
+            * 1_000.0
+    });
+    let ceiling_ms = match (net_ceiling, disk_ceiling) {
+        (None, None) => 1_000.0,
+        (n, d) => (n.unwrap_or(0.0) + d.unwrap_or(0.0)) * 1.01,
+    };
     let mut latencies = Histogram::new(0.0, ceiling_ms, 2_000);
     let mut latency_sum = 0.0;
     let mut served_tracked = 0u64;
     for k in 0..n_ticks {
         let now = SimTime::ZERO + tick.mul_f64(k as f64);
-        let busy = busy_mask(dc, view, now);
+        let utils: Vec<f64> = (0..dc.n_servers())
+            .map(|s| view.server_util(ServerId(s as u32), now))
+            .collect();
+        let busy: Vec<bool> = utils.iter().map(|&u| is_busy(u)).collect();
+        // A replica's disk service time for a block read, or `None` when
+        // the isolation manager has its secondary I/O throttled below a
+        // usable share (the replica cannot serve).
+        let disk_ms = |s: usize| -> Option<f64> {
+            match cfg.disk.as_ref() {
+                None => Some(0.0),
+                Some(d) => {
+                    let demand = d.primary.demand_fraction(patterns[s], utils[s]);
+                    d.read_service_secs(demand, BLOCK_BYTES)
+                        .map(|t| t * 1_000.0)
+                }
+            }
+        };
         let n_acc = dist::poisson(&mut rng, accesses_per_tick);
         for _ in 0..n_acc {
             let block = BlockId(rng.random_range(0..n_blocks));
             accesses += 1;
             let replicas = store.replicas(block);
-            let all_busy = replicas.iter().all(|&s| busy[s as usize]);
-            if all_busy {
+            let cpu_available = replicas.iter().any(|&s| !busy[s as usize]);
+            // A replica serves when its CPU is below the busy threshold
+            // *and* (with the disk model) its disk will take secondary
+            // reads.
+            let service_of = |s: u32| -> Option<f64> {
+                if busy[s as usize] {
+                    return None;
+                }
+                disk_ms(s as usize)
+            };
+            if !replicas.iter().any(|&s| service_of(s).is_some()) {
                 failed += 1;
+                if cpu_available {
+                    disk_only += 1;
+                }
                 continue;
             }
-            // The read is served. With a fabric, charge its transfer:
+            // The read is served. Charge what the enabled models price:
             // the first replica is the writer-local copy the consuming
             // task was scheduled next to; a busy local server forces the
-            // read to the nearest available copy across the network.
-            let Some(topo) = topo.as_ref() else { continue };
+            // read to the cheapest serving copy across the network.
+            if topo.is_none() && cfg.disk.is_none() {
+                continue;
+            }
             let local = ServerId(replicas[0]);
-            let ms = if !busy[replicas[0] as usize] {
-                topo.idle_transfer_secs(local, local, BLOCK_BYTES) * 1_000.0
-            } else {
-                forced_remote += 1;
-                replicas
-                    .iter()
-                    .filter(|&&s| !busy[s as usize])
-                    .map(|&s| topo.idle_transfer_secs(ServerId(s), local, BLOCK_BYTES))
-                    .fold(f64::MAX, f64::min)
-                    * 1_000.0
+            let net_ms = |s: ServerId| -> f64 {
+                topo.as_ref()
+                    .map(|t| t.idle_transfer_secs(s, local, BLOCK_BYTES) * 1_000.0)
+                    .unwrap_or(0.0)
+            };
+            let ms = match service_of(replicas[0]) {
+                Some(local_disk_ms) => local_disk_ms,
+                None => {
+                    forced_remote += 1;
+                    replicas
+                        .iter()
+                        .filter_map(|&s| Some(service_of(s)? + net_ms(ServerId(s))))
+                        .fold(f64::MAX, f64::min)
+                }
             };
             latencies.push(ms);
             latency_sum += ms;
@@ -187,6 +261,7 @@ pub fn simulate_availability(
             latency_sum / served_tracked as f64
         },
         p99_read_ms: latencies.quantile(0.99).unwrap_or(0.0),
+        disk_only_failures: disk_only,
     }
 }
 
@@ -313,5 +388,84 @@ mod tests {
             low.forced_remote_reads
         );
         assert!(high.mean_read_ms >= low.mean_read_ms);
+    }
+
+    fn run_with_disk(util: f64, disk: DiskConfig, net: bool) -> AvailabilityResult {
+        let (dc, view) = setup(util);
+        let mut cfg = AvailabilityConfig::paper(PlacementPolicy::Stock, 3, 7);
+        cfg.span = SimDuration::from_days(2);
+        cfg.accesses_per_second = 5.0;
+        cfg.network = net.then(NetworkConfig::datacenter);
+        cfg.disk = Some(disk);
+        simulate_availability(&dc, &view, &cfg)
+    }
+
+    #[test]
+    fn disk_off_sees_no_disk_failures() {
+        let r = run_with_network(PlacementPolicy::Stock, 0.55);
+        assert_eq!(r.disk_only_failures, 0);
+    }
+
+    #[test]
+    fn disk_service_time_prices_every_read() {
+        // Disk on, network off: even local reads pay the platter. A
+        // 256 MB block at 160 MB/s is at least 1.6 s.
+        let r = run_with_disk(0.3, DiskConfig::datacenter(), false);
+        assert!(r.mean_read_ms >= 1_600.0, "mean {} ms", r.mean_read_ms);
+        assert!(r.p99_read_ms >= r.mean_read_ms * 0.5);
+    }
+
+    #[test]
+    fn throttled_disks_create_emergent_unavailability() {
+        // At high utilization many primaries' disk demand crosses the
+        // isolation threshold; their replicas cannot serve secondary
+        // reads even when their CPUs could, so the disk model both
+        // forces extra remote reads and fails accesses the CPU-only
+        // model would have served.
+        let without = run_with_network(PlacementPolicy::Stock, 0.6);
+        let with = run_with_disk(0.6, DiskConfig::datacenter(), true);
+        assert!(
+            with.disk_only_failures > 0,
+            "no disk-only failures at 60% util"
+        );
+        assert!(
+            with.failed >= without.failed,
+            "disk model reduced failures? {} vs {}",
+            with.failed,
+            without.failed
+        );
+        // Locally served reads can only shrink: a local replica now has
+        // to pass the disk check too. (Some would-be remote reads fail
+        // outright instead, so compare the two pushed-off-local sums.)
+        assert!(
+            with.forced_remote_reads + with.failed >= without.forced_remote_reads + without.failed,
+            "disk model served more reads locally? {}+{} vs {}+{}",
+            with.forced_remote_reads,
+            with.failed,
+            without.forced_remote_reads,
+            without.failed
+        );
+    }
+
+    #[test]
+    fn fair_share_disks_serve_slowly_instead_of_failing() {
+        // Without an isolation manager the same demand merely slows
+        // reads down: fewer disk-only failures, higher tail latency per
+        // served read than the throttled config (which refuses the
+        // reads it would serve slowest).
+        let throttled = run_with_disk(0.6, DiskConfig::datacenter(), true);
+        let fair = run_with_disk(0.6, DiskConfig::fair_share(), true);
+        assert!(fair.disk_only_failures <= throttled.disk_only_failures);
+        assert!(fair.mean_read_ms > 0.0);
+    }
+
+    #[test]
+    fn disk_model_is_deterministic() {
+        let a = run_with_disk(0.5, DiskConfig::datacenter(), true);
+        let b = run_with_disk(0.5, DiskConfig::datacenter(), true);
+        assert_eq!(a.failed, b.failed);
+        assert_eq!(a.disk_only_failures, b.disk_only_failures);
+        assert_eq!(a.mean_read_ms, b.mean_read_ms);
+        assert_eq!(a.p99_read_ms, b.p99_read_ms);
     }
 }

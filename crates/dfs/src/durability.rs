@@ -13,13 +13,14 @@
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use harvest_cluster::{Datacenter, ServerId};
+use harvest_disk::{DiskConfig, DiskPool, IoDir};
 use harvest_net::{Fabric, NetworkConfig};
 use harvest_sim::rng::stream_rng;
 use harvest_sim::SimTime;
 use rand::RngExt;
 
 use crate::placement::{PlacementPolicy, Placer};
-use crate::repair::{QueuedRepair, RepairConfig, RepairPipeline};
+use crate::repair::{QueuedRepair, RepairConfig, RepairPipeline, TransferParts};
 use crate::store::{BlockId, BlockStore, BLOCK_BYTES};
 
 /// Durability-simulation parameters.
@@ -44,6 +45,13 @@ pub struct DurabilityConfig {
     /// byte lands — the repair window becomes throttle *plus* network.
     /// `None` reproduces the seed model (instant transfers).
     pub network: Option<NetworkConfig>,
+    /// When set, each re-replication also reads the block off the
+    /// surviving replica's disk and writes it to the destination's,
+    /// fair-sharing both with every other repair on those disks; the
+    /// block stays vulnerable until the slowest component finishes.
+    /// Composes with [`DurabilityConfig::network`]; `None` keeps disks
+    /// free and instant.
+    pub disk: Option<DiskConfig>,
 }
 
 impl DurabilityConfig {
@@ -57,6 +65,7 @@ impl DurabilityConfig {
             seed,
             repair: RepairConfig::default(),
             network: None,
+            disk: None,
         }
     }
 }
@@ -125,53 +134,81 @@ pub fn simulate_durability(dc: &Datacenter, cfg: &DurabilityConfig) -> Durabilit
     events.sort_by_key(|&(t, s)| (t, s));
 
     // --- Phase 3: replay reimages, repairing through the pipeline (and,
-    // when configured, the network fabric). ---
+    // when configured, the network fabric and the shared disks). ---
     let mut pipeline = RepairPipeline::new(cfg.repair, n_servers);
     let mut heap: BinaryHeap<QueuedRepair> = BinaryHeap::new();
     let mut fabric = cfg.network.as_ref().map(|n| Fabric::from_datacenter(dc, n));
-    // Destination of each in-flight repair flow, by flow id, plus how
-    // many flows are in flight per block — so neither the follow-up
-    // queueing nor a pending slot launches a phantom duplicate repair
-    // (which would burn throttle slots and fabric bandwidth).
-    let mut in_flight: HashMap<u64, ServerId> = HashMap::new();
+    let mut disks = cfg.disk.as_ref().map(|d| DiskPool::from_datacenter(dc, d));
+    let modeled = fabric.is_some() || disks.is_some();
+    // In-flight repairs by repair id: outstanding components (flow,
+    // source read, destination write), the block, its destination, and
+    // the latest component completion. `in_flight_blocks` counts
+    // transfers per block so neither the follow-up queueing nor a
+    // pending slot launches a phantom duplicate repair (which would
+    // burn throttle slots and transfer bandwidth).
+    let mut in_flight: HashMap<u64, InFlightRepair> = HashMap::new();
+    let mut next_rid = 0u64;
     let mut in_flight_blocks: HashMap<u64, u32> = HashMap::new();
-    // Flows whose destination server was reimaged mid-transfer: the
+    // Repairs whose destination server was reimaged mid-transfer: the
     // half-written copy is gone, so the landing must fail and re-queue.
     let mut doomed: HashSet<u64> = HashSet::new();
     let mut repairs = 0u64;
     let mut too_late = 0u64;
     let reimage_count = events.len() as u64;
 
-    // Merged event loop over three deterministic sources: fabric
-    // completions, repair-slot releases, and reimages, earliest first;
-    // ties resolve fabric < repair < reimage so a transfer that lands at
-    // the same instant a server dies still counts.
+    // Merged event loop over four deterministic sources: fabric
+    // completions, disk completions, repair-slot releases, and
+    // reimages, earliest first; ties resolve transfers < repair <
+    // reimage so a transfer that lands at the same instant a server
+    // dies still counts.
     let mut events = events.into_iter().peekable();
     loop {
         let t_net = fabric.as_ref().and_then(|f| f.next_event_time());
+        let t_disk = disks.as_ref().and_then(|p| p.next_event_time());
         let t_rep = heap.peek().map(|r| r.at);
         let t_rei = events.peek().map(|&(t, _)| t);
-        let Some(now) = [t_net, t_rep, t_rei].into_iter().flatten().min() else {
+        let Some(now) = [t_net, t_disk, t_rep, t_rei].into_iter().flatten().min() else {
             break;
         };
 
-        if t_net.map(|t| t <= now).unwrap_or(false) {
-            let done = fabric.as_mut().expect("t_net implies fabric").pump(now);
-            for c in done {
-                let dest = in_flight.remove(&c.flow.0).expect("flow was registered");
-                let dest_destroyed = doomed.remove(&c.flow.0);
+        if t_net.map(|t| t <= now).unwrap_or(false) || t_disk.map(|t| t <= now).unwrap_or(false) {
+            let mut component_done = |rid: u64, at: SimTime| -> Option<(InFlightRepair, SimTime)> {
+                let e = in_flight.get_mut(&rid).expect("repair was registered");
+                let landed_at = e.xfer.component_done(at)?;
+                Some((in_flight.remove(&rid).expect("present"), landed_at))
+            };
+            let mut landed: Vec<(u64, InFlightRepair, SimTime)> = Vec::new();
+            if let Some(f) = fabric.as_mut() {
+                for c in f.pump(now) {
+                    if let Some((e, at)) = component_done(c.tag, c.at) {
+                        landed.push((c.tag, e, at));
+                    }
+                }
+            }
+            if let Some(p) = disks.as_mut() {
+                for c in p.pump(now) {
+                    if let Some((e, at)) = component_done(c.tag, c.at) {
+                        landed.push((c.tag, e, at));
+                    }
+                }
+            }
+            // Land complete repairs in completion order (both pumps run
+            // to `now`, so a batch can hold out-of-order instants).
+            landed.sort_by_key(|l| (l.2, l.0));
+            for (rid, e, at) in landed {
+                let dest_destroyed = doomed.remove(&rid);
                 land_repair(
                     &mut store,
                     &mut in_flight_blocks,
-                    BlockId(c.tag),
-                    dest,
+                    e.block,
+                    e.dest,
                     dest_destroyed,
                     cfg.replication,
                     &mut repairs,
                     &mut too_late,
                     &mut heap,
                     &mut pipeline,
-                    c.at,
+                    at,
                 );
             }
             continue;
@@ -179,8 +216,26 @@ pub fn simulate_durability(dc: &Datacenter, cfg: &DurabilityConfig) -> Durabilit
 
         if t_rep.map(|t| t <= now).unwrap_or(false) {
             let r = heap.pop().expect("peeked");
-            match fabric.as_mut() {
-                None => apply_repair(
+            if modeled {
+                start_repair_transfer(
+                    dc,
+                    &placer,
+                    &mut store,
+                    &mut rng,
+                    &mut fabric,
+                    &mut disks,
+                    &mut in_flight,
+                    &mut next_rid,
+                    &mut in_flight_blocks,
+                    r.block,
+                    cfg.replication,
+                    &mut too_late,
+                    &mut heap,
+                    &mut pipeline,
+                    r.at,
+                );
+            } else {
+                apply_repair(
                     &placer,
                     &mut store,
                     &mut rng,
@@ -191,22 +246,7 @@ pub fn simulate_durability(dc: &Datacenter, cfg: &DurabilityConfig) -> Durabilit
                     &mut heap,
                     &mut pipeline,
                     r.at,
-                ),
-                Some(f) => start_repair_flow(
-                    dc,
-                    &placer,
-                    &mut store,
-                    &mut rng,
-                    f,
-                    &mut in_flight,
-                    &mut in_flight_blocks,
-                    r.block,
-                    cfg.replication,
-                    &mut too_late,
-                    &mut heap,
-                    &mut pipeline,
-                    r.at,
-                ),
+                );
             }
             continue;
         }
@@ -217,8 +257,8 @@ pub fn simulate_durability(dc: &Datacenter, cfg: &DurabilityConfig) -> Durabilit
         doomed.extend(
             in_flight
                 .iter()
-                .filter(|&(_, &d)| d == server)
-                .map(|(&flow, _)| flow),
+                .filter(|&(_, e)| e.dest == server)
+                .map(|(&rid, _)| rid),
         );
         for block in store.reimage_server(server) {
             if store.replica_count(block) > 0 {
@@ -243,19 +283,34 @@ pub fn simulate_durability(dc: &Datacenter, cfg: &DurabilityConfig) -> Durabilit
     }
 }
 
-/// Starts the 256 MB re-replication flow for `block` when its throttle
-/// slot releases: picks the destination (reserving nothing — space is
-/// re-checked when the transfer lands), prefers a same-rack source, and
-/// registers the flow. The block stays at its reduced replica count
-/// until [`land_repair`] runs.
+/// One re-replication in transfer: its remaining components (network
+/// flow, source disk read, destination disk write), where it is headed,
+/// and the latest component completion seen so far.
+#[derive(Debug, Clone, Copy)]
+struct InFlightRepair {
+    xfer: TransferParts,
+    block: BlockId,
+    dest: ServerId,
+}
+
+/// Starts the 256 MB re-replication transfer for `block` when its
+/// throttle slot releases: picks the destination (reserving nothing —
+/// space is re-checked when the transfer lands), prefers a same-rack
+/// source, and schedules whichever components are modeled — a fabric
+/// flow, and/or a source-disk read plus destination-disk write. The
+/// block stays at its reduced replica count until every component has
+/// finished and [`land_repair`] runs, so the repair window is set by
+/// the slowest of the three rates.
 #[allow(clippy::too_many_arguments)]
-fn start_repair_flow(
+fn start_repair_transfer(
     dc: &Datacenter,
     placer: &Placer<'_>,
     store: &mut BlockStore,
     rng: &mut rand::rngs::StdRng,
-    fabric: &mut Fabric,
-    in_flight: &mut HashMap<u64, ServerId>,
+    fabric: &mut Option<Fabric>,
+    disks: &mut Option<DiskPool>,
+    in_flight: &mut HashMap<u64, InFlightRepair>,
+    next_rid: &mut u64,
     in_flight_blocks: &mut HashMap<u64, u32>,
     block: BlockId,
     replication: usize,
@@ -272,8 +327,8 @@ fn start_repair_flow(
     let streaming = *in_flight_blocks.get(&block.0).unwrap_or(&0) as usize;
     if count + streaming >= replication {
         // Durable plus in-flight copies already cover the target; a
-        // landing flow re-queues if one of them fails, so launching a
-        // phantom duplicate here would only burn fabric bandwidth.
+        // landing transfer re-queues if one of them fails, so launching
+        // a phantom duplicate here would only burn bandwidth.
         return;
     }
     let existing: Vec<u32> = store.replicas(block).to_vec();
@@ -284,8 +339,26 @@ fn start_repair_flow(
         return;
     };
     let src = crate::repair::repair_source(dc, &existing, dest);
-    let flow = fabric.schedule_flow(now, src, dest, BLOCK_BYTES, block.0);
-    in_flight.insert(flow.0, dest);
+    let rid = *next_rid;
+    *next_rid += 1;
+    let mut parts = 0u32;
+    if let Some(f) = fabric.as_mut() {
+        f.schedule_flow(now, src, dest, BLOCK_BYTES, rid);
+        parts += 1;
+    }
+    if let Some(p) = disks.as_mut() {
+        p.schedule_stream(now, src, IoDir::Read, BLOCK_BYTES, rid);
+        p.schedule_stream(now, dest, IoDir::Write, BLOCK_BYTES, rid);
+        parts += 2;
+    }
+    in_flight.insert(
+        rid,
+        InFlightRepair {
+            xfer: TransferParts::new(parts, now),
+            block,
+            dest,
+        },
+    );
     *in_flight_blocks.entry(block.0).or_insert(0) += 1;
 }
 
@@ -503,6 +576,47 @@ mod tests {
         cfg.network = Some(NetworkConfig::datacenter());
         let a = simulate_durability(&dc, &cfg);
         let b = simulate_durability(&dc, &cfg);
+        assert_eq!(a.lost_blocks, b.lost_blocks);
+        assert_eq!(a.repairs, b.repairs);
+        assert_eq!(a.repairs_too_late, b.repairs_too_late);
+    }
+
+    #[test]
+    fn disk_constrained_repair_cannot_beat_instant_repair() {
+        // Disks stretch every repair window by the destination write
+        // (~2.1 s for 256 MB at 120 MB/s) against a 10-minute detection
+        // delay; loss stays in a band around the instant-transfer loss
+        // (same argument as the network test above: the delay is real
+        // but small, and placement RNG streams are identical because the
+        // disk model draws no randomness).
+        let dc = dc(0.02);
+        let mut off = DurabilityConfig::paper(PlacementPolicy::Stock, 3, 5);
+        off.months = 4;
+        let mut on = off.clone();
+        on.disk = Some(DiskConfig::datacenter());
+        let r_off = simulate_durability(&dc, &off);
+        let r_on = simulate_durability(&dc, &on);
+        assert!(r_on.repairs > 0, "no repairs landed through the disks");
+        assert!(r_on.lost_blocks > 0, "DC-3 over 4 months must lose blocks");
+        let ratio = r_on.lost_blocks as f64 / r_off.lost_blocks.max(1) as f64;
+        assert!(
+            (0.8..=1.5).contains(&ratio),
+            "disked loss ratio {ratio:.2} out of band: on {} off {}",
+            r_on.lost_blocks,
+            r_off.lost_blocks
+        );
+    }
+
+    #[test]
+    fn network_and_disk_compose_deterministically() {
+        let dc = dc(0.02);
+        let mut cfg = DurabilityConfig::paper(PlacementPolicy::History, 3, 5);
+        cfg.months = 2;
+        cfg.network = Some(NetworkConfig::datacenter());
+        cfg.disk = Some(DiskConfig::datacenter());
+        let a = simulate_durability(&dc, &cfg);
+        let b = simulate_durability(&dc, &cfg);
+        assert!(a.repairs > 0, "no repairs with both models on");
         assert_eq!(a.lost_blocks, b.lost_blocks);
         assert_eq!(a.repairs, b.repairs);
         assert_eq!(a.repairs_too_late, b.repairs_too_late);

@@ -15,9 +15,10 @@
 //! scenario, with each re-replication a real 256 MB flow through a
 //! [`harvest_net::Fabric`] when a [`NetworkConfig`] is given.
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 use harvest_cluster::{Datacenter, ServerId, TenantId};
+use harvest_disk::{DiskConfig, DiskPool, IoDir};
 use harvest_net::NetworkConfig;
 use harvest_sim::rng::stream_rng;
 use harvest_sim::{SimDuration, SimTime};
@@ -111,14 +112,22 @@ pub struct StormConfig {
     /// `None`, a repair is durable the moment the throttle releases it
     /// (the seed model's free-and-instant network).
     pub network: Option<NetworkConfig>,
+    /// When set, every re-replication additionally reads 256 MB off the
+    /// surviving replica's disk and writes them to the destination's,
+    /// sharing each disk with the other repairs converging on it; the
+    /// repair is durable only when the *slowest* of network, source
+    /// read, and destination write finishes. `None` keeps disks free
+    /// and instant. Composes with [`StormConfig::network`].
+    pub disk: Option<DiskConfig>,
     /// Cap on simultaneously in-flight repair streams (HDFS's
     /// `replication.max-streams` backpressure, cluster-wide). Slots past
-    /// the cap wait for a stream to finish. Only meaningful with the
-    /// network on; `None` leaves concurrency to the throttle alone —
-    /// safe at the default 30 blocks/hour, but an aggressive throttle
-    /// over a slow fabric then grows an unbounded flow backlog (and the
+    /// the cap wait for a repair to finish. Only meaningful with a
+    /// transfer model on (network and/or disk); `None` leaves
+    /// concurrency to the throttle alone — safe at the default
+    /// 30 blocks/hour, but an aggressive throttle over a slow fabric or
+    /// slow disks then grows an unbounded transfer backlog (and the
     /// fabric's re-share cost is quadratic in active flows), so set a
-    /// cap whenever the throttle outruns fabric capacity.
+    /// cap whenever the throttle outruns transfer capacity.
     pub max_repair_streams: Option<usize>,
 }
 
@@ -133,6 +142,7 @@ impl StormConfig {
             seed,
             repair: RepairConfig::default(),
             network: None,
+            disk: None,
             max_repair_streams: None,
         }
     }
@@ -152,8 +162,9 @@ pub struct StormResult {
     /// When the last re-replication became durable (the
     /// time-to-full-durability after the storm).
     pub recovered_at: SimTime,
-    /// Mean seconds a repair spent in flight on the fabric (0 with the
-    /// network off).
+    /// Mean seconds a repair spent in transfer — from its throttle slot
+    /// to the last of its modeled components (network flow, source disk
+    /// read, destination disk write) landing. 0 with both models off.
     pub mean_transfer_secs: f64,
 }
 
@@ -177,6 +188,38 @@ impl Ord for QueuedRepair {
 impl PartialOrd for QueuedRepair {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// Countdown over one repair's modeled transfer components (fabric
+/// flow, source disk read, destination disk write): the outstanding
+/// count, when the transfer started, and the latest component
+/// completion seen so far. Shared by the storm replay and the
+/// durability simulation so both land a repair at the *last*
+/// component's instant — a repair moves at the min of its components'
+/// rates.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TransferParts {
+    outstanding: u32,
+    pub(crate) started: SimTime,
+    last_done: SimTime,
+}
+
+impl TransferParts {
+    pub(crate) fn new(outstanding: u32, started: SimTime) -> Self {
+        TransferParts {
+            outstanding,
+            started,
+            last_done: started,
+        }
+    }
+
+    /// Records one component completion; returns the landing instant
+    /// (the max over component completions) once this was the last one.
+    pub(crate) fn component_done(&mut self, at: SimTime) -> Option<SimTime> {
+        self.outstanding -= 1;
+        self.last_done = self.last_done.max(at);
+        (self.outstanding == 0).then_some(self.last_done)
     }
 }
 
@@ -261,11 +304,13 @@ pub fn simulate_reimage_storm(dc: &Datacenter, cfg: &StormConfig) -> StormResult
     }
     let lost_blocks = store.lost_blocks();
 
-    // Phase 3: recovery. With the network on, a throttle slot starts a
-    // flow from a surviving replica to the chosen destination; the
-    // repair is durable at flow completion. Destination space is
-    // reserved up front via `add_replica` at flow start, so concurrent
-    // in-flight repairs cannot over-commit a server. This differs from
+    // Phase 3: recovery. With a transfer model on, a throttle slot
+    // starts the repair's components — a fabric flow, and/or a source
+    // disk read plus destination disk write — and the repair is durable
+    // when the last of them finishes (a repair moves at the min of the
+    // three rates). Destination space is reserved up front via
+    // `add_replica` at transfer start, so concurrent in-flight repairs
+    // cannot over-commit a server. This differs from
     // `simulate_durability`, which commits replicas only when transfers
     // land: the storm replays a single failure at t = 0 with no further
     // reimages, so an early-committed copy can never be destroyed or
@@ -278,6 +323,11 @@ pub fn simulate_reimage_storm(dc: &Datacenter, cfg: &StormConfig) -> StormResult
         .network
         .as_ref()
         .map(|net| harvest_net::Fabric::from_datacenter(dc, net));
+    let mut disks = cfg.disk.as_ref().map(|d| DiskPool::from_datacenter(dc, d));
+    let modeled = fabric.is_some() || disks.is_some();
+    // In-flight repairs, by repair id.
+    let mut in_flight: HashMap<u64, TransferParts> = HashMap::new();
+    let mut next_rid = 0u64;
     let mut repairs = 0u64;
     let mut recovered_at = t0;
     let mut transfer_secs_total = 0.0;
@@ -285,35 +335,46 @@ pub fn simulate_reimage_storm(dc: &Datacenter, cfg: &StormConfig) -> StormResult
 
     loop {
         // Backpressure: at the stream cap, only a completion can free a
-        // slot, so time jumps straight to the fabric's next event.
-        let at_cap = match (&fabric, cfg.max_repair_streams) {
-            (Some(f), Some(cap)) => f.n_active() + f.n_pending() >= cap,
-            _ => false,
-        };
+        // slot, so time jumps straight to the next transfer event.
+        let at_cap = cfg
+            .max_repair_streams
+            .map(|cap| modeled && in_flight.len() >= cap)
+            .unwrap_or(false);
         let t_slot = heap.peek().map(|r| r.at).filter(|_| !at_cap);
         let t_net = fabric.as_ref().and_then(|f| f.next_event_time());
-        let now = match (t_slot, t_net) {
-            (Some(a), Some(b)) => a.min(b),
-            (Some(a), None) => a,
-            (None, Some(b)) => b,
-            (None, None) => break,
+        let t_disk = disks.as_ref().and_then(|p| p.next_event_time());
+        let Some(now) = [t_slot, t_net, t_disk].into_iter().flatten().min() else {
+            break;
         };
 
-        // Fabric events first: a completed transfer is durable before a
+        // Transfer events first: a completed repair is durable before a
         // simultaneous slot release is processed.
+        let mut finish_part = |rid: u64, at: SimTime| {
+            let e = in_flight.get_mut(&rid).expect("repair in flight");
+            if let Some(landed_at) = e.component_done(at) {
+                let started = e.started;
+                in_flight.remove(&rid);
+                repairs += 1;
+                recovered_at = recovered_at.max(landed_at);
+                transfer_secs_total += landed_at.since(started).as_secs_f64();
+                transfers += 1;
+            }
+        };
         if let Some(f) = fabric.as_mut() {
             for done in f.pump(now) {
-                repairs += 1;
-                recovered_at = recovered_at.max(done.at);
-                transfer_secs_total += done.at.since(done.started).as_secs_f64();
-                transfers += 1;
+                finish_part(done.tag, done.at);
+            }
+        }
+        if let Some(p) = disks.as_mut() {
+            for done in p.pump(now) {
+                finish_part(done.tag, done.at);
             }
         }
 
         while heap.peek().map(|r| r.at <= now).unwrap_or(false) {
-            if let (Some(f), Some(cap)) = (fabric.as_ref(), cfg.max_repair_streams) {
-                if f.n_active() + f.n_pending() >= cap {
-                    break; // resume when a stream completes
+            if let Some(cap) = cfg.max_repair_streams {
+                if modeled && in_flight.len() >= cap {
+                    break; // resume when a repair completes
                 }
             }
             let r = heap.pop().expect("peeked");
@@ -331,17 +392,27 @@ pub fn simulate_reimage_storm(dc: &Datacenter, cfg: &StormConfig) -> StormResult
                 continue;
             };
             store.add_replica(block, dest);
-            match fabric.as_mut() {
-                Some(f) => {
-                    let src = repair_source(dc, &existing, dest);
-                    // A slot deferred by backpressure starts now, not at
-                    // its original release time.
-                    f.schedule_flow(r.at.max(now), src, dest, BLOCK_BYTES, block.0);
+            if modeled {
+                let src = repair_source(dc, &existing, dest);
+                // A slot deferred by backpressure starts now, not at
+                // its original release time.
+                let start = r.at.max(now);
+                let rid = next_rid;
+                next_rid += 1;
+                let mut parts = 0u32;
+                if let Some(f) = fabric.as_mut() {
+                    f.schedule_flow(start, src, dest, BLOCK_BYTES, rid);
+                    parts += 1;
                 }
-                None => {
-                    repairs += 1;
-                    recovered_at = recovered_at.max(r.at);
+                if let Some(p) = disks.as_mut() {
+                    p.schedule_stream(start, src, IoDir::Read, BLOCK_BYTES, rid);
+                    p.schedule_stream(start, dest, IoDir::Write, BLOCK_BYTES, rid);
+                    parts += 2;
                 }
+                in_flight.insert(rid, TransferParts::new(parts, start));
+            } else {
+                repairs += 1;
+                recovered_at = recovered_at.max(r.at);
             }
             if store.replica_count(block) < cfg.replication {
                 heap.push(QueuedRepair {
@@ -501,6 +572,64 @@ mod tests {
         let mut cfg = StormConfig::new(biggest_tenant(&dc), 9);
         cfg.fill_fraction = 0.15;
         cfg.network = Some(NetworkConfig::datacenter());
+        let a = simulate_reimage_storm(&dc, &cfg);
+        let b = simulate_reimage_storm(&dc, &cfg);
+        assert_eq!(a.repairs, b.repairs);
+        assert_eq!(a.recovered_at, b.recovered_at);
+        assert_eq!(a.mean_transfer_secs, b.mean_transfer_secs);
+    }
+
+    #[test]
+    fn disks_extend_recovery_beyond_the_network() {
+        // A 256 MB destination write at 120 MB/s (~2.1 s) dominates the
+        // same block's 10 GbE flow (~0.2 s): with disks modeled, every
+        // repair window stretches and full durability lands strictly
+        // later.
+        let dc = storm_dc();
+        let mut cfg = StormConfig::new(biggest_tenant(&dc), 3);
+        cfg.fill_fraction = 0.2;
+        cfg.network = Some(NetworkConfig::datacenter());
+        let net_only = simulate_reimage_storm(&dc, &cfg);
+        cfg.disk = Some(DiskConfig::datacenter());
+        let with_disks = simulate_reimage_storm(&dc, &cfg);
+        assert_eq!(
+            net_only.repairs, with_disks.repairs,
+            "disk model changed repair count"
+        );
+        assert!(
+            with_disks.recovered_at > net_only.recovered_at,
+            "disks made recovery no slower? net {} vs both {}",
+            net_only.recovered_at,
+            with_disks.recovered_at
+        );
+        assert!(with_disks.mean_transfer_secs > net_only.mean_transfer_secs);
+    }
+
+    #[test]
+    fn disk_only_storm_recovers_everything() {
+        // Disks without a fabric still bound recovery (the seed model's
+        // instant transfers are gone) and every survivable block is
+        // repaired.
+        let dc = storm_dc();
+        let mut cfg = StormConfig::new(biggest_tenant(&dc), 3);
+        cfg.fill_fraction = 0.2;
+        cfg.disk = Some(DiskConfig::datacenter());
+        let r = simulate_reimage_storm(&dc, &cfg);
+        assert_eq!(
+            r.repairs,
+            r.replicas_lost - r.lost_blocks * cfg.replication as u64
+        );
+        assert!(r.mean_transfer_secs > 0.0);
+    }
+
+    #[test]
+    fn disked_storm_replays_deterministically() {
+        let dc = storm_dc();
+        let mut cfg = StormConfig::new(biggest_tenant(&dc), 11);
+        cfg.fill_fraction = 0.15;
+        cfg.network = Some(NetworkConfig::datacenter());
+        cfg.disk = Some(DiskConfig::datacenter());
+        cfg.max_repair_streams = Some(64);
         let a = simulate_reimage_storm(&dc, &cfg);
         let b = simulate_reimage_storm(&dc, &cfg);
         assert_eq!(a.repairs, b.repairs);

@@ -1,0 +1,656 @@
+//! Event-driven shared-disk simulation with fair sharing and
+//! primary-tenant contention.
+//!
+//! A [`DiskPool`] models one disk per server, each with independent
+//! read and write channels. Secondary (harvested) streams on a channel
+//! split its bandwidth equally — the max-min fair allocation for
+//! single-resource flows — after the primary tenant's demand and the
+//! [`crate::ThrottlePolicy`] have taken their cut. Whenever a channel's
+//! stream set or its primary demand changes, the channel's rates are
+//! re-divided and every affected stream's completion re-predicted;
+//! stale completion events are recognized by version stamps exactly as
+//! in `harvest_net::fabric`.
+//!
+//! Primary I/O is not simulated as individual operations: it is a
+//! bandwidth reservation derived from the utilization playback through
+//! [`crate::PrimaryIoModel`] (see [`DiskPool::set_primary_util`]), which
+//! is how the paper's isolation manager perceives it too. A fully
+//! throttled channel (zero secondary bandwidth) parks its streams on a
+//! far-future completion; the re-share triggered when the primary's
+//! demand drops rescues them — this is the mechanism behind the §7
+//! lesson-2 heartbeat incident.
+//!
+//! # Cost model
+//!
+//! Events touch only the channel they land on, so work per event is
+//! linear in that channel's concurrent streams, not in the pool-wide
+//! population — 10k streams spread over 1k disks re-share in O(10) per
+//! event. Everything is exact integer time plus deterministic `f64`
+//! arithmetic over deterministically ordered collections, so a replay
+//! is bit-identical for identical inputs.
+
+use std::collections::BTreeMap;
+
+use harvest_cluster::ServerId;
+use harvest_signal::classify::UtilizationPattern;
+use harvest_sim::engine::EventQueue;
+use harvest_sim::{SimDuration, SimTime};
+
+use crate::config::DiskConfig;
+
+/// Identifies a stream within a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u64);
+
+/// Which channel of a disk an operation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IoDir {
+    /// The read channel.
+    Read,
+    /// The write channel.
+    Write,
+}
+
+/// A finished stream, as reported by [`DiskPool::pump`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamCompletion {
+    /// The stream that finished.
+    pub stream: StreamId,
+    /// When its last byte was serviced.
+    pub at: SimTime,
+    /// The caller's tag, echoed back.
+    pub tag: u64,
+    /// Total bytes moved.
+    pub bytes: u64,
+    /// When the stream entered the pool.
+    pub started: SimTime,
+    /// The disk it ran on.
+    pub server: ServerId,
+    /// The channel it used.
+    pub dir: IoDir,
+}
+
+/// One in-flight secondary I/O stream.
+#[derive(Debug, Clone)]
+struct Stream {
+    tag: u64,
+    bytes: u64,
+    remaining: f64,
+    /// Current allocation in bytes/s.
+    rate: f64,
+    /// Bumped on every re-share; completion events carry the version
+    /// they were predicted under.
+    version: u64,
+    started: SimTime,
+    chan: u32,
+}
+
+/// A stream waiting for its scheduled start time.
+#[derive(Debug, Clone)]
+struct PendingStream {
+    server: ServerId,
+    dir: IoDir,
+    bytes: u64,
+    tag: u64,
+}
+
+#[derive(Debug)]
+enum DiskEvent {
+    Start(StreamId),
+    Complete(StreamId, u64),
+}
+
+/// One direction of one disk: its active streams and bookkeeping.
+#[derive(Debug, Clone, Default)]
+struct Channel {
+    /// Active stream ids in start order (deterministic iteration).
+    streams: Vec<u64>,
+    /// When the streams' `remaining` counters were last advanced.
+    last_update: SimTime,
+}
+
+/// Aggregate pool counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DiskStats {
+    /// Streams completed.
+    pub completed: u64,
+    /// Bytes moved by completed streams.
+    pub bytes_moved: u64,
+    /// High-water mark of concurrently active streams, pool-wide.
+    pub peak_active: usize,
+    /// Channel re-share passes run.
+    pub reshares: u64,
+}
+
+/// How far in the future a starved stream's completion is parked; a
+/// later re-share rescues it.
+const PARKED: SimDuration = SimDuration::from_days(365_000);
+
+/// The shared-disk simulator. See the module docs.
+#[derive(Debug)]
+pub struct DiskPool {
+    config: DiskConfig,
+    /// Per-server tenant class, for the util→demand mapping.
+    patterns: Vec<UtilizationPattern>,
+    /// Per-server primary demand as a fraction of channel capacity.
+    primary_fraction: Vec<f64>,
+    /// `2 * server + dir` — read and write channels of every disk.
+    channels: Vec<Channel>,
+    queue: EventQueue<DiskEvent>,
+    pending: BTreeMap<u64, PendingStream>,
+    active: BTreeMap<u64, Stream>,
+    next_id: u64,
+    stats: DiskStats,
+    completions: Vec<StreamCompletion>,
+}
+
+impl DiskPool {
+    /// A pool of `n_disks` identical disks with all-constant tenant
+    /// classes (useful for benches and single-disk replays).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_disks` is zero or the config is invalid.
+    pub fn new(n_disks: usize, config: &DiskConfig) -> Self {
+        Self::with_patterns(vec![UtilizationPattern::Constant; n_disks], config)
+    }
+
+    /// One disk per server of `dc`, each tagged with its primary
+    /// tenant's utilization pattern.
+    pub fn from_datacenter(dc: &harvest_cluster::Datacenter, config: &DiskConfig) -> Self {
+        Self::with_patterns(
+            dc.servers
+                .iter()
+                .map(|s| dc.tenant(s.tenant).pattern)
+                .collect(),
+            config,
+        )
+    }
+
+    /// A pool with an explicit per-server tenant class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns` is empty or the config is invalid.
+    pub fn with_patterns(patterns: Vec<UtilizationPattern>, config: &DiskConfig) -> Self {
+        config.validate();
+        assert!(!patterns.is_empty(), "cannot build a pool of zero disks");
+        let n = patterns.len();
+        DiskPool {
+            config: *config,
+            patterns,
+            primary_fraction: vec![0.0; n],
+            channels: vec![Channel::default(); 2 * n],
+            queue: EventQueue::new(),
+            pending: BTreeMap::new(),
+            active: BTreeMap::new(),
+            next_id: 0,
+            stats: DiskStats::default(),
+            completions: Vec::new(),
+        }
+    }
+
+    /// Number of disks.
+    pub fn n_disks(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// The configuration the pool was built with.
+    pub fn config(&self) -> &DiskConfig {
+        &self.config
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> &DiskStats {
+        &self.stats
+    }
+
+    /// Streams currently moving bytes.
+    pub fn n_active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Streams scheduled but not yet started.
+    pub fn n_pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The current rate of a stream in bytes/s, if it is active.
+    pub fn stream_rate(&self, stream: StreamId) -> Option<f64> {
+        self.active.get(&stream.0).map(|s| s.rate)
+    }
+
+    /// Ids of the currently active streams, ascending.
+    pub fn active_stream_ids(&self) -> Vec<StreamId> {
+        self.active.keys().map(|&id| StreamId(id)).collect()
+    }
+
+    /// The disk and channel an active stream runs on.
+    pub fn stream_channel(&self, stream: StreamId) -> Option<(ServerId, IoDir)> {
+        self.active.get(&stream.0).map(|s| unchan(s.chan))
+    }
+
+    /// A channel's raw capacity in bytes/s.
+    pub fn capacity(&self, dir: IoDir) -> f64 {
+        match dir {
+            IoDir::Read => self.config.read_bytes_per_sec(),
+            IoDir::Write => self.config.write_bytes_per_sec(),
+        }
+    }
+
+    /// The bandwidth currently available to secondary streams on a
+    /// channel, after the primary's demand and the throttle policy.
+    pub fn secondary_capacity(&self, server: ServerId, dir: IoDir) -> f64 {
+        let share = self
+            .config
+            .throttle
+            .secondary_fraction(self.primary_fraction[server.0 as usize]);
+        self.capacity(dir) * share
+    }
+
+    /// Sum of active secondary stream rates on a channel, in bytes/s.
+    pub fn channel_load(&self, server: ServerId, dir: IoDir) -> f64 {
+        self.channels[chan(server, dir) as usize]
+            .streams
+            .iter()
+            .map(|id| self.active[id].rate)
+            .sum()
+    }
+
+    /// Active secondary streams on a channel.
+    pub fn channel_streams(&self, server: ServerId, dir: IoDir) -> usize {
+        self.channels[chan(server, dir) as usize].streams.len()
+    }
+
+    /// The primary's current demand fraction on a server's disk.
+    pub fn primary_fraction(&self, server: ServerId) -> f64 {
+        self.primary_fraction[server.0 as usize]
+    }
+
+    /// Whether the isolation manager is currently suppressing secondary
+    /// I/O on a server's disk below its fair share.
+    pub fn is_throttled(&self, server: ServerId) -> bool {
+        self.config
+            .throttle
+            .is_throttling(self.primary_fraction[server.0 as usize])
+    }
+
+    /// Updates a server's primary CPU utilization at `now`, mapping it
+    /// to disk demand through the configured [`crate::PrimaryIoModel`]
+    /// and re-sharing the disk's channels if the demand changed.
+    ///
+    /// The caller must have pumped the pool to `now` first (the pool
+    /// never runs backwards); utilization playback naturally satisfies
+    /// this by updating on its sample grid.
+    pub fn set_primary_util(&mut self, now: SimTime, server: ServerId, util: f64) {
+        debug_assert!(
+            self.queue.peek_time().map(|t| t >= now).unwrap_or(true),
+            "set_primary_util at {now} with unpumped events pending"
+        );
+        let fraction = self
+            .config
+            .primary
+            .demand_fraction(self.patterns[server.0 as usize], util);
+        if fraction == self.primary_fraction[server.0 as usize] {
+            return;
+        }
+        for dir in [IoDir::Read, IoDir::Write] {
+            self.advance_channel(chan(server, dir), now);
+        }
+        self.primary_fraction[server.0 as usize] = fraction;
+        for dir in [IoDir::Read, IoDir::Write] {
+            self.reshare_channel(chan(server, dir), now);
+        }
+    }
+
+    /// Schedules a secondary stream of `bytes` on `server`'s `dir`
+    /// channel, starting at `at`. Returns the stream's id; its
+    /// completion will be reported by a later [`DiskPool::pump`].
+    pub fn schedule_stream(
+        &mut self,
+        at: SimTime,
+        server: ServerId,
+        dir: IoDir,
+        bytes: u64,
+        tag: u64,
+    ) -> StreamId {
+        let id = StreamId(self.next_id);
+        self.next_id += 1;
+        self.pending.insert(
+            id.0,
+            PendingStream {
+                server,
+                dir,
+                bytes,
+                tag,
+            },
+        );
+        self.queue.push(at, DiskEvent::Start(id));
+        id
+    }
+
+    /// A lower bound on the next instant anything can happen in the
+    /// pool (`None` when it is idle). Stale completion events make this
+    /// conservative: pumping to this time may be a no-op, never wrong.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Advances the pool through every event at or before `until`,
+    /// returning the streams that completed, in completion order.
+    pub fn pump(&mut self, until: SimTime) -> Vec<StreamCompletion> {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked");
+            match ev {
+                DiskEvent::Start(id) => self.on_start(id, now),
+                DiskEvent::Complete(id, version) => self.on_complete(id, version, now),
+            }
+        }
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Drains the pool to quiescence, returning all remaining
+    /// completions. A fully throttled channel never quiesces on its own
+    /// (its streams are parked); drain only a pool whose primary demand
+    /// will not strand streams.
+    pub fn drain(&mut self) -> Vec<StreamCompletion> {
+        self.pump(SimTime::MAX)
+    }
+
+    fn on_start(&mut self, id: StreamId, now: SimTime) {
+        let Some(p) = self.pending.remove(&id.0) else {
+            return; // cancelled
+        };
+        let c = chan(p.server, p.dir);
+        self.advance_channel(c, now);
+        // Fold the per-op seek in as capacity-bytes, the same trick the
+        // fabric uses for hop latency: a zero-byte stream still takes
+        // one seek.
+        let seek_bytes = self.config.seek_ms / 1_000.0 * self.capacity(p.dir);
+        self.active.insert(
+            id.0,
+            Stream {
+                tag: p.tag,
+                bytes: p.bytes,
+                remaining: p.bytes as f64 + seek_bytes,
+                rate: 0.0,
+                version: 0,
+                started: now,
+                chan: c,
+            },
+        );
+        self.channels[c as usize].streams.push(id.0);
+        self.stats.peak_active = self.stats.peak_active.max(self.active.len());
+        self.reshare_channel(c, now);
+    }
+
+    fn on_complete(&mut self, id: StreamId, version: u64, now: SimTime) {
+        let stale = match self.active.get(&id.0) {
+            Some(s) => s.version != version,
+            None => true,
+        };
+        if stale {
+            return;
+        }
+        let c = self.active[&id.0].chan;
+        self.advance_channel(c, now);
+        let stream = self.active.remove(&id.0).expect("checked above");
+        let list = &mut self.channels[c as usize].streams;
+        let pos = list.iter().position(|&s| s == id.0).expect("on channel");
+        list.remove(pos);
+        let (server, dir) = unchan(c);
+        self.stats.completed += 1;
+        self.stats.bytes_moved += stream.bytes;
+        self.completions.push(StreamCompletion {
+            stream: id,
+            at: now,
+            tag: stream.tag,
+            bytes: stream.bytes,
+            started: stream.started,
+            server,
+            dir,
+        });
+        self.reshare_channel(c, now);
+    }
+
+    /// Drains serviced bytes from a channel's streams for the time
+    /// elapsed since its last update.
+    fn advance_channel(&mut self, c: u32, now: SimTime) {
+        let channel = &mut self.channels[c as usize];
+        let dt = now.since(channel.last_update).as_secs_f64();
+        if dt > 0.0 {
+            for id in &channel.streams {
+                let s = self.active.get_mut(id).expect("active");
+                s.remaining = (s.remaining - s.rate * dt).max(0.0);
+            }
+        }
+        channel.last_update = now;
+    }
+
+    /// Recomputes the channel's equal-share rates and re-predicts its
+    /// streams' completions. Equal split of the secondary bandwidth is
+    /// the max-min fair allocation here because every stream demands as
+    /// much as it can get and touches exactly one channel.
+    fn reshare_channel(&mut self, c: u32, now: SimTime) {
+        self.stats.reshares += 1;
+        let ids = self.channels[c as usize].streams.clone();
+        if ids.is_empty() {
+            return;
+        }
+        let (server, dir) = unchan(c);
+        let rate = self.secondary_capacity(server, dir) / ids.len() as f64;
+        for id in ids {
+            let s = self.active.get_mut(&id).expect("active");
+            // A stream whose rate is bitwise-unchanged keeps its pending
+            // Complete event: `remaining` was advanced at the old rate,
+            // so the predicted completion is still exact.
+            if s.version > 0 && rate == s.rate {
+                continue;
+            }
+            s.rate = rate;
+            s.version += 1;
+            let eta = if s.rate > 0.0 {
+                SimDuration::from_secs_f64(s.remaining / s.rate)
+            } else {
+                // Fully throttled: park the completion; the re-share
+                // when the primary backs off rescues it.
+                PARKED
+            };
+            self.queue
+                .push(now + eta, DiskEvent::Complete(StreamId(id), s.version));
+        }
+    }
+}
+
+fn chan(server: ServerId, dir: IoDir) -> u32 {
+    server.0 * 2
+        + match dir {
+            IoDir::Read => 0,
+            IoDir::Write => 1,
+        }
+}
+
+fn unchan(c: u32) -> (ServerId, IoDir) {
+    (
+        ServerId(c / 2),
+        if c.is_multiple_of(2) {
+            IoDir::Read
+        } else {
+            IoDir::Write
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1_000_000;
+    const S0: ServerId = ServerId(0);
+    const S1: ServerId = ServerId(1);
+
+    fn pool() -> DiskPool {
+        DiskPool::new(4, &DiskConfig::datacenter())
+    }
+
+    #[test]
+    fn single_read_runs_at_channel_speed() {
+        let mut p = pool();
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 160 * MB, 1);
+        let done = p.drain();
+        assert_eq!(done.len(), 1);
+        // 160 MB at 160 MB/s = 1 s, plus the 8 ms seek.
+        let secs = done[0].at.since(done[0].started).as_secs_f64();
+        assert!((1.0..1.05).contains(&secs), "single read took {secs}s");
+        assert_eq!(done[0].server, S0);
+        assert_eq!(done[0].dir, IoDir::Read);
+    }
+
+    #[test]
+    fn writes_are_slower_than_reads() {
+        let mut p = pool();
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 120 * MB, 1);
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Write, 120 * MB, 2);
+        let done = p.drain();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].tag, 1, "read should finish first");
+        assert!(done[1].at > done[0].at);
+    }
+
+    #[test]
+    fn concurrent_streams_share_a_channel_fairly() {
+        let mut p = pool();
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 80 * MB, 1);
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 80 * MB, 2);
+        p.pump(SimTime::ZERO);
+        let r1 = p.stream_rate(StreamId(0)).unwrap();
+        let r2 = p.stream_rate(StreamId(1)).unwrap();
+        assert!((r1 - r2).abs() < 1.0, "unequal shares {r1} vs {r2}");
+        let cap = p.capacity(IoDir::Read);
+        assert!((r1 + r2 - cap).abs() / cap < 1e-9, "channel not saturated");
+        // Sharing doubles the transfer time vs. running alone.
+        let done = p.drain();
+        let secs = done[1].at.since(done[1].started).as_secs_f64();
+        assert!((1.0..1.1).contains(&secs), "shared pair took {secs}s");
+    }
+
+    #[test]
+    fn different_disks_do_not_interact() {
+        let mut p = pool();
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 80 * MB, 1);
+        p.schedule_stream(SimTime::ZERO, S1, IoDir::Read, 80 * MB, 2);
+        p.pump(SimTime::ZERO);
+        let cap = p.capacity(IoDir::Read);
+        for id in [0, 1] {
+            let r = p.stream_rate(StreamId(id)).unwrap();
+            assert!((r - cap).abs() / cap < 1e-9, "stream {id} throttled to {r}");
+        }
+        p.drain();
+    }
+
+    #[test]
+    fn primary_demand_shrinks_secondary_bandwidth() {
+        let mut p = pool();
+        // Constant-class tenant at 50% CPU: demand = 0.05 + 0.5*0.5 =
+        // 0.3 of the channel, below the 0.5 throttle threshold, so the
+        // stream gets the remaining 70%.
+        p.set_primary_util(SimTime::ZERO, S0, 0.5);
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 80 * MB, 1);
+        p.pump(SimTime::ZERO);
+        let r = p.stream_rate(StreamId(0)).unwrap();
+        let expect = p.capacity(IoDir::Read) * 0.7;
+        assert!((r - expect).abs() / expect < 1e-9, "rate {r} vs {expect}");
+        p.drain();
+    }
+
+    #[test]
+    fn throttle_parks_and_rescues_streams() {
+        let mut p = pool();
+        // Constant-class at 95% CPU: demand 0.525 >= 0.5 threshold, so
+        // the paper policy pauses secondaries outright.
+        p.set_primary_util(SimTime::ZERO, S0, 0.95);
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 16 * MB, 7);
+        let early = p.pump(SimTime::from_secs(600));
+        assert!(early.is_empty(), "stream finished while throttled");
+        assert!(p.is_throttled(S0));
+        assert_eq!(p.stream_rate(StreamId(0)), Some(0.0));
+        // Primary backs off ten minutes in; the stream completes ~0.1 s
+        // later (16 MB at 160 MB/s against an idle-demand disk).
+        p.set_primary_util(SimTime::from_secs(600), S0, 0.0);
+        let done = p.pump(SimTime::from_secs(700));
+        assert_eq!(done.len(), 1);
+        let at = done[0].at.as_secs_f64();
+        assert!((600.0..601.0).contains(&at), "rescued at {at}s");
+    }
+
+    #[test]
+    fn departures_release_bandwidth() {
+        let mut p = pool();
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 16 * MB, 1);
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 160 * MB, 2);
+        let done = p.drain();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].tag, 1, "short stream finishes first");
+        let long_secs = done[1].at.as_secs_f64();
+        // Alone: ~1.0 s. Always halved: ~2.0 s. With the short stream
+        // departing around 0.2 s the long one lands near 1.1 s.
+        assert!(
+            (1.0..1.6).contains(&long_secs),
+            "long stream took {long_secs}s — bandwidth not released?"
+        );
+    }
+
+    #[test]
+    fn pump_respects_the_horizon() {
+        let mut p = pool();
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 160 * MB, 1); // ~1 s
+        let early = p.pump(SimTime::from_millis(500));
+        assert!(early.is_empty(), "stream finished early: {early:?}");
+        assert_eq!(p.n_active(), 1);
+        let late = p.pump(SimTime::from_secs(10));
+        assert_eq!(late.len(), 1);
+        assert_eq!(p.n_active(), 0);
+    }
+
+    #[test]
+    fn staggered_starts_replay_deterministically() {
+        let run = || {
+            let mut p = DiskPool::new(8, &DiskConfig::datacenter());
+            for i in 0..30u64 {
+                p.schedule_stream(
+                    SimTime::from_millis(i * 37),
+                    ServerId((i % 8) as u32),
+                    if i % 3 == 0 {
+                        IoDir::Write
+                    } else {
+                        IoDir::Read
+                    },
+                    (i + 1) * 4 * MB,
+                    i,
+                );
+            }
+            p.set_primary_util(SimTime::ZERO, ServerId(2), 0.4);
+            p.drain()
+                .into_iter()
+                .map(|c| (c.tag, c.at))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stats_track_the_population() {
+        let mut p = pool();
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 10 * MB, 1);
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 10 * MB, 2);
+        p.drain();
+        let s = p.stats();
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.bytes_moved, 20 * MB);
+        assert_eq!(s.peak_active, 2);
+        assert!(s.reshares >= 4);
+    }
+}

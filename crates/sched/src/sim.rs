@@ -31,9 +31,18 @@
 //! max-min fairly with every other in-flight shuffle. Under contention
 //! (and against repair storms sharing the same uplinks) stage runtimes
 //! stretch exactly the way Tez jobs do on a busy cluster.
+//!
+//! With a [`DiskConfig`], the same shuffle bytes also touch platters:
+//! each aggregate flow is bracketed by a fetch *read* on its source's
+//! disk and a spill *write* on its destination's, both secondary
+//! streams competing with the primary tenants' modeled I/O — so a
+//! reducer scheduled next to a disk-hot primary stalls on its spill
+//! even when the wire is free, which is §6's interference made visible
+//! to the scheduler experiments.
 
 use harvest_cluster::reserve::{secondary_capacity, SERVER_CAPACITY};
 use harvest_cluster::{Datacenter, Resources, ServerId, UtilizationView};
+use harvest_disk::{DiskConfig, DiskPool, IoDir};
 use harvest_jobs::dag::StageId;
 use harvest_jobs::estimate::max_concurrent_tasks;
 use harvest_jobs::exec::JobExecution;
@@ -83,8 +92,15 @@ pub struct SchedSimConfig {
     /// dependent stages; `None` keeps data movement free and instant
     /// (the seed model).
     pub network: Option<NetworkConfig>,
+    /// When set, each shuffle's bytes are also fetched off the source
+    /// servers' disks and spilled onto the destinations', as secondary
+    /// streams contending with the primary tenants' modeled disk I/O;
+    /// stages stay gated until the slowest of wire, fetch, and spill
+    /// finishes. Composes with `network`; meaningful on its own too
+    /// (disk-bound shuffles over a free wire).
+    pub disk: Option<DiskConfig>,
     /// Intermediate bytes each upstream task ships per dependent edge
-    /// (only meaningful with `network` set).
+    /// (only meaningful with `network` or `disk` set).
     pub shuffle_bytes_per_task: u64,
 }
 
@@ -100,6 +116,7 @@ impl SchedSimConfig {
             preseed_history: true,
             record_server_load: false,
             network: None,
+            disk: None,
             shuffle_bytes_per_task: DEFAULT_BYTES_PER_TASK,
         }
     }
@@ -212,10 +229,11 @@ struct Runner<'a> {
     kills_per_server: Vec<u64>,
     end_of_time: SimTime,
     fabric: Option<Fabric>,
+    disks: Option<DiskPool>,
     /// Per job, per stage: whether the stage's shuffle has landed.
     shuffle_gate: Vec<Vec<ShuffleGate>>,
     /// Per job, per stage: servers its tasks ran on (shuffle sources;
-    /// populated only with the fabric on).
+    /// populated only with a data-movement model on).
     stage_servers: Vec<Vec<Vec<ServerId>>>,
     /// The NetWake instant currently queued, to avoid duplicates.
     pending_wake: Option<SimTime>,
@@ -272,10 +290,20 @@ impl<'a> Runner<'a> {
                 .network
                 .as_ref()
                 .map(|net| Fabric::from_datacenter(sim.dc, net)),
+            disks: sim
+                .cfg
+                .disk
+                .as_ref()
+                .map(|d| DiskPool::from_datacenter(sim.dc, d)),
             shuffle_gate: Vec::new(),
             stage_servers: Vec::new(),
             pending_wake: None,
         }
+    }
+
+    /// Whether any data-movement model (fabric or disks) is on.
+    fn models_io(&self) -> bool {
+        self.fabric.is_some() || self.disks.is_some()
     }
 
     fn run(mut self) -> SimStats {
@@ -343,16 +371,22 @@ impl<'a> Runner<'a> {
         }
     }
 
-    /// Applies every fabric event due by `now`: finished shuffle flows
-    /// open their stage gates and make the owning job runnable again.
+    /// Applies every fabric and disk event due by `now`: finished
+    /// shuffle flows, fetch reads, and spill writes each count down
+    /// their stage's gate; a fully landed shuffle opens the gate and
+    /// makes the owning job runnable again.
     fn pump_fabric(&mut self, now: SimTime) {
-        let Some(fabric) = self.fabric.as_mut() else {
-            return;
-        };
+        let mut tags: Vec<u64> = Vec::new();
+        if let Some(fabric) = self.fabric.as_mut() {
+            tags.extend(fabric.pump(now).into_iter().map(|c| c.tag));
+        }
+        if let Some(disks) = self.disks.as_mut() {
+            tags.extend(disks.pump(now).into_iter().map(|c| c.tag));
+        }
         let mut opened = false;
-        for done in fabric.pump(now) {
-            let job_id = (done.tag >> 32) as usize;
-            let stage = (done.tag & 0xFFFF_FFFF) as usize;
+        for tag in tags {
+            let job_id = (tag >> 32) as usize;
+            let stage = (tag & 0xFFFF_FFFF) as usize;
             let gate = &mut self.shuffle_gate[job_id][stage];
             if let ShuffleGate::Waiting(left) = *gate {
                 *gate = if left <= 1 {
@@ -371,13 +405,12 @@ impl<'a> Runner<'a> {
         }
     }
 
-    /// Keeps one NetWake queued at the fabric's next event time, so
-    /// shuffle completions between ticks are handled promptly.
+    /// Keeps one NetWake queued at the next fabric or disk event time,
+    /// so shuffle completions between ticks are handled promptly.
     fn arm_net_wake(&mut self, now: SimTime) {
-        let Some(fabric) = self.fabric.as_ref() else {
-            return;
-        };
-        let Some(t) = fabric.next_event_time() else {
+        let t_net = self.fabric.as_ref().and_then(|f| f.next_event_time());
+        let t_disk = self.disks.as_ref().and_then(|p| p.next_event_time());
+        let Some(t) = [t_net, t_disk].into_iter().flatten().min() else {
             return;
         };
         let t = t.max(now);
@@ -404,7 +437,7 @@ impl<'a> Runner<'a> {
             .push(vec![ShuffleGate::Unstarted; n_stages]);
         self.stage_servers.push(vec![
             Vec::new();
-            if self.fabric.is_some() { n_stages } else { 0 }
+            if self.models_io() { n_stages } else { 0 }
         ]);
         if self.sim.cfg.policy.uses_history() {
             self.select_for(job_id, now);
@@ -519,6 +552,16 @@ impl<'a> Runner<'a> {
         self.primary_core_ms += fleet * 12.0 * self.sim.dc.n_servers() as f64 * tick_ms;
         self.observed_ms += tick_ms;
 
+        // Replay the primaries' disk demand onto the modeled disks (the
+        // pool was pumped to `now` before this event was dispatched, so
+        // rate changes re-predict in-flight spill completions exactly).
+        if let Some(disks) = self.disks.as_mut() {
+            for s in 0..self.sim.dc.n_servers() {
+                let sid = ServerId(s as u32);
+                disks.set_primary_util(now, sid, self.sim.view.server_util(sid, now));
+            }
+        }
+
         // Reserve enforcement (primary-aware policies only).
         if self.sim.cfg.policy.primary_aware() {
             self.enforce_reserves(now);
@@ -569,7 +612,7 @@ impl<'a> Runner<'a> {
         self.jobs[job_id].exec.kill_task(stage);
         // A killed task produced no output here; drop its server from
         // the stage's shuffle sources (the re-run records its new home).
-        if self.fabric.is_some() {
+        if self.models_io() {
             let sources = &mut self.stage_servers[job_id][stage.0];
             if let Some(pos) = sources.iter().position(|&s| s == server) {
                 sources.remove(pos);
@@ -640,7 +683,7 @@ impl<'a> Runner<'a> {
         });
         self.alloc[server.0 as usize] += CONTAINER;
         self.server_containers[server.0 as usize].push(cid);
-        if self.fabric.is_some() {
+        if self.models_io() {
             self.stage_servers[j][stage.0].push(server);
         }
         self.tasks_started += 1;
@@ -649,9 +692,9 @@ impl<'a> Runner<'a> {
     }
 
     /// The shuffle gate of `(j, stage)`, starting the shuffle on first
-    /// contact. Without a fabric every gate is open.
+    /// contact. Without a data-movement model every gate is open.
     fn gate_for(&mut self, j: usize, stage: StageId, now: SimTime) -> ShuffleGate {
-        if self.fabric.is_none() {
+        if !self.models_io() {
             return ShuffleGate::Open;
         }
         match self.shuffle_gate[j][stage.0] {
@@ -660,10 +703,13 @@ impl<'a> Runner<'a> {
         }
     }
 
-    /// Launches the aggregate shuffle flows feeding `stage`: one flow
-    /// per distinct upstream server (capped at [`MAX_SHUFFLE_FLOWS`]),
-    /// each to a server drawn from the job's placement pool — where the
-    /// consuming tasks are about to run.
+    /// Launches the aggregate shuffle feeding `stage`: one transfer per
+    /// distinct upstream server (capped at [`MAX_SHUFFLE_FLOWS`]), each
+    /// to a server drawn from the job's placement pool — where the
+    /// consuming tasks are about to run. Each transfer contributes a
+    /// fabric flow (network on), plus a fetch read on the source disk
+    /// and a spill write on the destination disk (disks on); the gate
+    /// waits for all of them.
     fn start_shuffle(&mut self, j: usize, stage: StageId, now: SimTime) -> ShuffleGate {
         let total = stage_shuffle_bytes(
             self.jobs[j].exec.job(),
@@ -689,18 +735,26 @@ impl<'a> Runner<'a> {
         } else {
             let n = sources.len() as u64;
             let tag = ((j as u64) << 32) | stage.0 as u64;
-            let fabric = self.fabric.as_mut().expect("gated on fabric");
+            let mut parts = 0u32;
             for (i, src) in sources.iter().enumerate() {
                 let dst = match &self.jobs[j].allowed {
                     Some(list) if !list.is_empty() => list[self.rng.random_range(0..list.len())],
                     _ => ServerId(self.rng.random_range(0..self.sim.dc.n_servers()) as u32),
                 };
-                // Spread the volume evenly; the first flow carries the
-                // remainder.
+                // Spread the volume evenly; the first transfer carries
+                // the remainder.
                 let bytes = total / n + if i == 0 { total % n } else { 0 };
-                fabric.schedule_flow(now, *src, dst, bytes, tag);
+                if let Some(fabric) = self.fabric.as_mut() {
+                    fabric.schedule_flow(now, *src, dst, bytes, tag);
+                    parts += 1;
+                }
+                if let Some(disks) = self.disks.as_mut() {
+                    disks.schedule_stream(now, *src, IoDir::Read, bytes, tag);
+                    disks.schedule_stream(now, dst, IoDir::Write, bytes, tag);
+                    parts += 2;
+                }
             }
-            ShuffleGate::Waiting(sources.len() as u32)
+            ShuffleGate::Waiting(parts)
         };
         self.shuffle_gate[j][stage.0] = gate;
         self.arm_net_wake(now);
@@ -945,6 +999,66 @@ mod tests {
         let net = Some(NetworkConfig::datacenter());
         let a = run_netted(SchedPolicy::History, 13, net);
         let b = run_netted(SchedPolicy::History, 13, net);
+        assert_eq!(a.tasks_started, b.tasks_started);
+        assert_eq!(a.total_kills, b.total_kills);
+        assert_eq!(a.mean_execution_secs(), b.mean_execution_secs());
+    }
+
+    fn run_disked(seed: u64, network: Option<NetworkConfig>, disk: Option<DiskConfig>) -> SimStats {
+        let (dc, view) = testbed();
+        let wl = small_workload(seed, 1);
+        let mut cfg = SchedSimConfig::testbed(SchedPolicy::Stock, seed);
+        cfg.horizon = SimDuration::from_hours(1);
+        cfg.drain = SimDuration::from_hours(3);
+        cfg.network = network;
+        cfg.disk = disk;
+        SchedSim::new(&dc, &view, &wl, cfg).run()
+    }
+
+    #[test]
+    fn spill_writes_stretch_stage_runtimes() {
+        // Disks alone (free wire): every shuffle still pays its fetch
+        // read and spill write against the primaries' disk demand, so
+        // execution times stretch relative to free data movement.
+        let off = run_disked(14, None, None);
+        let on = run_disked(14, None, Some(DiskConfig::datacenter()));
+        assert!(on.completed_jobs() > 0, "nothing completed on disks");
+        assert!(
+            on.mean_execution_secs() > off.mean_execution_secs(),
+            "spills were free? on {:.0}s off {:.0}s",
+            on.mean_execution_secs(),
+            off.mean_execution_secs()
+        );
+    }
+
+    #[test]
+    fn disk_and_network_compose() {
+        // Wire and platter both modeled: a stage waits for the slowest
+        // of flow, fetch, and spill, so the composition is at least as
+        // slow as the network alone.
+        let net = NetworkConfig::datacenter();
+        let net_only = run_disked(15, Some(net), None);
+        let both = run_disked(15, Some(net), Some(DiskConfig::datacenter()));
+        assert!(both.completed_jobs() > 0);
+        assert!(
+            both.mean_execution_secs() >= net_only.mean_execution_secs(),
+            "adding disks sped jobs up? both {:.0}s net {:.0}s",
+            both.mean_execution_secs(),
+            net_only.mean_execution_secs()
+        );
+    }
+
+    #[test]
+    fn disked_scheduling_is_deterministic() {
+        let run = || {
+            run_disked(
+                16,
+                Some(NetworkConfig::datacenter()),
+                Some(DiskConfig::datacenter()),
+            )
+        };
+        let a = run();
+        let b = run();
         assert_eq!(a.tasks_started, b.tasks_started);
         assert_eq!(a.total_kills, b.total_kills);
         assert_eq!(a.mean_execution_secs(), b.mean_execution_secs());

@@ -14,6 +14,9 @@
 //! * [`net`] — the flow-level datacenter network fabric (hierarchical
 //!   topology, max-min fair sharing, event-driven flows) that repair,
 //!   remote reads, and shuffles ride on;
+//! * [`disk`] — the shared-disk I/O model (per-server read/write
+//!   channels, primary-tenant contention, the §6 isolation-manager
+//!   throttle) the same byte movements land on;
 //! * [`cluster`] — the datacenter model (servers, tenants, environments,
 //!   racks, resource reserves);
 //! * [`jobs`] — DAG batch jobs, concurrency estimation, job-length typing,
@@ -43,6 +46,7 @@
 pub use harvest_cluster as cluster;
 pub use harvest_core as core;
 pub use harvest_dfs as dfs;
+pub use harvest_disk as disk;
 pub use harvest_jobs as jobs;
 pub use harvest_net as net;
 pub use harvest_sched as sched;

@@ -4,6 +4,7 @@ use harvest::cluster::{Datacenter, ServerId};
 use harvest::dfs::grid::Grid2D;
 use harvest::dfs::placement::{PlacementPolicy, Placer};
 use harvest::dfs::store::BlockStore;
+use harvest::disk::{DiskConfig, DiskPool, IoDir};
 use harvest::jobs::length::LengthThresholds;
 use harvest::net::{Fabric, NetworkConfig};
 use harvest::signal::fft::{fft_in_place, ifft_in_place};
@@ -297,6 +298,148 @@ proptest! {
         let a = ends(&flows);
         let b = ends(&flows);
         prop_assert_eq!(a.len(), flows.len(), "flows went missing");
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Builds a pool of `N_DISKS` carrying `streams` ((server, dir, bytes,
+/// start-ms) tuples) under per-disk primary utilizations drawn from
+/// `utils`, and pumps it to `probe_ms`.
+const N_DISKS: usize = 48;
+
+fn loaded_pool(
+    streams: &[(usize, u64, u64, u64)],
+    utils: &[(usize, u64)],
+    probe_ms: u64,
+) -> DiskPool {
+    let mut pool = DiskPool::new(N_DISKS, &DiskConfig::datacenter());
+    for &(server, centi_util) in utils {
+        pool.set_primary_util(
+            harvest::sim::SimTime::ZERO,
+            ServerId((server % N_DISKS) as u32),
+            centi_util as f64 / 100.0,
+        );
+    }
+    for (i, &(server, write, bytes, at)) in streams.iter().enumerate() {
+        pool.schedule_stream(
+            harvest::sim::SimTime::from_millis(at),
+            ServerId((server % N_DISKS) as u32),
+            if write % 2 == 1 {
+                IoDir::Write
+            } else {
+                IoDir::Read
+            },
+            // 1-64 MB so populations overlap at the probe instant.
+            (bytes % 64 + 1) * 1024 * 1024,
+            i as u64,
+        );
+    }
+    pool.pump(harvest::sim::SimTime::from_millis(probe_ms));
+    pool
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Disk invariant 1 — per-channel capacity conservation: secondary
+    /// streams never carry more than what the throttle policy leaves
+    /// them, which never exceeds the channel's raw capacity.
+    #[test]
+    fn disks_conserve_channel_capacity(
+        streams in prop::collection::vec((0usize..500, 0u64..2, 0u64..64, 0u64..200), 1..60),
+        utils in prop::collection::vec((0usize..500, 0u64..100), 0..16),
+    ) {
+        let pool = loaded_pool(&streams, &utils, 100);
+        for s in 0..N_DISKS {
+            let server = ServerId(s as u32);
+            for dir in [IoDir::Read, IoDir::Write] {
+                let load = pool.channel_load(server, dir);
+                let allowed = pool.secondary_capacity(server, dir);
+                prop_assert!(
+                    load <= allowed * (1.0 + 1e-9) + 1e-9,
+                    "disk {s} {dir:?} overloaded: {load} > {allowed}"
+                );
+                prop_assert!(allowed <= pool.capacity(dir) * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    /// Disk invariant 2 — work conservation: a channel with active
+    /// streams hands out exactly the bandwidth the policy allows (a
+    /// throttled channel hands out its floor — possibly zero — and an
+    /// unthrottled one is saturated).
+    #[test]
+    fn disks_are_work_conserving(
+        streams in prop::collection::vec((0usize..500, 0u64..2, 0u64..64, 0u64..200), 1..60),
+        utils in prop::collection::vec((0usize..500, 0u64..100), 0..16),
+    ) {
+        let pool = loaded_pool(&streams, &utils, 100);
+        for s in 0..N_DISKS {
+            let server = ServerId(s as u32);
+            for dir in [IoDir::Read, IoDir::Write] {
+                if pool.channel_streams(server, dir) == 0 {
+                    continue;
+                }
+                let load = pool.channel_load(server, dir);
+                let allowed = pool.secondary_capacity(server, dir);
+                prop_assert!(
+                    load >= allowed * (1.0 - 1e-9) - 1e-9,
+                    "disk {s} {dir:?} not work-conserving: {load} < {allowed}"
+                );
+            }
+        }
+    }
+
+    /// Disk invariant 3 — fair sharing: concurrent streams on one
+    /// channel run at (nearly) identical rates.
+    #[test]
+    fn disks_share_fairly(
+        streams in prop::collection::vec((0u64..2, 0u64..64), 2..40),
+        server in 0usize..500,
+        util in 0u64..100,
+    ) {
+        let shaped: Vec<(usize, u64, u64, u64)> = streams
+            .iter()
+            .map(|&(write, bytes)| (server, write, bytes, 0))
+            .collect();
+        let pool = loaded_pool(&shaped, &[(server, util)], 0);
+        for dir in [IoDir::Read, IoDir::Write] {
+            let rates: Vec<f64> = pool
+                .active_stream_ids()
+                .iter()
+                .filter(|&&id| pool.stream_channel(id).map(|(_, d)| d) == Some(dir))
+                .filter_map(|&id| pool.stream_rate(id))
+                .collect();
+            if rates.len() >= 2 {
+                let (min, max) = rates
+                    .iter()
+                    .fold((f64::MAX, f64::MIN), |(lo, hi), &r| (lo.min(r), hi.max(r)));
+                prop_assert!(
+                    max == 0.0 || (max - min) / max < 1e-9,
+                    "unequal shares on one channel: {min} vs {max}"
+                );
+            }
+        }
+    }
+
+    /// The disk pool replays bit-identically for identical inputs.
+    #[test]
+    fn disks_replay_deterministically(
+        streams in prop::collection::vec((0usize..500, 0u64..2, 0u64..64, 0u64..500), 1..40),
+        utils in prop::collection::vec((0usize..500, 0u64..45), 0..8),
+    ) {
+        // Utilizations capped below the throttle threshold so every
+        // stream finishes and drain() terminates.
+        let ends = |st: &[(usize, u64, u64, u64)]| {
+            let mut pool = loaded_pool(st, &utils, 0);
+            pool.drain()
+                .into_iter()
+                .map(|c| (c.tag, c.at.as_millis()))
+                .collect::<Vec<_>>()
+        };
+        let a = ends(&streams);
+        let b = ends(&streams);
+        prop_assert_eq!(a.len(), streams.len(), "streams went missing");
         prop_assert_eq!(a, b);
     }
 }
