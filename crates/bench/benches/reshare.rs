@@ -1,0 +1,140 @@
+//! Re-share scaling benches: storm-sized flow convoys on an *unscaled*
+//! DC-9 topology, component-scoped vs. the global reference recompute.
+//!
+//! The workload is a rack-localized convoy — groups of 20 flows between
+//! a rack pair, the locality real repair storms and shuffle waves have —
+//! so the component-scoped allocator touches O(group) state per event
+//! while the global reference pays O(population). 200 / 2 000 / 10 000
+//! concurrent flows; the 10k global case is skipped (that is the
+//! quadratic regime the optimization removes — it runs for minutes).
+//!
+//! Modes:
+//! * default — measures everything and (re)writes `BENCH_reshare.json`
+//!   at the workspace root: the recorded before (global) / after
+//!   (component) baseline;
+//! * `RESHARE_SMOKE=1` — runs the 2 000- and 10 000-flow component
+//!   cases once each, asserting wall-clock ceilings sized far above the
+//!   measured baselines (0.029 s / 0.25 s) but far below what the
+//!   quadratic global regime takes (2.4 s / minutes) — so a regression
+//!   to global-recompute behavior fails the assert (and,
+//!   belt-and-braces, CI's wrapping `timeout`).
+
+use std::time::{Duration, Instant};
+
+use harvest_cluster::ServerId;
+use harvest_net::{Fabric, NetworkConfig, ReshareScope, Topology};
+use harvest_sim::SimTime;
+use harvest_trace::datacenter::DatacenterProfile;
+use std::hint::black_box;
+
+const MB: u64 = 1024 * 1024;
+const RACK_SIZE: u32 = harvest_cluster::datacenter::RACK_SIZE;
+const GROUP: u64 = 20;
+
+/// Builds and fully drains one convoy of `n_flows`, returning the
+/// completion count (sanity-checked by callers).
+fn run_convoy(topo: &Topology, n_flows: u64, scope: ReshareScope) -> usize {
+    let mut fabric = Fabric::new(topo.clone(), &NetworkConfig::datacenter());
+    fabric.set_reshare_scope(scope);
+    // Only full racks host convoy lanes (the trailing rack may be
+    // partial and its missing servers would be out of range).
+    let full_racks = topo.n_servers() as u64 / RACK_SIZE as u64;
+    let pairs = full_racks / 2;
+    for i in 0..n_flows {
+        let group = i / GROUP;
+        let lane = (i % GROUP) as u32;
+        let pair = group % pairs;
+        let src_rack = (2 * pair) as u32;
+        let dst_rack = (2 * pair + 1) as u32;
+        let src = ServerId(src_rack * RACK_SIZE + lane);
+        let dst = ServerId(dst_rack * RACK_SIZE + lane);
+        // Staggered within 97 ms so the whole convoy overlaps.
+        fabric.schedule_flow(SimTime::from_millis(i % 97), src, dst, 64 * MB, i);
+    }
+    let done = fabric.drain().len();
+    assert_eq!(done as u64, n_flows, "convoy lost flows");
+    done
+}
+
+/// Median wall-clock seconds over `iters` runs.
+fn measure(topo: &Topology, n_flows: u64, scope: ReshareScope, iters: usize) -> f64 {
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(run_convoy(topo, n_flows, scope));
+        samples.push(t0.elapsed());
+    }
+    samples.sort();
+    samples[samples.len() / 2].as_secs_f64()
+}
+
+fn main() {
+    let profile = DatacenterProfile::dc(9);
+    let n_servers = profile.expected_servers();
+    let topo = Topology::synthetic(n_servers, &NetworkConfig::datacenter());
+    println!(
+        "reshare bench: unscaled {} topology, {} servers / {} racks / {} links",
+        profile.name(),
+        topo.n_servers(),
+        topo.n_racks(),
+        topo.n_links(),
+    );
+
+    if std::env::var_os("RESHARE_SMOKE").is_some() {
+        // CI budget guards (ceilings sit well above the component
+        // baselines in BENCH_reshare.json yet well below the quadratic
+        // global regime, so either assert firing means re-sharing has
+        // regressed toward the global recompute).
+        for (n, baseline, ceiling) in [(2_000u64, 0.029, 1.0), (10_000, 0.25, 50.0)] {
+            let secs = measure(&topo, n, ReshareScope::Component, 1);
+            println!("bench reshare/convoy_{n}_component           {secs:>10.3}s (smoke)");
+            assert!(
+                secs < ceiling,
+                "{n}-flow convoy took {secs:.2}s against a {ceiling}s budget — re-sharing has \
+                 regressed toward the quadratic global recompute (component baseline ~{baseline}s)"
+            );
+        }
+        return;
+    }
+
+    let mut json_rows: Vec<String> = Vec::new();
+    for &n in &[200u64, 2_000, 10_000] {
+        let comp_iters = if n >= 10_000 { 3 } else { 5 };
+        let comp = measure(&topo, n, ReshareScope::Component, comp_iters);
+        println!(
+            "bench reshare/convoy_{n}_component           {comp:>10.4}s median of {comp_iters}"
+        );
+        // The global reference is the pre-optimization algorithm; at
+        // 10k flows it is far into the quadratic regime, so record it
+        // only where it terminates in reasonable time.
+        let glob = if n <= 2_000 {
+            let iters = if n <= 200 { 5 } else { 1 };
+            let g = measure(&topo, n, ReshareScope::Global, iters);
+            println!("bench reshare/convoy_{n}_global              {g:>10.4}s median of {iters}");
+            Some(g)
+        } else {
+            println!("bench reshare/convoy_{n}_global              skipped (quadratic regime)");
+            None
+        };
+        let (glob_str, speedup_str) = match glob {
+            Some(g) => (format!("{g:.6}"), format!("{:.2}", g / comp)),
+            None => ("null".into(), "null".into()),
+        };
+        json_rows.push(format!(
+            "    \"convoy_{n}\": {{ \"component_secs\": {comp:.6}, \"global_secs\": {glob_str}, \"speedup\": {speedup_str} }}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"reshare\",\n  \"topology\": {{ \"profile\": \"{}\", \"servers\": {}, \"racks\": {}, \"links\": {} }},\n  \"workload\": \"rack-pair convoy, 64 MiB flows, {}-flow groups, starts staggered over 97 ms\",\n  \"convoys\": {{\n{}\n  }}\n}}\n",
+        profile.name(),
+        topo.n_servers(),
+        topo.n_racks(),
+        topo.n_links(),
+        GROUP,
+        json_rows.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_reshare.json");
+    std::fs::write(path, &json).expect("write BENCH_reshare.json");
+    println!("wrote {path}");
+}

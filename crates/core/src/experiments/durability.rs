@@ -21,6 +21,12 @@ pub struct LossSummary {
     pub max_percent: f64,
     /// Mean absolute lost blocks.
     pub avg_blocks: f64,
+    /// Superseded transfer events dropped across runs, fabric plus
+    /// disks (0 with both transfer models off) — repair-churn pressure
+    /// on the event queues.
+    pub stale_events_dropped: u64,
+    /// Largest event-heap high-water mark any run reached.
+    pub peak_queue_len: usize,
 }
 
 /// Runs `runs` durability simulations for one (DC, policy, replication).
@@ -37,6 +43,8 @@ pub fn loss_summary(
 ) -> LossSummary {
     let mut percents = Vec::with_capacity(runs);
     let mut blocks = 0.0;
+    let mut stale = 0u64;
+    let mut peak_queue = 0usize;
     for r in 0..runs {
         let mut cfg = DurabilityConfig::paper(policy, replication, base_seed ^ (r as u64) << 32);
         cfg.months = months;
@@ -45,12 +53,22 @@ pub fn loss_summary(
         let result = simulate_durability(dc, &cfg);
         percents.push(result.lost_percent);
         blocks += result.lost_blocks as f64;
+        if let Some(f) = result.fabric {
+            stale += f.stale_events_dropped;
+            peak_queue = peak_queue.max(f.peak_queue_len);
+        }
+        if let Some(d) = result.disk {
+            stale += d.stale_events_dropped;
+            peak_queue = peak_queue.max(d.peak_queue_len);
+        }
     }
     LossSummary {
         avg_percent: percents.iter().sum::<f64>() / runs as f64,
         min_percent: percents.iter().cloned().fold(f64::MAX, f64::min),
         max_percent: percents.iter().cloned().fold(f64::MIN, f64::max),
         avg_blocks: blocks / runs as f64,
+        stale_events_dropped: stale,
+        peak_queue_len: peak_queue,
     }
 }
 
@@ -74,6 +92,8 @@ pub fn fig15(scale: &Scale) -> String {
     let mut stock3_total = 0.0;
     let mut h3_total = 0.0;
     let mut h4_blocks = 0.0;
+    let mut stale_total = 0u64;
+    let mut peak_queue = 0usize;
     for dc_id in 0..10 {
         let profile = DatacenterProfile::dc(dc_id).scaled(scale.dc_scale);
         let dc = Datacenter::generate(&profile, scale.seed);
@@ -96,6 +116,10 @@ pub fn fig15(scale: &Scale) -> String {
         stock3_total += stock3.avg_percent;
         h3_total += h3.avg_percent;
         h4_blocks += h4.avg_blocks;
+        for cell in [&stock3, &h3, &stock4, &h4] {
+            stale_total += cell.stale_events_dropped;
+            peak_queue = peak_queue.max(cell.peak_queue_len);
+        }
         table.row(&[
             format!("DC-{dc_id}"),
             format!(
@@ -130,6 +154,12 @@ pub fn fig15(scale: &Scale) -> String {
         },
         h4_blocks
     ));
+    if scale.network.is_some() || scale.disk.is_some() {
+        table.note(format!(
+            "transfer-model churn: {stale_total} superseded completion events dropped, \
+             peak event heap {peak_queue}"
+        ));
+    }
     table.render()
 }
 

@@ -85,6 +85,10 @@ pub struct DurabilityResult {
     pub repairs_too_late: u64,
     /// Percentage of blocks lost (Figure 15's y-axis).
     pub lost_percent: f64,
+    /// Final fabric counters when the network was modeled.
+    pub fabric: Option<harvest_net::FabricStats>,
+    /// Final disk-pool counters when disks were modeled.
+    pub disk: Option<harvest_disk::DiskStats>,
 }
 
 /// Runs the durability simulation.
@@ -280,6 +284,8 @@ pub fn simulate_durability(dc: &Datacenter, cfg: &DurabilityConfig) -> Durabilit
         } else {
             lost as f64 / created as f64 * 100.0
         },
+        fabric: fabric.as_ref().map(|f| *f.stats()),
+        disk: disks.as_ref().map(|p| *p.stats()),
     }
 }
 

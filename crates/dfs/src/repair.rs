@@ -166,6 +166,12 @@ pub struct StormResult {
     /// to the last of its modeled components (network flow, source disk
     /// read, destination disk write) landing. 0 with both models off.
     pub mean_transfer_secs: f64,
+    /// Final fabric counters (peak concurrent flows, re-shares, stale
+    /// events dropped, peak event-heap length) when the network was
+    /// modeled — the storm's contention-churn fingerprint.
+    pub fabric: Option<harvest_net::FabricStats>,
+    /// Final disk-pool counters when disks were modeled.
+    pub disk: Option<harvest_disk::DiskStats>,
 }
 
 /// One queued repair: the block becomes eligible at `at` (its throttle
@@ -434,6 +440,8 @@ pub fn simulate_reimage_storm(dc: &Datacenter, cfg: &StormConfig) -> StormResult
         } else {
             transfer_secs_total / transfers as f64
         },
+        fabric: fabric.as_ref().map(|f| *f.stats()),
+        disk: disks.as_ref().map(|p| *p.stats()),
     }
 }
 

@@ -54,4 +54,4 @@ pub mod config;
 pub mod pool;
 
 pub use config::{DiskConfig, PrimaryIoModel, ThrottlePolicy, MIN_SERVE_FRACTION};
-pub use pool::{DiskPool, DiskStats, IoDir, StreamCompletion, StreamId};
+pub use pool::{DiskPool, DiskStats, IoDir, ReshareScope, StreamCompletion, StreamId};

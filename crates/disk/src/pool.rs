@@ -25,7 +25,15 @@
 //! Events touch only the channel they land on, so work per event is
 //! linear in that channel's concurrent streams, not in the pool-wide
 //! population — 10k streams spread over 1k disks re-share in O(10) per
-//! event. Everything is exact integer time plus deterministic `f64`
+//! event. Within a touched channel, only streams whose rate actually
+//! changes are advanced (lazily, from their own `last_update` stamp)
+//! and re-predicted; a superseded completion event is *cancelled* in
+//! the queue rather than left to fire stale, so the event heap stays
+//! O(active + scheduled) instead of O(re-shares × streams).
+//! [`ReshareScope::Global`] re-shares every channel on every event —
+//! the reference recompute, bitwise identical to the scoped default
+//! (channels are independent resources), pinned by the oracle property
+//! tests. Everything is exact integer time plus deterministic `f64`
 //! arithmetic over deterministically ordered collections, so a replay
 //! is bit-identical for identical inputs.
 
@@ -33,10 +41,22 @@ use std::collections::BTreeMap;
 
 use harvest_cluster::ServerId;
 use harvest_signal::classify::UtilizationPattern;
-use harvest_sim::engine::EventQueue;
+use harvest_sim::engine::{EventKey, EventQueue};
 use harvest_sim::{SimDuration, SimTime};
 
 use crate::config::DiskConfig;
+
+/// How much of the pool a re-share recomputes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReshareScope {
+    /// Re-share only the channel the event landed on (the default).
+    #[default]
+    Channel,
+    /// Re-share every channel on every event — the reference global
+    /// recompute. Bitwise identical to `Channel` (channels share no
+    /// state); kept for validation and benchmarking.
+    Global,
+}
 
 /// Identifies a stream within a pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -75,12 +95,18 @@ pub struct StreamCompletion {
 struct Stream {
     tag: u64,
     bytes: u64,
+    /// Bytes left as of `last_update` (plus the folded-in seek bytes).
     remaining: f64,
     /// Current allocation in bytes/s.
     rate: f64,
-    /// Bumped on every re-share; completion events carry the version
-    /// they were predicted under.
+    /// Bumped whenever the rate changes; completion events carry the
+    /// version they were predicted under.
     version: u64,
+    /// When `remaining` was last advanced. Streams advance lazily —
+    /// only at rate changes.
+    last_update: SimTime,
+    /// The stream's live completion event, cancelled when superseded.
+    pending: Option<EventKey>,
     started: SimTime,
     chan: u32,
 }
@@ -100,13 +126,11 @@ enum DiskEvent {
     Complete(StreamId, u64),
 }
 
-/// One direction of one disk: its active streams and bookkeeping.
+/// One direction of one disk: its active streams.
 #[derive(Debug, Clone, Default)]
 struct Channel {
     /// Active stream ids in start order (deterministic iteration).
     streams: Vec<u64>,
-    /// When the streams' `remaining` counters were last advanced.
-    last_update: SimTime,
 }
 
 /// Aggregate pool counters.
@@ -120,6 +144,13 @@ pub struct DiskStats {
     pub peak_active: usize,
     /// Channel re-share passes run.
     pub reshares: u64,
+    /// Superseded completion events dropped — cancelled in the queue
+    /// when a re-share re-predicted the stream, or (defensively)
+    /// recognized stale by version at fire time.
+    pub stale_events_dropped: u64,
+    /// High-water mark of the event heap (including not-yet-collected
+    /// tombstones).
+    pub peak_queue_len: usize,
 }
 
 /// How far in the future a starved stream's completion is parked; a
@@ -139,6 +170,7 @@ pub struct DiskPool {
     queue: EventQueue<DiskEvent>,
     pending: BTreeMap<u64, PendingStream>,
     active: BTreeMap<u64, Stream>,
+    scope: ReshareScope,
     next_id: u64,
     stats: DiskStats,
     completions: Vec<StreamCompletion>,
@@ -184,10 +216,23 @@ impl DiskPool {
             queue: EventQueue::new(),
             pending: BTreeMap::new(),
             active: BTreeMap::new(),
+            scope: ReshareScope::Channel,
             next_id: 0,
             stats: DiskStats::default(),
             completions: Vec::new(),
         }
+    }
+
+    /// The re-share scope in force.
+    pub fn reshare_scope(&self) -> ReshareScope {
+        self.scope
+    }
+
+    /// Switches the re-share scope. Safe at any point — both scopes
+    /// produce bitwise-identical trajectories — but `Global` exists for
+    /// validation, not production use.
+    pub fn set_reshare_scope(&mut self, scope: ReshareScope) {
+        self.scope = scope;
     }
 
     /// Number of disks.
@@ -218,6 +263,14 @@ impl DiskPool {
     /// The current rate of a stream in bytes/s, if it is active.
     pub fn stream_rate(&self, stream: StreamId) -> Option<f64> {
         self.active.get(&stream.0).map(|s| s.rate)
+    }
+
+    /// The re-prediction version of an active stream — bumped whenever
+    /// a re-share changes its rate. Streams on untouched channels keep
+    /// their version (and their scheduled completion event) across
+    /// unrelated starts/finishes; tests pin that.
+    pub fn stream_version(&self, stream: StreamId) -> Option<u64> {
+        self.active.get(&stream.0).map(|s| s.version)
     }
 
     /// Ids of the currently active streams, ascending.
@@ -294,12 +347,9 @@ impl DiskPool {
         if fraction == self.primary_fraction[server.0 as usize] {
             return;
         }
-        for dir in [IoDir::Read, IoDir::Write] {
-            self.advance_channel(chan(server, dir), now);
-        }
         self.primary_fraction[server.0 as usize] = fraction;
         for dir in [IoDir::Read, IoDir::Write] {
-            self.reshare_channel(chan(server, dir), now);
+            self.reshare_scoped(chan(server, dir), now);
         }
     }
 
@@ -326,12 +376,14 @@ impl DiskPool {
             },
         );
         self.queue.push(at, DiskEvent::Start(id));
+        self.stats.peak_queue_len = self.stats.peak_queue_len.max(self.queue.len());
         id
     }
 
-    /// A lower bound on the next instant anything can happen in the
-    /// pool (`None` when it is idle). Stale completion events make this
-    /// conservative: pumping to this time may be a no-op, never wrong.
+    /// The next instant anything can happen in the pool (`None` when it
+    /// is idle). Superseded completion events are cancelled in the
+    /// queue, so this is exact: the next event is a real stream start
+    /// or a live predicted completion.
     pub fn next_event_time(&self) -> Option<SimTime> {
         self.queue.peek_time()
     }
@@ -365,7 +417,6 @@ impl DiskPool {
             return; // cancelled
         };
         let c = chan(p.server, p.dir);
-        self.advance_channel(c, now);
         // Fold the per-op seek in as capacity-bytes, the same trick the
         // fabric uses for hop latency: a zero-byte stream still takes
         // one seek.
@@ -378,13 +429,15 @@ impl DiskPool {
                 remaining: p.bytes as f64 + seek_bytes,
                 rate: 0.0,
                 version: 0,
+                last_update: now,
+                pending: None,
                 started: now,
                 chan: c,
             },
         );
         self.channels[c as usize].streams.push(id.0);
         self.stats.peak_active = self.stats.peak_active.max(self.active.len());
-        self.reshare_channel(c, now);
+        self.reshare_scoped(c, now);
     }
 
     fn on_complete(&mut self, id: StreamId, version: u64, now: SimTime) {
@@ -393,10 +446,12 @@ impl DiskPool {
             None => true,
         };
         if stale {
+            // Defensive: superseded events are cancelled at re-predict
+            // time, so a stale fire indicates a missed cancellation.
+            self.stats.stale_events_dropped += 1;
             return;
         }
         let c = self.active[&id.0].chan;
-        self.advance_channel(c, now);
         let stream = self.active.remove(&id.0).expect("checked above");
         let list = &mut self.channels[c as usize].streams;
         let pos = list.iter().position(|&s| s == id.0).expect("on channel");
@@ -413,21 +468,22 @@ impl DiskPool {
             server,
             dir,
         });
-        self.reshare_channel(c, now);
+        self.reshare_scoped(c, now);
     }
 
-    /// Drains serviced bytes from a channel's streams for the time
-    /// elapsed since its last update.
-    fn advance_channel(&mut self, c: u32, now: SimTime) {
-        let channel = &mut self.channels[c as usize];
-        let dt = now.since(channel.last_update).as_secs_f64();
-        if dt > 0.0 {
-            for id in &channel.streams {
-                let s = self.active.get_mut(id).expect("active");
-                s.remaining = (s.remaining - s.rate * dt).max(0.0);
+    /// Re-shares the touched channel, or — under
+    /// [`ReshareScope::Global`] — every channel in index order (the
+    /// reference recompute; untouched channels' rates come out bitwise
+    /// unchanged and are skipped, so the trajectories are identical).
+    fn reshare_scoped(&mut self, c: u32, now: SimTime) {
+        match self.scope {
+            ReshareScope::Channel => self.reshare_channel(c, now),
+            ReshareScope::Global => {
+                for ch in 0..self.channels.len() as u32 {
+                    self.reshare_channel(ch, now);
+                }
             }
         }
-        channel.last_update = now;
     }
 
     /// Recomputes the channel's equal-share rates and re-predicts its
@@ -436,19 +492,36 @@ impl DiskPool {
     /// much as it can get and touches exactly one channel.
     fn reshare_channel(&mut self, c: u32, now: SimTime) {
         self.stats.reshares += 1;
-        let ids = self.channels[c as usize].streams.clone();
-        if ids.is_empty() {
+        if self.channels[c as usize].streams.is_empty() {
             return;
         }
         let (server, dir) = unchan(c);
-        let rate = self.secondary_capacity(server, dir) / ids.len() as f64;
-        for id in ids {
-            let s = self.active.get_mut(&id).expect("active");
+        let rate =
+            self.secondary_capacity(server, dir) / self.channels[c as usize].streams.len() as f64;
+        let channel = &self.channels[c as usize];
+        let active = &mut self.active;
+        let queue = &mut self.queue;
+        let stats = &mut self.stats;
+        for id in &channel.streams {
+            let s = active.get_mut(id).expect("active");
             // A stream whose rate is bitwise-unchanged keeps its pending
-            // Complete event: `remaining` was advanced at the old rate,
-            // so the predicted completion is still exact.
+            // Complete event: its `remaining` hasn't been advanced since
+            // that event was predicted, so the predicted completion is
+            // still exact. A changed stream is advanced lazily — one
+            // multiply covering the whole span since its own last
+            // change — and its superseded event is cancelled.
             if s.version > 0 && rate == s.rate {
                 continue;
+            }
+            let dt = now.since(s.last_update).as_secs_f64();
+            if dt > 0.0 {
+                s.remaining = (s.remaining - s.rate * dt).max(0.0);
+            }
+            s.last_update = now;
+            if let Some(key) = s.pending.take() {
+                if queue.cancel(key) {
+                    stats.stale_events_dropped += 1;
+                }
             }
             s.rate = rate;
             s.version += 1;
@@ -459,8 +532,9 @@ impl DiskPool {
                 // when the primary backs off rescues it.
                 PARKED
             };
-            self.queue
-                .push(now + eta, DiskEvent::Complete(StreamId(id), s.version));
+            s.pending =
+                Some(queue.push_keyed(now + eta, DiskEvent::Complete(StreamId(*id), s.version)));
+            stats.peak_queue_len = stats.peak_queue_len.max(queue.len());
         }
     }
 }
@@ -652,5 +726,75 @@ mod tests {
         assert_eq!(s.bytes_moved, 20 * MB);
         assert_eq!(s.peak_active, 2);
         assert!(s.reshares >= 4);
+        // The second stream's arrival re-predicted the first's
+        // completion, which cancelled (dropped) the superseded event.
+        assert!(s.stale_events_dropped >= 1);
+        assert!(s.peak_queue_len >= 2);
+    }
+
+    /// An event on one disk leaves streams on other disks' channels
+    /// with their version (and scheduled completion event) untouched.
+    #[test]
+    fn other_channels_keep_their_event_version() {
+        let mut p = pool();
+        let bystander = p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 160 * MB, 1);
+        p.pump(SimTime::ZERO);
+        let v0 = p.stream_version(bystander).expect("active");
+        // Unrelated churn on another disk starts and finishes.
+        p.schedule_stream(SimTime::from_millis(10), S1, IoDir::Write, 4 * MB, 2);
+        p.pump(SimTime::from_millis(500));
+        assert_eq!(p.stats().completed, 1, "unrelated stream should be done");
+        assert_eq!(
+            p.stream_version(bystander),
+            Some(v0),
+            "stream on an untouched channel was re-predicted"
+        );
+        // Churn on the *same* channel bumps it.
+        p.schedule_stream(SimTime::from_millis(600), S0, IoDir::Read, 4 * MB, 3);
+        p.pump(SimTime::from_millis(600));
+        assert!(p.stream_version(bystander).expect("active") > v0);
+        p.drain();
+    }
+
+    /// Channel scoping and the global reference recompute must agree
+    /// bitwise (the full randomized oracle lives in tests/properties.rs).
+    #[test]
+    fn channel_scope_matches_global_scope() {
+        let run = |scope: ReshareScope| {
+            let mut p = DiskPool::new(8, &DiskConfig::datacenter());
+            p.set_reshare_scope(scope);
+            p.set_primary_util(SimTime::ZERO, ServerId(2), 0.4);
+            for i in 0..30u64 {
+                p.schedule_stream(
+                    SimTime::from_millis(i * 37),
+                    ServerId((i % 8) as u32),
+                    if i % 3 == 0 {
+                        IoDir::Write
+                    } else {
+                        IoDir::Read
+                    },
+                    (i + 1) * 4 * MB,
+                    i,
+                );
+            }
+            p.pump(SimTime::from_millis(700));
+            let probe: Vec<(u64, u64, u64)> = p
+                .active_stream_ids()
+                .iter()
+                .map(|&id| {
+                    (
+                        id.0,
+                        p.stream_rate(id).unwrap().to_bits(),
+                        p.stream_version(id).unwrap(),
+                    )
+                })
+                .collect();
+            let ends: Vec<(u64, SimTime)> = p.drain().into_iter().map(|c| (c.tag, c.at)).collect();
+            (probe, ends)
+        };
+        let chan = run(ReshareScope::Channel);
+        let glob = run(ReshareScope::Global);
+        assert_eq!(chan.0, glob.0, "mid-run rates/versions diverged");
+        assert_eq!(chan.1, glob.1, "completion schedules diverged");
     }
 }

@@ -15,24 +15,50 @@
 //!
 //! # Cost model
 //!
-//! Every flow start/finish re-shares and re-predicts *all* active
-//! flows, so work grows with the square of the concurrently active
-//! population. That is the right trade for the tens-to-hundreds of
-//! concurrent flows real repair throttles and shuffles produce, but it
-//! means offered load must not exceed fabric capacity for sustained
-//! periods — a persistent backlog grows without bound and the
-//! simulation with it. Callers injecting unthrottled demand must bound
-//! concurrency themselves (see `StormConfig::max_repair_streams` in
-//! `harvest-dfs` for the repair-path backpressure).
+//! Re-sharing is *component-scoped*: the fabric maintains a persistent
+//! inverted index (link → active flows crossing it), and a flow
+//! start/finish recomputes only the connected component of flows
+//! transitively sharing a link with the changed flow. Flows in disjoint
+//! components keep their rates, their per-flow progress stamps, and
+//! their already-predicted completion events untouched — a start/finish
+//! costs O(component links × filling iterations), not
+//! O(active² × hops). Progress is advanced lazily, per flow, only when
+//! a flow's rate actually changes, and a superseded completion event is
+//! *cancelled* in the queue rather than left to fire stale, so the
+//! event heap stays O(active + scheduled) instead of
+//! O(re-shares × flows).
+//!
+//! The worst case is a workload whose every flow shares a link with
+//! every other (one giant component): then a re-share still touches the
+//! whole population, exactly as a global recompute would, and the old
+//! guidance applies — offered load must not exceed fabric capacity for
+//! sustained periods, or the backlog (and the simulation) grows without
+//! bound. Callers injecting unthrottled demand must bound concurrency
+//! themselves (see `StormConfig::max_repair_streams` in `harvest-dfs`
+//! for the repair-path backpressure).
+//!
+//! [`ReshareScope::Global`] disables the component scoping and
+//! recomputes every active flow on every event — the pre-optimization
+//! *cost shape*, kept because scoped and global are *bitwise identical*
+//! (the property tests in `tests/properties.rs` pin that): a
+//! component's progressive-filling arithmetic is unaffected by flows it
+//! shares no link with, so scoping changes which flows are *visited*,
+//! never what any flow gets. Note the oracle's limit: both scopes share
+//! the lazy-advance and cancellation machinery (they must, or bitwise
+//! comparison would be impossible — the pre-PR code advanced every
+//! flow's `remaining` in per-event steps, whose float rounding differs
+//! from one fused multiply per rate change by ulps), so the pinned
+//! property is "scoping never changes an allocation", not "this PR's
+//! trajectories equal the old code's to the last bit".
 
 use std::collections::BTreeMap;
 
 use harvest_cluster::ServerId;
-use harvest_sim::engine::EventQueue;
+use harvest_sim::engine::{EventKey, EventQueue};
 use harvest_sim::{SimDuration, SimTime};
 
 use crate::config::NetworkConfig;
-use crate::topology::{LinkId, Topology};
+use crate::topology::{LinkId, Path, Topology};
 
 /// Identifies a flow within a fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -53,19 +79,44 @@ pub struct FlowCompletion {
     pub started: SimTime,
 }
 
+/// How much of the fabric a re-share recomputes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReshareScope {
+    /// Recompute only the connected component of flows transitively
+    /// sharing a link with the changed flow (the default; see the
+    /// module-level cost model).
+    #[default]
+    Component,
+    /// Recompute every active flow on every event — the reference
+    /// global recompute, with the pre-optimization cost shape but the
+    /// same lazy-advance/cancellation machinery as `Component` (see the
+    /// module docs for what the oracle does and does not pin). Bitwise
+    /// identical to `Component`; kept for validation and benchmarking.
+    Global,
+}
+
 /// One in-flight transfer.
 #[derive(Debug, Clone)]
 struct Flow {
     tag: u64,
     bytes: u64,
+    /// Bytes left as of `last_update` (plus the folded-in latency
+    /// padding).
     remaining: f64,
     /// Current max-min allocation in bytes/s.
     rate: f64,
-    /// Bumped on every re-share; completion events carry the version they
-    /// were predicted under.
+    /// Bumped whenever the rate changes; completion events carry the
+    /// version they were predicted under.
     version: u64,
+    /// When `remaining` was last advanced. Flows advance lazily — only
+    /// at rate changes — so disjoint components cost nothing per event.
+    last_update: SimTime,
+    /// The flow's live completion event, cancelled when superseded.
+    pending: Option<EventKey>,
+    /// Component-BFS visit stamp (see `Fabric::epoch`).
+    seen: u64,
     started: SimTime,
-    path: Vec<LinkId>,
+    path: Path,
 }
 
 /// A transfer waiting for its scheduled start time.
@@ -94,6 +145,15 @@ pub struct FabricStats {
     pub peak_active: usize,
     /// Re-share passes run (a measure of contention churn).
     pub reshares: u64,
+    /// Superseded completion events dropped — cancelled in the queue
+    /// when a re-share re-predicted the flow, or (defensively)
+    /// recognized stale by version at fire time. High churn relative to
+    /// `completed` means heavy rate turbulence.
+    pub stale_events_dropped: u64,
+    /// High-water mark of the event heap (including not-yet-collected
+    /// tombstones) — the memory the fabric's future-event list peaked
+    /// at.
+    pub peak_queue_len: usize,
 }
 
 /// The flow-level network simulator. See the module docs.
@@ -103,8 +163,19 @@ pub struct Fabric {
     queue: EventQueue<NetEvent>,
     pending: BTreeMap<u64, PendingFlow>,
     active: BTreeMap<u64, Flow>,
-    /// When `active` flows' `remaining` counters were last advanced.
-    last_update: SimTime,
+    /// Inverted index: `flows_on[link]` holds the active flows crossing
+    /// `link`, ascending by id. This is what makes re-shares
+    /// component-scoped and `link_load` O(flows-on-link).
+    flows_on: Vec<Vec<u64>>,
+    /// Component-BFS link visit stamps, paired with `epoch`.
+    link_seen: Vec<u64>,
+    /// Bumped per component walk; a link/flow is in the current walk
+    /// iff its stamp equals this.
+    epoch: u64,
+    /// Running sum of active flows' `remaining` (as of each flow's own
+    /// `last_update`), serving `in_flight_bytes` in O(1).
+    in_flight_remaining: f64,
+    scope: ReshareScope,
     next_id: u64,
     hop_latency: SimDuration,
     stats: FabricStats,
@@ -114,12 +185,17 @@ pub struct Fabric {
 impl Fabric {
     /// A fabric over an explicit topology.
     pub fn new(topo: Topology, config: &NetworkConfig) -> Self {
+        let n_links = topo.n_links();
         Fabric {
             topo,
             queue: EventQueue::new(),
             pending: BTreeMap::new(),
             active: BTreeMap::new(),
-            last_update: SimTime::ZERO,
+            flows_on: vec![Vec::new(); n_links],
+            link_seen: vec![0; n_links],
+            epoch: 0,
+            in_flight_remaining: 0.0,
+            scope: ReshareScope::Component,
             next_id: 0,
             hop_latency: SimDuration::from_secs_f64(config.hop_latency_ms / 1_000.0),
             stats: FabricStats::default(),
@@ -137,6 +213,18 @@ impl Fabric {
         &self.topo
     }
 
+    /// The re-share scope in force.
+    pub fn reshare_scope(&self) -> ReshareScope {
+        self.scope
+    }
+
+    /// Switches the re-share scope. Safe at any point — both scopes
+    /// produce bitwise-identical trajectories (see the module docs) —
+    /// but `Global` exists for validation, not production use.
+    pub fn set_reshare_scope(&mut self, scope: ReshareScope) {
+        self.scope = scope;
+    }
+
     /// Aggregate counters.
     pub fn stats(&self) -> &FabricStats {
         &self.stats
@@ -152,14 +240,25 @@ impl Fabric {
         self.pending.len()
     }
 
-    /// Bytes still in flight across all active flows.
+    /// Bytes still in flight across all active flows (each counted as
+    /// of its own last rate change, since flows advance lazily), plus
+    /// the folded-in latency padding. Served from a running total in
+    /// O(1).
     pub fn in_flight_bytes(&self) -> f64 {
-        self.active.values().map(|f| f.remaining).sum()
+        self.in_flight_remaining.max(0.0)
     }
 
     /// The current max-min rate of a flow in bytes/s, if it is active.
     pub fn flow_rate(&self, flow: FlowId) -> Option<f64> {
         self.active.get(&flow.0).map(|f| f.rate)
+    }
+
+    /// The re-prediction version of an active flow — bumped whenever a
+    /// re-share changes its rate. Disjoint-component flows keep their
+    /// version (and their scheduled completion event) across unrelated
+    /// starts/finishes; tests pin that.
+    pub fn flow_version(&self, flow: FlowId) -> Option<u64> {
+        self.active.get(&flow.0).map(|f| f.version)
     }
 
     /// Ids of the currently active flows, ascending.
@@ -172,13 +271,18 @@ impl Fabric {
         self.active.get(&flow.0).map(|f| f.path.as_slice())
     }
 
-    /// Sum of active-flow rates crossing `link`, in bytes/s.
+    /// Sum of active-flow rates crossing `link`, in bytes/s. Served
+    /// from the inverted index in O(flows-on-link).
     pub fn link_load(&self, link: LinkId) -> f64 {
-        self.active
-            .values()
-            .filter(|f| f.path.contains(&link))
-            .map(|f| f.rate)
+        self.flows_on[link.0 as usize]
+            .iter()
+            .map(|id| self.active[id].rate)
             .sum()
+    }
+
+    /// Number of active flows crossing `link` (O(1) via the index).
+    pub fn link_flows(&self, link: LinkId) -> usize {
+        self.flows_on[link.0 as usize].len()
     }
 
     /// Schedules a `src → dst` transfer of `bytes` to start at `at`.
@@ -209,12 +313,14 @@ impl Fabric {
             },
         );
         self.queue.push(at, NetEvent::Start(id));
+        self.stats.peak_queue_len = self.stats.peak_queue_len.max(self.queue.len());
         id
     }
 
-    /// A lower bound on the next instant anything can happen in the
-    /// fabric (`None` when it is idle). Stale completion events make this
-    /// conservative: pumping to this time may be a no-op, never wrong.
+    /// The next instant anything can happen in the fabric (`None` when
+    /// it is idle). Superseded completion events are cancelled in the
+    /// queue, so this is exact: the next event is a real flow start or
+    /// a live predicted completion.
     pub fn next_event_time(&self) -> Option<SimTime> {
         self.queue.peek_time()
     }
@@ -245,44 +351,43 @@ impl Fabric {
         let Some(p) = self.pending.remove(&id.0) else {
             return; // cancelled
         };
-        let path = self.topo.path(p.src, p.dst);
+        let path = self.topo.path_links(p.src, p.dst);
         // Per-hop switching latency: charge it up front by extending the
         // effective start; for the empty path (local copy) the flow
         // completes immediately.
         if path.is_empty() {
-            self.finish_flow(
-                id,
-                now,
-                Flow {
-                    tag: p.tag,
-                    bytes: p.bytes,
-                    remaining: 0.0,
-                    rate: f64::INFINITY,
-                    version: 0,
-                    started: now,
-                    path,
-                },
-            );
+            self.finish_flow(id, now, p.tag, p.bytes, now);
             return;
         }
-        self.advance_to(now);
         let latency = self.hop_latency.mul_f64(path.len() as f64);
+        // Fold per-hop latency in as bottleneck-bytes so a tiny flow
+        // still takes ≥ the path latency.
+        let remaining = p.bytes as f64 + latency.as_secs_f64() * self.path_bottleneck(&path);
         self.active.insert(
             id.0,
             Flow {
                 tag: p.tag,
                 bytes: p.bytes,
-                // Fold per-hop latency in as bottleneck-bytes so a tiny
-                // flow still takes ≥ the path latency.
-                remaining: p.bytes as f64 + latency.as_secs_f64() * self.path_bottleneck(&path),
+                remaining,
                 rate: 0.0,
                 version: 0,
+                last_update: now,
+                pending: None,
+                seen: 0,
                 started: now,
                 path,
             },
         );
+        self.in_flight_remaining += remaining;
+        for l in &path {
+            let list = &mut self.flows_on[l.0 as usize];
+            // Ids are assigned at schedule time but start in event-time
+            // order, so keep each list sorted explicitly.
+            let pos = list.binary_search(&id.0).unwrap_err();
+            list.insert(pos, id.0);
+        }
         self.stats.peak_active = self.stats.peak_active.max(self.active.len());
-        self.reshare(now);
+        self.reshare(now, path.as_slice());
     }
 
     fn on_complete(&mut self, id: FlowId, version: u64, now: SimTime) {
@@ -291,36 +396,32 @@ impl Fabric {
             None => true,
         };
         if stale {
+            // Defensive: superseded events are cancelled at re-predict
+            // time, so a stale fire indicates a missed cancellation.
+            self.stats.stale_events_dropped += 1;
             return;
         }
-        self.advance_to(now);
         let flow = self.active.remove(&id.0).expect("checked above");
-        self.finish_flow(id, now, flow);
-        self.reshare(now);
+        self.in_flight_remaining -= flow.remaining;
+        for l in &flow.path {
+            let list = &mut self.flows_on[l.0 as usize];
+            let pos = list.binary_search(&id.0).expect("flow indexed on link");
+            list.remove(pos);
+        }
+        self.finish_flow(id, now, flow.tag, flow.bytes, flow.started);
+        self.reshare(now, flow.path.as_slice());
     }
 
-    fn finish_flow(&mut self, id: FlowId, now: SimTime, flow: Flow) {
+    fn finish_flow(&mut self, id: FlowId, now: SimTime, tag: u64, bytes: u64, started: SimTime) {
         self.stats.completed += 1;
-        self.stats.bytes_delivered += flow.bytes;
+        self.stats.bytes_delivered += bytes;
         self.completions.push(FlowCompletion {
             flow: id,
             at: now,
-            tag: flow.tag,
-            bytes: flow.bytes,
-            started: flow.started,
+            tag,
+            bytes,
+            started,
         });
-    }
-
-    /// Drains transferred bytes from every active flow for the time
-    /// elapsed since the last update.
-    fn advance_to(&mut self, now: SimTime) {
-        let dt = now.since(self.last_update).as_secs_f64();
-        if dt > 0.0 {
-            for f in self.active.values_mut() {
-                f.remaining = (f.remaining - f.rate * dt).max(0.0);
-            }
-        }
-        self.last_update = now;
     }
 
     fn path_bottleneck(&self, path: &[LinkId]) -> f64 {
@@ -329,32 +430,90 @@ impl Fabric {
             .fold(f64::INFINITY, f64::min)
     }
 
-    /// Recomputes max-min fair rates (progressive filling) and
-    /// re-predicts every active flow's completion.
+    /// Collects the connected component of active flows transitively
+    /// sharing a link with `seeds` (a changed flow's path): breadth-
+    /// first over the inverted index, alternating link → flows and
+    /// flow → links. Returns (flow ids, link ids), both ascending — the
+    /// sort makes the filling order independent of discovery order.
+    fn component(&mut self, seeds: &[LinkId]) -> (Vec<u64>, Vec<u32>) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut flows: Vec<u64> = Vec::new();
+        let mut links: Vec<u32> = Vec::new();
+        let mut frontier: Vec<u32> = Vec::new();
+        for l in seeds {
+            if self.link_seen[l.0 as usize] != epoch {
+                self.link_seen[l.0 as usize] = epoch;
+                frontier.push(l.0);
+            }
+        }
+        let flows_on = &self.flows_on;
+        let active = &mut self.active;
+        let link_seen = &mut self.link_seen;
+        while let Some(l) = frontier.pop() {
+            links.push(l);
+            for fid in &flows_on[l as usize] {
+                let f = active.get_mut(fid).expect("indexed flow is active");
+                if f.seen == epoch {
+                    continue;
+                }
+                f.seen = epoch;
+                flows.push(*fid);
+                for pl in f.path.as_slice() {
+                    if link_seen[pl.0 as usize] != epoch {
+                        link_seen[pl.0 as usize] = epoch;
+                        frontier.push(pl.0);
+                    }
+                }
+            }
+        }
+        flows.sort_unstable();
+        links.sort_unstable();
+        (flows, links)
+    }
+
+    /// Recomputes max-min fair rates (progressive filling) for the
+    /// flows the event can affect and re-predicts their completions.
+    /// `seeds` is the changed flow's path; under
+    /// [`ReshareScope::Component`] only its connected component is
+    /// recomputed, under [`ReshareScope::Global`] everything is.
     ///
     /// Progressive filling: repeatedly find the most-contended link (the
     /// one whose remaining capacity split across its unfrozen flows is
     /// smallest), freeze those flows at that fair share, subtract their
     /// demand everywhere, and repeat. The result is the unique max-min
     /// fair allocation; every flow ends up bottlenecked by (at least) one
-    /// saturated link on its path.
-    fn reshare(&mut self, now: SimTime) {
+    /// saturated link on its path. Filling over a component is bitwise
+    /// identical to filling over the whole population restricted to it:
+    /// a link's fair share involves only its own component's flows, so
+    /// interleaving freezes across disjoint components never changes
+    /// what any flow gets.
+    fn reshare(&mut self, now: SimTime, seeds: &[LinkId]) {
         self.stats.reshares += 1;
         if self.active.is_empty() {
             return;
         }
 
-        // Work over only the links active flows actually touch (≤ 4 per
-        // flow), not the whole topology — a trickle of flows in a large
-        // datacenter must not pay O(n_servers) per event. Sorted ids
-        // keep the bottleneck scan's lowest-link-id tie-break.
-        let ids: Vec<u64> = self.active.keys().copied().collect();
-        let mut used: Vec<u32> = ids
-            .iter()
-            .flat_map(|id| self.active[id].path.iter().map(|l| l.0))
-            .collect();
-        used.sort_unstable();
-        used.dedup();
+        // The candidate set: one component, or everything. Sorted ids
+        // keep the freeze order and the bottleneck tie-break identical
+        // between the two scopes.
+        let (ids, used): (Vec<u64>, Vec<u32>) = match self.scope {
+            ReshareScope::Component => self.component(seeds),
+            ReshareScope::Global => {
+                let ids: Vec<u64> = self.active.keys().copied().collect();
+                let mut used: Vec<u32> = ids
+                    .iter()
+                    .flat_map(|id| self.active[id].path.iter().map(|l| l.0))
+                    .collect();
+                used.sort_unstable();
+                used.dedup();
+                (ids, used)
+            }
+        };
+        if ids.is_empty() {
+            return;
+        }
+
         let slot_of =
             |link: LinkId| -> usize { used.binary_search(&link.0).expect("link in used set") };
         let mut spare: Vec<f64> = used
@@ -362,7 +521,6 @@ impl Fabric {
             .map(|&l| self.topo.capacity(LinkId(l)))
             .collect();
         let mut unfrozen_on: Vec<u32> = vec![0; used.len()];
-        // Deterministic flow order: BTreeMap iterates by ascending id.
         for id in &ids {
             for l in &self.active[id].path {
                 unfrozen_on[slot_of(*l)] += 1;
@@ -389,16 +547,19 @@ impl Fabric {
                 break; // no unfrozen flow crosses any link
             };
             let share = share.max(0.0);
-            let bottleneck = LinkId(used[bottleneck]);
-            // Freeze every unfrozen flow crossing the bottleneck.
-            for (i, id) in ids.iter().enumerate() {
-                if frozen[i] || !self.active[id].path.contains(&bottleneck) {
+            let bottleneck = used[bottleneck];
+            // Freeze every unfrozen flow crossing the bottleneck,
+            // ascending by id straight off the inverted index (every
+            // flow on a candidate link is itself a candidate).
+            for fid in &self.flows_on[bottleneck as usize] {
+                let i = ids.binary_search(fid).expect("flow in candidate set");
+                if frozen[i] {
                     continue;
                 }
                 frozen[i] = true;
                 rates[i] = share;
                 left -= 1;
-                for l in &self.active[id].path {
+                for l in &self.active[fid].path {
                     let slot = slot_of(*l);
                     spare[slot] = (spare[slot] - share).max(0.0);
                     unfrozen_on[slot] -= 1;
@@ -407,15 +568,32 @@ impl Fabric {
         }
 
         // Apply rates and re-predict completions. A flow whose rate is
-        // bitwise-unchanged keeps its pending Complete event: `remaining`
-        // was advanced at the old rate, so the previously predicted
-        // absolute completion time is still exact, and skipping the
-        // re-push avoids O(active) stale events per re-share for flows
-        // on disjoint paths. (`version > 0` guarantees an event exists.)
+        // bitwise-unchanged keeps its pending Complete event: its
+        // `remaining` hasn't been advanced since that event was
+        // predicted, so the predicted absolute completion time is still
+        // exact. A flow whose rate changes is advanced lazily — one
+        // multiply covering the whole span since its own last change —
+        // and its superseded event is cancelled in the queue.
+        // (`version > 0` guarantees an event exists.)
+        let active = &mut self.active;
+        let queue = &mut self.queue;
+        let stats = &mut self.stats;
         for (i, id) in ids.iter().enumerate() {
-            let f = self.active.get_mut(id).expect("active");
+            let f = active.get_mut(id).expect("active");
             if f.version > 0 && rates[i] == f.rate {
                 continue;
+            }
+            let dt = now.since(f.last_update).as_secs_f64();
+            if dt > 0.0 {
+                let advanced = (f.remaining - f.rate * dt).max(0.0);
+                self.in_flight_remaining -= f.remaining - advanced;
+                f.remaining = advanced;
+            }
+            f.last_update = now;
+            if let Some(key) = f.pending.take() {
+                if queue.cancel(key) {
+                    stats.stale_events_dropped += 1;
+                }
             }
             f.rate = rates[i];
             f.version += 1;
@@ -426,8 +604,9 @@ impl Fabric {
                 // far in the future; a later re-share will rescue it.
                 SimDuration::from_days(365_000)
             };
-            self.queue
-                .push(now + eta, NetEvent::Complete(FlowId(*id), f.version));
+            f.pending =
+                Some(queue.push_keyed(now + eta, NetEvent::Complete(FlowId(*id), f.version)));
+            stats.peak_queue_len = stats.peak_queue_len.max(queue.len());
         }
     }
 }
@@ -633,5 +812,123 @@ mod tests {
         assert_eq!(s.bytes_delivered, 20 * MB);
         assert_eq!(s.peak_active, 2);
         assert!(s.reshares >= 4);
+        // The second flow's arrival re-predicted the first's completion,
+        // which cancelled (dropped) the superseded event.
+        assert!(s.stale_events_dropped >= 1);
+        assert!(s.peak_queue_len >= 2);
+    }
+
+    /// The point of component scoping: an unrelated start/finish leaves
+    /// a disjoint flow's rate, version, and scheduled completion event
+    /// untouched.
+    #[test]
+    fn disjoint_flows_keep_their_event_version() {
+        let (dc, mut f) = fabric();
+        let racks = dc.n_racks();
+        assert!(racks >= 4, "need 4 racks, have {racks}");
+        let by_rack = |r: u32| {
+            dc.servers
+                .iter()
+                .find(|s| s.rack.0 == r)
+                .expect("rack populated")
+                .id
+        };
+        // A long-lived flow between racks 0 and 1.
+        let bystander = f.schedule_flow(SimTime::ZERO, by_rack(0), by_rack(1), 1_250 * MB, 1);
+        f.pump(SimTime::ZERO);
+        let v0 = f.flow_version(bystander).expect("active");
+        let r0 = f.flow_rate(bystander).expect("active");
+        // An unrelated flow between racks 2 and 3 starts and finishes.
+        f.schedule_flow(SimTime::from_millis(10), by_rack(2), by_rack(3), 10 * MB, 2);
+        f.pump(SimTime::from_millis(500));
+        assert_eq!(f.stats().completed, 1, "unrelated flow should be done");
+        assert_eq!(
+            f.flow_version(bystander),
+            Some(v0),
+            "disjoint-component flow was re-predicted by an unrelated start/finish"
+        );
+        assert_eq!(f.flow_rate(bystander), Some(r0));
+        // A flow that *does* share the bystander's links bumps it.
+        f.schedule_flow(SimTime::from_secs(1), by_rack(0), by_rack(1), 10 * MB, 3);
+        f.pump(SimTime::from_secs(1));
+        assert!(
+            f.flow_version(bystander).expect("active") > v0,
+            "sharing flow must re-predict the bystander"
+        );
+        f.drain();
+    }
+
+    /// Component scoping and the global reference recompute must agree
+    /// bitwise (the full randomized oracle lives in tests/properties.rs).
+    #[test]
+    fn component_scope_matches_global_scope() {
+        let run = |scope: ReshareScope| {
+            let (dc, mut f) = fabric();
+            f.set_reshare_scope(scope);
+            let n = dc.n_servers();
+            for i in 0..40u64 {
+                f.schedule_flow(
+                    SimTime::from_millis(i * 23),
+                    dc.servers[(i as usize * 13) % n].id,
+                    dc.servers[(i as usize * 7 + 1) % n].id,
+                    (i % 64 + 1) * 4 * MB,
+                    i,
+                );
+            }
+            f.pump(SimTime::from_millis(300));
+            let probe: Vec<(u64, u64, u64)> = f
+                .active_flow_ids()
+                .iter()
+                .map(|&id| {
+                    (
+                        id.0,
+                        f.flow_rate(id).unwrap().to_bits(),
+                        f.flow_version(id).unwrap(),
+                    )
+                })
+                .collect();
+            let ends: Vec<(u64, SimTime)> = f.drain().into_iter().map(|c| (c.tag, c.at)).collect();
+            (probe, ends)
+        };
+        let comp = run(ReshareScope::Component);
+        let glob = run(ReshareScope::Global);
+        assert_eq!(comp.0, glob.0, "mid-run rates/versions diverged");
+        assert_eq!(comp.1, glob.1, "completion schedules diverged");
+    }
+
+    /// link_load served from the inverted index agrees with a direct
+    /// scan over flow paths.
+    #[test]
+    fn link_load_matches_path_scan() {
+        let (dc, mut f) = fabric();
+        let n = dc.n_servers();
+        for i in 0..30u64 {
+            f.schedule_flow(
+                SimTime::ZERO,
+                dc.servers[(i as usize * 11) % n].id,
+                dc.servers[(i as usize * 3 + 2) % n].id,
+                50 * MB,
+                i,
+            );
+        }
+        f.pump(SimTime::ZERO);
+        for l in 0..f.topology().n_links() {
+            let link = LinkId(l as u32);
+            let scan: f64 = f
+                .active_flow_ids()
+                .iter()
+                .filter(|&&id| f.flow_path(id).unwrap().contains(&link))
+                .map(|&id| f.flow_rate(id).unwrap())
+                .sum();
+            assert_eq!(f.link_load(link), scan, "link {l}");
+            assert_eq!(
+                f.link_flows(link),
+                f.active_flow_ids()
+                    .iter()
+                    .filter(|&&id| f.flow_path(id).unwrap().contains(&link))
+                    .count()
+            );
+        }
+        f.drain();
     }
 }

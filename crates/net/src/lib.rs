@@ -46,5 +46,5 @@ pub mod fabric;
 pub mod topology;
 
 pub use config::NetworkConfig;
-pub use fabric::{Fabric, FabricStats, FlowCompletion, FlowId};
-pub use topology::{LinkId, Topology};
+pub use fabric::{Fabric, FabricStats, FlowCompletion, FlowId, ReshareScope};
+pub use topology::{LinkId, Path, Topology};

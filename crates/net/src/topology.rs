@@ -9,6 +9,59 @@ use crate::config::NetworkConfig;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkId(pub u32);
 
+/// The (at most four) links a flow traverses, inline — the hierarchical
+/// topology never produces longer paths, so the fabric's hot path can
+/// carry one of these per flow without a heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Path {
+    links: [LinkId; 4],
+    len: u8,
+}
+
+impl Path {
+    fn new(links: &[LinkId]) -> Self {
+        debug_assert!(links.len() <= 4, "paths are at most 4 hops");
+        let mut buf = [LinkId(0); 4];
+        buf[..links.len()].copy_from_slice(links);
+        Path {
+            links: buf,
+            len: links.len() as u8,
+        }
+    }
+
+    /// The links, in traversal order.
+    pub fn as_slice(&self) -> &[LinkId] {
+        &self.links[..self.len as usize]
+    }
+
+    /// Number of hops (0 for a local copy).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the path is empty (source and destination coincide).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Deref for Path {
+    type Target = [LinkId];
+
+    fn deref(&self) -> &[LinkId] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a Path {
+    type Item = &'a LinkId;
+    type IntoIter = std::slice::Iter<'a, LinkId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// The hierarchical topology: every server hangs off its rack's ToR
 /// switch through a full-duplex NIC link, and every ToR reaches the
 /// (non-blocking) aggregation/core tier through an oversubscribed uplink
@@ -64,6 +117,37 @@ impl Topology {
         }
     }
 
+    /// A synthetic topology of `n_servers` in full racks of
+    /// [`RACK_SIZE`], without generating a [`Datacenter`] (no tenants,
+    /// no utilization traces). Link layout and capacities are identical
+    /// to [`Topology::from_datacenter`] over a datacenter of the same
+    /// size — this is how the benches build unscaled DC-sized fabrics
+    /// cheaply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_servers` is zero or the config is invalid.
+    pub fn synthetic(n_servers: usize, config: &NetworkConfig) -> Self {
+        config.validate();
+        assert!(n_servers > 0, "cannot build a fabric over zero servers");
+        let n = n_servers as u32;
+        let r = n.div_ceil(RACK_SIZE);
+        let nic = config.nic_bytes_per_sec();
+        let uplink = nic * RACK_SIZE as f64 / config.oversubscription;
+
+        let mut capacity = Vec::with_capacity((2 * n + 2 * r) as usize);
+        capacity.extend(std::iter::repeat_n(nic, 2 * n as usize));
+        capacity.extend(std::iter::repeat_n(uplink, 2 * r as usize));
+
+        Topology {
+            capacity,
+            rack_of: (0..n).map(|s| s / RACK_SIZE).collect(),
+            n_servers: n,
+            n_racks: r,
+            hop_latency_ms: config.hop_latency_ms,
+        }
+    }
+
     /// Number of servers.
     pub fn n_servers(&self) -> usize {
         self.n_servers as usize
@@ -113,19 +197,26 @@ impl Topology {
     /// and destination are the same server (a local copy never touches
     /// the fabric); two links within a rack; four links across racks.
     pub fn path(&self, src: ServerId, dst: ServerId) -> Vec<LinkId> {
+        self.path_links(src, dst).as_slice().to_vec()
+    }
+
+    /// Allocation-free variant of [`Topology::path`] for hot paths: the
+    /// fabric stores one [`Path`] per flow and builds its inverted
+    /// link → flows index from it.
+    pub fn path_links(&self, src: ServerId, dst: ServerId) -> Path {
         if src == dst {
-            return Vec::new();
+            return Path::new(&[]);
         }
         let (sr, dr) = (self.rack_of(src), self.rack_of(dst));
         if sr == dr {
-            vec![self.server_tx(src), self.server_rx(dst)]
+            Path::new(&[self.server_tx(src), self.server_rx(dst)])
         } else {
-            vec![
+            Path::new(&[
                 self.server_tx(src),
                 self.rack_up(sr),
                 self.rack_down(dr),
                 self.server_rx(dst),
-            ]
+            ])
         }
     }
 
@@ -224,6 +315,31 @@ mod tests {
         assert_eq!(path.len(), 4);
         assert!(path.contains(&t.rack_up(t.rack_of(ServerId(0)))));
         assert!(path.contains(&t.rack_down(t.rack_of(other_rack.id))));
+    }
+
+    #[test]
+    fn synthetic_matches_datacenter_layout() {
+        let (dc, t) = topo();
+        let s = Topology::synthetic(dc.n_servers(), &NetworkConfig::datacenter());
+        assert_eq!(s.n_servers(), t.n_servers());
+        // Rack count can differ by partial trailing racks, but link
+        // capacities and path shapes agree for any server pair.
+        let a = ServerId(0);
+        let b = ServerId(dc.n_servers() as u32 - 1);
+        assert_eq!(s.path(a, b).len(), 4);
+        assert_eq!(s.capacity(s.server_tx(a)), t.capacity(t.server_tx(a)));
+        assert_eq!(s.capacity(s.rack_up(0)), t.capacity(t.rack_up(0)));
+        assert_eq!(s.path_capacity(a, b), t.path_capacity(a, b));
+    }
+
+    #[test]
+    fn path_links_agrees_with_path() {
+        let (dc, t) = topo();
+        for (i, j) in [(0usize, 0usize), (0, 1), (0, dc.n_servers() - 1)] {
+            let a = ServerId(i as u32);
+            let b = ServerId(j as u32);
+            assert_eq!(t.path(a, b), t.path_links(a, b).as_slice().to_vec());
+        }
     }
 
     #[test]

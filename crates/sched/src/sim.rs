@@ -368,6 +368,8 @@ impl<'a> Runner<'a> {
             avg_primary_utilization: self.primary_core_ms / denom,
             server_load: self.server_load,
             kills_per_server: self.kills_per_server,
+            fabric: self.fabric.as_ref().map(|f| *f.stats()),
+            disks: self.disks.as_ref().map(|p| *p.stats()),
         }
     }
 

@@ -1,5 +1,7 @@
 //! Scheduling-simulation outputs.
 
+use harvest_disk::DiskStats;
+use harvest_net::FabricStats;
 use harvest_sim::metrics::StreamingStats;
 use harvest_sim::{SimDuration, SimTime};
 
@@ -49,6 +51,11 @@ pub struct SimStats {
     pub server_load: Vec<Vec<LoadSample>>,
     /// Task kills attributed to each server.
     pub kills_per_server: Vec<u64>,
+    /// Final fabric counters (re-shares, stale events dropped, peak
+    /// queue length) when shuffles travelled a network model.
+    pub fabric: Option<FabricStats>,
+    /// Final disk-pool counters when shuffles paid for disk I/O.
+    pub disks: Option<DiskStats>,
 }
 
 impl SimStats {
@@ -108,6 +115,8 @@ mod tests {
             avg_primary_utilization: 0.3,
             server_load: Vec::new(),
             kills_per_server: Vec::new(),
+            fabric: None,
+            disks: None,
         };
         assert_eq!(stats.mean_execution_secs(), 100.0);
         assert_eq!(stats.completed_jobs(), 1);

@@ -36,5 +36,5 @@ pub mod metrics;
 pub mod rng;
 pub mod time;
 
-pub use engine::EventQueue;
+pub use engine::{EventKey, EventQueue};
 pub use time::{SimDuration, SimTime};

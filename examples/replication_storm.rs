@@ -70,6 +70,23 @@ fn main() {
                  (mean transfer {:.2}s)",
                 r.replicas_lost, r.repairs, r.recovered_at, r.mean_transfer_secs,
             );
+            // Storm churn, for tuning max_repair_streams: how hard the
+            // fair-sharing engines worked and how concurrent the storm
+            // actually ran.
+            if let Some(f) = r.fabric {
+                println!(
+                    "                fabric: {} reshares, peak {} active flows, \
+                     {} stale events dropped, peak heap {}",
+                    f.reshares, f.peak_active, f.stale_events_dropped, f.peak_queue_len,
+                );
+            }
+            if let Some(d) = r.disk {
+                println!(
+                    "                disks:  {} reshares, peak {} active streams, \
+                     {} stale events dropped, peak heap {}",
+                    d.reshares, d.peak_active, d.stale_events_dropped, d.peak_queue_len,
+                );
+            }
             recovered.push(r.recovered_at);
         }
         let net_delta = recovered[1].since(recovered[0]);

@@ -190,7 +190,17 @@ fn fabric_dc() -> Datacenter {
 /// Builds a fabric carrying `flows` (src, dst, bytes, start-ms tuples
 /// mapped into the datacenter) and pumps it to `probe_ms`.
 fn loaded_fabric(dc: &Datacenter, flows: &[(usize, usize, u64, u64)], probe_ms: u64) -> Fabric {
+    loaded_fabric_scoped(dc, flows, probe_ms, harvest::net::ReshareScope::Component)
+}
+
+fn loaded_fabric_scoped(
+    dc: &Datacenter,
+    flows: &[(usize, usize, u64, u64)],
+    probe_ms: u64,
+    scope: harvest::net::ReshareScope,
+) -> Fabric {
     let mut fabric = Fabric::from_datacenter(dc, &NetworkConfig::datacenter());
+    fabric.set_reshare_scope(scope);
     let n = dc.n_servers();
     for (i, &(s, d, bytes, at)) in flows.iter().enumerate() {
         fabric.schedule_flow(
@@ -300,6 +310,37 @@ proptest! {
         prop_assert_eq!(a.len(), flows.len(), "flows went missing");
         prop_assert_eq!(a, b);
     }
+
+    /// The incremental-allocator oracle: component-scoped re-sharing is
+    /// *bitwise* identical to the reference global recompute — same
+    /// rates (compared by bit pattern), same versions, same completion
+    /// schedule — across randomized storm workloads.
+    #[test]
+    fn fabric_component_reshare_matches_global_oracle(
+        flows in prop::collection::vec((0usize..500, 0usize..500, 0u64..64, 0u64..400), 1..60),
+        probe_ms in 0u64..400,
+    ) {
+        let dc = fabric_dc();
+        let run = |scope: harvest::net::ReshareScope| {
+            let mut f = loaded_fabric_scoped(&dc, &flows, probe_ms, scope);
+            let probe: Vec<(u64, u64, u64)> = f
+                .active_flow_ids()
+                .iter()
+                .map(|&id| (
+                    id.0,
+                    f.flow_rate(id).unwrap().to_bits(),
+                    f.flow_version(id).unwrap(),
+                ))
+                .collect();
+            let ends: Vec<(u64, harvest::sim::SimTime)> =
+                f.drain().into_iter().map(|c| (c.tag, c.at)).collect();
+            (probe, ends)
+        };
+        let comp = run(harvest::net::ReshareScope::Component);
+        let glob = run(harvest::net::ReshareScope::Global);
+        prop_assert_eq!(&comp.0, &glob.0, "mid-storm rates/versions diverged");
+        prop_assert_eq!(&comp.1, &glob.1, "completion schedules diverged");
+    }
 }
 
 /// Builds a pool of `N_DISKS` carrying `streams` ((server, dir, bytes,
@@ -312,7 +353,22 @@ fn loaded_pool(
     utils: &[(usize, u64)],
     probe_ms: u64,
 ) -> DiskPool {
+    loaded_pool_scoped(
+        streams,
+        utils,
+        probe_ms,
+        harvest::disk::ReshareScope::Channel,
+    )
+}
+
+fn loaded_pool_scoped(
+    streams: &[(usize, u64, u64, u64)],
+    utils: &[(usize, u64)],
+    probe_ms: u64,
+    scope: harvest::disk::ReshareScope,
+) -> DiskPool {
     let mut pool = DiskPool::new(N_DISKS, &DiskConfig::datacenter());
+    pool.set_reshare_scope(scope);
     for &(server, centi_util) in utils {
         pool.set_primary_util(
             harvest::sim::SimTime::ZERO,
@@ -420,6 +476,38 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The disk-pool oracle: channel-scoped re-sharing is *bitwise*
+    /// identical to the reference global recompute (every channel
+    /// re-shared on every event) — same rates, versions, and completion
+    /// schedule — across randomized storm workloads. Utilizations are
+    /// capped below the throttle threshold so drain() terminates.
+    #[test]
+    fn disk_channel_reshare_matches_global_oracle(
+        streams in prop::collection::vec((0usize..500, 0u64..2, 0u64..64, 0u64..400), 1..60),
+        utils in prop::collection::vec((0usize..500, 0u64..45), 0..8),
+        probe_ms in 0u64..400,
+    ) {
+        let run = |scope: harvest::disk::ReshareScope| {
+            let mut p = loaded_pool_scoped(&streams, &utils, probe_ms, scope);
+            let probe: Vec<(u64, u64, u64)> = p
+                .active_stream_ids()
+                .iter()
+                .map(|&id| (
+                    id.0,
+                    p.stream_rate(id).unwrap().to_bits(),
+                    p.stream_version(id).unwrap(),
+                ))
+                .collect();
+            let ends: Vec<(u64, harvest::sim::SimTime)> =
+                p.drain().into_iter().map(|c| (c.tag, c.at)).collect();
+            (probe, ends)
+        };
+        let chan = run(harvest::disk::ReshareScope::Channel);
+        let glob = run(harvest::disk::ReshareScope::Global);
+        prop_assert_eq!(&chan.0, &glob.0, "mid-storm rates/versions diverged");
+        prop_assert_eq!(&chan.1, &glob.1, "completion schedules diverged");
     }
 
     /// The disk pool replays bit-identically for identical inputs.
