@@ -6,11 +6,38 @@
 //! tenant's "average server" trace plus a small deterministic per-server
 //! jitter, reflecting §3.2's observation that load "is not always evenly
 //! balanced across all servers of a primary tenant".
+//!
+//! # Cost model
+//!
+//! The view is built once and queried millions of times, so queries are
+//! index arithmetic, never scans:
+//!
+//! * [`UtilizationView::fleet_util`] is one array lookup into a
+//!   server-weighted fleet [`TimeSeries`] precomputed at build time.
+//!   The accumulation is per *tenant* (each tenant's sample times its
+//!   server count), so the precompute is O(samples × tenants) — a few
+//!   milliseconds even for an unscaled datacenter — instead of
+//!   O(samples × servers), and a tick pays one lookup instead of an
+//!   O(servers) sweep. [`UtilizationView::fleet_util_scan`] keeps the
+//!   per-call recomputation of the same quantity as the
+//!   bitwise-identical reference (same tenant-order accumulation); it
+//!   differs from the naive per-server sum only by float-rounding ulps
+//!   (well inside the 1e-9 the tests allow).
+//! * [`UtilizationView::slot_of`], [`UtilizationView::tenant_sample_changed`],
+//!   and [`UtilizationView::server_sample_changed`] expose the sampling
+//!   grid so change-driven callers (the scheduler's incremental tick
+//!   sweep) can skip tenants and servers whose sample did not move
+//!   across a tick boundary, instead of re-reading the whole fleet.
+//!
+//! Everything stays deterministic: jitter is a hash of (seed, server,
+//! slot), and "changed" compares samples bitwise, so a change-driven
+//! replay touches exactly the servers whose playback value moved.
 
 use harvest_sim::rng::splitmix64;
 use harvest_sim::SimTime;
 use harvest_trace::scaling::{scale, ScalingKind};
 use harvest_trace::timeseries::TimeSeries;
+use harvest_trace::SAMPLE_INTERVAL;
 
 use crate::datacenter::Datacenter;
 use crate::server::{ServerId, TenantId};
@@ -23,8 +50,14 @@ pub const DEFAULT_JITTER: f64 = 0.01;
 pub struct UtilizationView {
     traces: Vec<TimeSeries>,
     server_tenant: Vec<u32>,
+    /// Servers per tenant — the fleet-average weights.
+    tenant_servers: Vec<f64>,
     jitter_amp: f64,
     jitter_seed: u64,
+    /// Server-weighted fleet utilization, one sample per trace slot,
+    /// precomputed at build time (`None` when the tenant traces do not
+    /// share a sampling grid and the scan fallback must be used).
+    fleet: Option<TimeSeries>,
 }
 
 impl UtilizationView {
@@ -45,7 +78,7 @@ impl UtilizationView {
         jitter_amp: f64,
         jitter_seed: u64,
     ) -> Self {
-        let traces = dc
+        let traces: Vec<TimeSeries> = dc
             .tenants
             .iter()
             .map(|t| match scaling {
@@ -53,11 +86,19 @@ impl UtilizationView {
                 None => t.trace.clone(),
             })
             .collect();
+        let server_tenant: Vec<u32> = dc.servers.iter().map(|s| s.tenant.0).collect();
+        let mut tenant_servers = vec![0.0f64; traces.len()];
+        for &tid in &server_tenant {
+            tenant_servers[tid as usize] += 1.0;
+        }
+        let fleet = precompute_fleet(&traces, &tenant_servers, server_tenant.len());
         UtilizationView {
             traces,
-            server_tenant: dc.servers.iter().map(|s| s.tenant.0).collect(),
+            server_tenant,
+            tenant_servers,
             jitter_amp,
             jitter_seed,
+            fleet,
         }
     }
 
@@ -76,14 +117,55 @@ impl UtilizationView {
     pub fn server_util(&self, server: ServerId, t: SimTime) -> f64 {
         let tenant = self.server_tenant[server.0 as usize];
         let base = self.traces[tenant as usize].at(t);
-        (base + self.jitter(server, t)).clamp(0.0, 1.0)
+        (base + self.jitter_at_slot(server, self.slot_of(t))).clamp(0.0, 1.0)
     }
 
-    fn jitter(&self, server: ServerId, t: SimTime) -> f64 {
+    /// The sampling-grid slot covering instant `t` (the grid is the
+    /// trace sampling interval; the scheduler's tick sits on the same
+    /// grid, so every instant within one tick maps to one slot).
+    pub fn slot_of(&self, t: SimTime) -> u64 {
+        t.as_millis() / SAMPLE_INTERVAL.as_millis()
+    }
+
+    /// Whether the tenant's sample at `slot` differs bitwise from its
+    /// sample at the previous slot (slot 0 always counts as changed).
+    pub fn tenant_sample_changed(&self, tenant: TenantId, slot: u64) -> bool {
+        let tr = &self.traces[tenant.0 as usize];
+        if tr.interval() == SAMPLE_INTERVAL {
+            // Generated datacenters always sit on the sampling grid.
+            return tr.sample_changed(slot);
+        }
+        // Off-grid trace: map the grid slots to instants instead.
+        if slot == 0 {
+            return true;
+        }
+        let ms = SAMPLE_INTERVAL.as_millis();
+        tr.at(SimTime::from_millis(slot * ms)).to_bits()
+            != tr.at(SimTime::from_millis((slot - 1) * ms)).to_bits()
+    }
+
+    /// Whether the server's playback value at `slot` can differ from its
+    /// value at the previous slot: the tenant's sample moved, or the
+    /// server's jitter re-rolled to a different offset. Conservative
+    /// (clamping can still map two different raw values to the same
+    /// utilization) but never reports "unchanged" for a moved value —
+    /// change-driven callers may safely skip unchanged servers.
+    pub fn server_sample_changed(&self, server: ServerId, slot: u64) -> bool {
+        if slot == 0 {
+            return true;
+        }
+        if self.jitter_amp != 0.0
+            && self.jitter_at_slot(server, slot) != self.jitter_at_slot(server, slot - 1)
+        {
+            return true;
+        }
+        self.tenant_sample_changed(TenantId(self.server_tenant[server.0 as usize]), slot)
+    }
+
+    fn jitter_at_slot(&self, server: ServerId, slot: u64) -> f64 {
         if self.jitter_amp == 0.0 {
             return 0.0;
         }
-        let slot = t.as_millis() / harvest_trace::SAMPLE_INTERVAL.as_millis();
         let h = splitmix64(
             self.jitter_seed
                 ^ splitmix64(server.0 as u64)
@@ -94,15 +176,32 @@ impl UtilizationView {
     }
 
     /// Fleet-average utilization at `t` (per-server, without jitter —
-    /// jitter is zero-mean so it would only add noise).
+    /// jitter is zero-mean so it would only add noise). One array
+    /// lookup into the precomputed fleet series; falls back to
+    /// [`UtilizationView::fleet_util_scan`] only if the tenant traces
+    /// do not share a sampling grid.
     pub fn fleet_util(&self, t: SimTime) -> f64 {
+        match &self.fleet {
+            Some(fleet) => fleet.at(t),
+            None => self.fleet_util_scan(t),
+        }
+    }
+
+    /// Fleet-average utilization at `t` recomputed on the fly: the
+    /// reference path, bitwise identical to
+    /// [`UtilizationView::fleet_util`] (the precompute runs exactly
+    /// this tenant-order accumulation per slot). Kept for the
+    /// full-sweep reference tick mode and the oracle tests that pin
+    /// the two paths together.
+    pub fn fleet_util_scan(&self, t: SimTime) -> f64 {
         if self.server_tenant.is_empty() {
             return 0.0;
         }
         let sum: f64 = self
-            .server_tenant
+            .traces
             .iter()
-            .map(|&tid| self.traces[tid as usize].at(t))
+            .zip(&self.tenant_servers)
+            .map(|(tr, &weight)| tr.at(t) * weight)
             .sum();
         sum / self.server_tenant.len() as f64
     }
@@ -130,6 +229,43 @@ impl UtilizationView {
     pub fn n_servers(&self) -> usize {
         self.server_tenant.len()
     }
+}
+
+/// Precomputes the server-weighted fleet series: for every trace slot,
+/// the same tenant-order weighted accumulation
+/// [`UtilizationView::fleet_util_scan`] performs at query time — the
+/// identical iteration order makes the lookup bitwise equal to the
+/// scan, and O(slots × tenants) keeps the build cost to milliseconds
+/// even unscaled. Requires every trace to share one interval and
+/// length (always true for generated datacenters, whose tenants all
+/// carry month-long traces on the sampling grid).
+fn precompute_fleet(
+    traces: &[TimeSeries],
+    tenant_servers: &[f64],
+    n_servers: usize,
+) -> Option<TimeSeries> {
+    let first = traces.first()?;
+    if n_servers == 0 {
+        return None;
+    }
+    let uniform = traces
+        .iter()
+        .all(|tr| tr.len() == first.len() && tr.interval() == first.interval());
+    if !uniform {
+        return None;
+    }
+    let n = n_servers as f64;
+    let values: Vec<f64> = (0..first.len() as u64)
+        .map(|slot| {
+            let sum: f64 = traces
+                .iter()
+                .zip(tenant_servers)
+                .map(|(tr, &weight)| tr.at_slot(slot) * weight)
+                .sum();
+            sum / n
+        })
+        .collect();
+    Some(TimeSeries::new(first.interval(), values))
 }
 
 #[cfg(test)]
@@ -188,6 +324,73 @@ mod tests {
             .sum::<f64>()
             / dc.n_servers() as f64;
         assert!((view.fleet_util(t) - manual).abs() < 1e-9);
+    }
+
+    /// The precomputed fleet series is *bitwise* identical to the
+    /// per-call fleet sweep it replaced, at any instant (including far
+    /// past the trace span, where lookups wrap).
+    #[test]
+    fn fleet_lookup_matches_scan_bitwise() {
+        let dc = dc();
+        for view in [
+            UtilizationView::unscaled(&dc),
+            UtilizationView::scaled(&dc, ScalingKind::Linear, 1.7),
+        ] {
+            for &secs in &[0u64, 59, 120, 3_601, 86_400, 40 * 86_400] {
+                let t = SimTime::from_secs(secs);
+                assert_eq!(
+                    view.fleet_util(t).to_bits(),
+                    view.fleet_util_scan(t).to_bits(),
+                    "fleet lookup diverged from the scan at {secs}s"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slots_and_change_queries_track_the_grid() {
+        let dc = dc();
+        let view = UtilizationView::build(&dc, None, 0.0, 0);
+        let tick = harvest_trace::SAMPLE_INTERVAL;
+        // Every instant inside one tick maps to the tick's slot.
+        assert_eq!(view.slot_of(SimTime::ZERO), 0);
+        assert_eq!(view.slot_of(SimTime::from_millis(tick.as_millis() - 1)), 0);
+        assert_eq!(view.slot_of(SimTime::from_millis(tick.as_millis())), 1);
+        // Slot 0 always reads as changed; later slots change exactly
+        // when the underlying sample moves bitwise.
+        let tid = TenantId(0);
+        assert!(view.tenant_sample_changed(tid, 0));
+        let tr = view.tenant_trace(tid);
+        for slot in 1..200u64 {
+            let expect = tr.at_slot(slot).to_bits() != tr.at_slot(slot - 1).to_bits();
+            assert_eq!(view.tenant_sample_changed(tid, slot), expect, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn server_change_is_conservative() {
+        let dc = dc();
+        // With jitter off, a server changes exactly with its tenant.
+        let flat = UtilizationView::build(&dc, None, 0.0, 0);
+        let s = dc.servers[0].id;
+        let tid = TenantId(flat.server_tenant[s.0 as usize]);
+        for slot in 1..100u64 {
+            assert_eq!(
+                flat.server_sample_changed(s, slot),
+                flat.tenant_sample_changed(tid, slot)
+            );
+        }
+        // With jitter on, "changed" must never be false when the
+        // playback value actually moved across the boundary.
+        let view = UtilizationView::unscaled(&dc);
+        let ms = harvest_trace::SAMPLE_INTERVAL.as_millis();
+        for slot in 1..100u64 {
+            let now = view.server_util(s, SimTime::from_millis(slot * ms));
+            let prev = view.server_util(s, SimTime::from_millis((slot - 1) * ms));
+            if now.to_bits() != prev.to_bits() {
+                assert!(view.server_sample_changed(s, slot), "missed move at {slot}");
+            }
+        }
     }
 
     #[test]

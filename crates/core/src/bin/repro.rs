@@ -1,15 +1,19 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--full] [--net] [--disk] [--seed N] [EXPERIMENT...]
+//! repro [--full] [--net] [--disk] [--full-sweep] [--seed N] [EXPERIMENT...]
 //!
-//!   EXPERIMENT   fig1..fig8, fig10..fig16, micro, or "all" (default)
-//!   --full       bigger clusters, more runs (slower, tighter bands)
-//!   --net        run over the harvest-net fabric (repair, remote
-//!                reads, and shuffles pay for bandwidth)
-//!   --disk       run over the harvest-disk model (the same bytes pay
-//!                for platter bandwidth too; composes with --net)
-//!   --seed N     master seed (default 42)
+//!   EXPERIMENT    fig1..fig8, fig10..fig16, micro, or "all" (default)
+//!   --full        bigger clusters, more runs (slower, tighter bands)
+//!   --net         run over the harvest-net fabric (repair, remote
+//!                 reads, and shuffles pay for bandwidth)
+//!   --disk        run over the harvest-disk model (the same bytes pay
+//!                 for platter bandwidth too; composes with --net)
+//!   --full-sweep  run the scheduling simulations with full-fleet tick
+//!                 sweeps instead of the change-driven default — the
+//!                 bitwise-identical reference mode (slower; for
+//!                 validation)
+//!   --seed N      master seed (default 42)
 //! ```
 
 use std::process::ExitCode;
@@ -22,6 +26,7 @@ fn main() -> ExitCode {
     let mut full = false;
     let mut net = false;
     let mut disk = false;
+    let mut full_sweep = false;
     let mut seed = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -30,6 +35,7 @@ fn main() -> ExitCode {
             "--full" => full = true,
             "--net" => net = true,
             "--disk" => disk = true,
+            "--full-sweep" => full_sweep = true,
             "--seed" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = Some(s),
                 None => {
@@ -38,7 +44,10 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: repro [--full] [--net] [--disk] [--seed N] [EXPERIMENT...]");
+                println!(
+                    "usage: repro [--full] [--net] [--disk] [--full-sweep] [--seed N] \
+                     [EXPERIMENT...]"
+                );
                 println!("experiments: {} all", ALL_EXPERIMENTS.join(" "));
                 return ExitCode::SUCCESS;
             }
@@ -51,6 +60,9 @@ fn main() -> ExitCode {
     }
     if disk {
         scale.disk = Some(harvest_disk::DiskConfig::datacenter());
+    }
+    if full_sweep {
+        scale.tick_sweep = harvest_sched::TickSweep::Full;
     }
     if let Some(seed) = seed {
         scale.seed = seed;

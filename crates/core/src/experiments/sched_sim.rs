@@ -12,7 +12,7 @@ use harvest_cluster::{Datacenter, UtilizationView};
 use harvest_jobs::tpcds::{scale_job, tpcds_suite};
 use harvest_jobs::workload::Workload;
 use harvest_sched::policy::SchedPolicy;
-use harvest_sched::sim::{SchedSim, SchedSimConfig};
+use harvest_sched::sim::{SchedSim, SchedSimConfig, TickSweep};
 use harvest_sim::rng::stream_rng;
 use harvest_sim::SimDuration;
 use harvest_trace::datacenter::DatacenterProfile;
@@ -68,6 +68,7 @@ pub fn sweep_point(
     seed: u64,
     network: Option<harvest_net::NetworkConfig>,
     disk: Option<harvest_disk::DiskConfig>,
+    sweep: TickSweep,
 ) -> SweepPoint {
     let traces: Vec<_> = dc.tenants.iter().map(|t| &t.trace).collect();
     let param = calibrate(&traces, scaling, utilization);
@@ -97,6 +98,7 @@ pub fn sweep_point(
         cfg.drain = horizon; // generous drain so every job can finish
         cfg.network = network;
         cfg.disk = disk;
+        cfg.sweep = sweep;
         let stats = SchedSim::new(dc, &view, &workload, cfg).run();
         let stale = stats.fabric.map_or(0, |f| f.stale_events_dropped)
             + stats.disks.map_or(0, |d| d.stale_events_dropped);
@@ -152,6 +154,7 @@ pub fn fig13(scale: &Scale) -> String {
                     scale.run_seed("fig13", r),
                     scale.network,
                     scale.disk,
+                    scale.tick_sweep,
                 );
                 pt += p.pt_secs;
                 h += p.h_secs;
@@ -216,6 +219,7 @@ pub fn fig14(scale: &Scale) -> String {
                         scale.run_seed("fig14", dc_id * 100 + r),
                         scale.network,
                         scale.disk,
+                        scale.tick_sweep,
                     );
                     imps.push(p.improvement());
                 }
@@ -274,7 +278,16 @@ mod tests {
     fn history_improves_on_pt_at_moderate_utilization() {
         let profile = DatacenterProfile::dc(9).scaled(0.03);
         let dc = Datacenter::generate(&profile, 42);
-        let p = sweep_point(&dc, ScalingKind::Linear, 0.45, 8, 7, None, None);
+        let p = sweep_point(
+            &dc,
+            ScalingKind::Linear,
+            0.45,
+            8,
+            7,
+            None,
+            None,
+            TickSweep::Incremental,
+        );
         assert!(p.pt_secs > 0.0 && p.h_secs > 0.0);
         assert!(
             p.improvement() > -10.0,

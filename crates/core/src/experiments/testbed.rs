@@ -51,6 +51,7 @@ fn run_testbed(scale: &Scale, policy: SchedPolicy, record: bool) -> SimStats {
     cfg.drain = SimDuration::from_hours(2);
     cfg.record_server_load = record;
     cfg.network = scale.network;
+    cfg.sweep = scale.tick_sweep;
     SchedSim::new(&dc, &view, &workload, cfg).run()
 }
 

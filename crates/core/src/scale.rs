@@ -9,6 +9,7 @@
 
 use harvest_disk::DiskConfig;
 use harvest_net::NetworkConfig;
+use harvest_sched::TickSweep;
 
 /// Scale parameters shared by the experiments.
 #[derive(Debug, Clone)]
@@ -34,6 +35,11 @@ pub struct Scale {
     pub availability_days: u64,
     /// Utilization sweep points for Figures 13/14/16.
     pub utilizations: Vec<f64>,
+    /// How the scheduling simulations' tick visits the fleet:
+    /// change-driven by default; `repro --full-sweep` switches to the
+    /// full-fleet reference sweeps (bitwise-identical results, pre-index
+    /// cost) for validation.
+    pub tick_sweep: TickSweep,
     /// Master seed.
     pub seed: u64,
 }
@@ -51,6 +57,7 @@ impl Scale {
             durability_months: 6,
             availability_days: 5,
             utilizations: vec![0.30, 0.45, 0.60],
+            tick_sweep: TickSweep::Incremental,
             seed: 42,
         }
     }
@@ -68,6 +75,7 @@ impl Scale {
             durability_months: 12,
             availability_days: 15,
             utilizations: vec![0.25, 0.35, 0.45, 0.55, 0.65],
+            tick_sweep: TickSweep::Incremental,
             seed: 42,
         }
     }

@@ -36,8 +36,15 @@
 //! tests. Everything is exact integer time plus deterministic `f64`
 //! arithmetic over deterministically ordered collections, so a replay
 //! is bit-identical for identical inputs.
+//!
+//! The pool also serves change-driven callers: [`DiskPool::active_servers`]
+//! iterates (ascending) exactly the disks whose rates a primary-demand
+//! change can currently move, and [`DiskPool::set_primary_util`]
+//! early-outs a bitwise-unchanged utilization before the demand model
+//! runs — so a utilization replay over a mostly-idle fleet costs
+//! O(disks with in-flight streams) per tick, not O(fleet).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use harvest_cluster::ServerId;
 use harvest_signal::classify::UtilizationPattern;
@@ -165,6 +172,15 @@ pub struct DiskPool {
     patterns: Vec<UtilizationPattern>,
     /// Per-server primary demand as a fraction of channel capacity.
     primary_fraction: Vec<f64>,
+    /// Last utilization each server's demand was derived from (NaN
+    /// until the first update), so a bitwise-unchanged utilization
+    /// replay costs one compare instead of a demand-model evaluation.
+    primary_util: Vec<f64>,
+    /// Active secondary streams per server, across both channels.
+    streams_per_server: Vec<u32>,
+    /// Servers with at least one active stream, ascending — the set a
+    /// change-driven primary replay needs to touch.
+    active_servers: BTreeSet<u32>,
     /// `2 * server + dir` — read and write channels of every disk.
     channels: Vec<Channel>,
     queue: EventQueue<DiskEvent>,
@@ -212,6 +228,9 @@ impl DiskPool {
             config: *config,
             patterns,
             primary_fraction: vec![0.0; n],
+            primary_util: vec![f64::NAN; n],
+            streams_per_server: vec![0; n],
+            active_servers: BTreeSet::new(),
             channels: vec![Channel::default(); 2 * n],
             queue: EventQueue::new(),
             pending: BTreeMap::new(),
@@ -330,16 +349,24 @@ impl DiskPool {
 
     /// Updates a server's primary CPU utilization at `now`, mapping it
     /// to disk demand through the configured [`crate::PrimaryIoModel`]
-    /// and re-sharing the disk's channels if the demand changed.
+    /// and re-sharing the disk's channels if the demand changed. A
+    /// bitwise-unchanged utilization early-outs before the demand model
+    /// runs (the NaN sentinel makes the very first update always
+    /// apply), so replaying an idle sample grid costs one compare per
+    /// touched server.
     ///
     /// The caller must have pumped the pool to `now` first (the pool
     /// never runs backwards); utilization playback naturally satisfies
     /// this by updating on its sample grid.
     pub fn set_primary_util(&mut self, now: SimTime, server: ServerId, util: f64) {
+        if util == self.primary_util[server.0 as usize] {
+            return;
+        }
         debug_assert!(
             self.queue.peek_time().map(|t| t >= now).unwrap_or(true),
             "set_primary_util at {now} with unpumped events pending"
         );
+        self.primary_util[server.0 as usize] = util;
         let fraction = self
             .config
             .primary
@@ -351,6 +378,19 @@ impl DiskPool {
         for dir in [IoDir::Read, IoDir::Write] {
             self.reshare_scoped(chan(server, dir), now);
         }
+    }
+
+    /// Servers with at least one in-flight secondary stream, ascending —
+    /// the only disks whose rates a primary-demand change can move
+    /// *right now*, and therefore the only disks a change-driven
+    /// utilization replay has to visit each tick.
+    pub fn active_servers(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.active_servers.iter().map(|&s| ServerId(s))
+    }
+
+    /// Number of disks currently hosting at least one active stream.
+    pub fn n_active_servers(&self) -> usize {
+        self.active_servers.len()
     }
 
     /// Schedules a secondary stream of `bytes` on `server`'s `dir`
@@ -436,6 +476,11 @@ impl DiskPool {
             },
         );
         self.channels[c as usize].streams.push(id.0);
+        let per_server = &mut self.streams_per_server[p.server.0 as usize];
+        *per_server += 1;
+        if *per_server == 1 {
+            self.active_servers.insert(p.server.0);
+        }
         self.stats.peak_active = self.stats.peak_active.max(self.active.len());
         self.reshare_scoped(c, now);
     }
@@ -457,6 +502,11 @@ impl DiskPool {
         let pos = list.iter().position(|&s| s == id.0).expect("on channel");
         list.remove(pos);
         let (server, dir) = unchan(c);
+        let per_server = &mut self.streams_per_server[server.0 as usize];
+        *per_server -= 1;
+        if *per_server == 0 {
+            self.active_servers.remove(&server.0);
+        }
         self.stats.completed += 1;
         self.stats.bytes_moved += stream.bytes;
         self.completions.push(StreamCompletion {
@@ -491,10 +541,15 @@ impl DiskPool {
     /// the max-min fair allocation here because every stream demands as
     /// much as it can get and touches exactly one channel.
     fn reshare_channel(&mut self, c: u32, now: SimTime) {
-        self.stats.reshares += 1;
         if self.channels[c as usize].streams.is_empty() {
+            // An empty channel has nothing to re-divide; skipping it
+            // before the counter keeps `DiskStats.reshares` a count of
+            // *allocation* passes, identical however many idle disks a
+            // sweep policy happens to visit (the tick-sweep oracle
+            // pins full vs. incremental sweeps bitwise, stats included).
             return;
         }
+        self.stats.reshares += 1;
         let (server, dir) = unchan(c);
         let rate =
             self.secondary_capacity(server, dir) / self.channels[c as usize].streams.len() as f64;
@@ -725,7 +780,10 @@ mod tests {
         assert_eq!(s.completed, 2);
         assert_eq!(s.bytes_moved, 20 * MB);
         assert_eq!(s.peak_active, 2);
-        assert!(s.reshares >= 4);
+        // Two starts and the first completion each re-divide the (still
+        // occupied) channel; the last completion leaves it empty, which
+        // does not count as an allocation pass.
+        assert!(s.reshares >= 3);
         // The second stream's arrival re-predicted the first's
         // completion, which cancelled (dropped) the superseded event.
         assert!(s.stale_events_dropped >= 1);
@@ -753,6 +811,46 @@ mod tests {
         p.schedule_stream(SimTime::from_millis(600), S0, IoDir::Read, 4 * MB, 3);
         p.pump(SimTime::from_millis(600));
         assert!(p.stream_version(bystander).expect("active") > v0);
+        p.drain();
+    }
+
+    /// The active-server index tracks stream starts and completions and
+    /// iterates in ascending server order.
+    #[test]
+    fn active_server_index_tracks_streams() {
+        let mut p = pool();
+        assert_eq!(p.n_active_servers(), 0);
+        p.schedule_stream(SimTime::ZERO, S1, IoDir::Read, 160 * MB, 1);
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Write, 160 * MB, 2);
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 4 * MB, 3);
+        p.pump(SimTime::ZERO);
+        let active: Vec<ServerId> = p.active_servers().collect();
+        assert_eq!(active, vec![S0, S1], "index not ascending / complete");
+        // The short read finishes; S0 still has its write in flight.
+        p.pump(SimTime::from_millis(500));
+        assert_eq!(p.active_servers().collect::<Vec<_>>(), vec![S0, S1]);
+        p.drain();
+        assert_eq!(p.n_active_servers(), 0, "drained pool still indexed");
+    }
+
+    /// A bitwise-unchanged utilization replay is a no-op: no re-share
+    /// runs and in-flight streams keep their completion predictions.
+    #[test]
+    fn unchanged_util_early_outs() {
+        let mut p = pool();
+        p.set_primary_util(SimTime::ZERO, S0, 0.4);
+        let s = p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 160 * MB, 1);
+        p.pump(SimTime::ZERO);
+        let v = p.stream_version(s).unwrap();
+        let reshares = p.stats().reshares;
+        // Replaying the same sample must not disturb the stream.
+        p.set_primary_util(SimTime::from_millis(100), S0, 0.4);
+        assert_eq!(p.stream_version(s), Some(v), "stream was re-predicted");
+        assert_eq!(p.stats().reshares, reshares, "re-share ran needlessly");
+        // A moved sample still applies.
+        p.set_primary_util(SimTime::from_millis(100), S0, 0.6);
+        assert!(p.stream_version(s).unwrap() > v);
+        p.set_primary_util(SimTime::from_millis(200), S0, 0.0);
         p.drain();
     }
 

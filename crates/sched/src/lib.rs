@@ -23,16 +23,20 @@
 //! counts, and utilization — the quantities behind Figures 10, 11, 13,
 //! and 14. With a [`harvest_net::NetworkConfig`] the simulator also
 //! carries inter-stage shuffles over the shared fabric, so stage
-//! runtimes stretch under network contention.
+//! runtimes stretch under network contention. Its tick path is
+//! change-driven ([`sim::TickSweep`], backed by the indices in
+//! [`roster`]): a tick costs O(changed + occupied) rather than
+//! O(fleet), with the full-sweep reference pinned bitwise identical.
 
 pub mod classes;
 pub mod headroom;
 pub mod policy;
+pub mod roster;
 pub mod select;
 pub mod sim;
 pub mod stats;
 
 pub use classes::{ClusteringService, TenantClass};
 pub use policy::SchedPolicy;
-pub use sim::{SchedSim, SchedSimConfig};
+pub use sim::{SchedSim, SchedSimConfig, TickSweep};
 pub use stats::{JobResult, SimStats};

@@ -6,7 +6,7 @@ use harvest_sim::metrics::StreamingStats;
 use harvest_sim::{SimDuration, SimTime};
 
 /// The outcome of one job.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobResult {
     /// Job (query) name.
     pub name: String,
@@ -34,7 +34,12 @@ pub struct LoadSample {
 }
 
 /// Aggregate results of one scheduling simulation.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares everything, floats by value — the tick-sweep
+/// oracle tests assert [`crate::TickSweep::Incremental`] and
+/// [`crate::TickSweep::Full`] runs are indistinguishable, stats
+/// included.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimStats {
     /// Per-job outcomes, in submission order.
     pub jobs: Vec<JobResult>,

@@ -70,6 +70,23 @@ impl TimeSeries {
         self.values[i % self.values.len()]
     }
 
+    /// The sample at slot `slot` (a slot is one interval), wrapping —
+    /// identical to [`TimeSeries::at`] for any instant inside the slot.
+    pub fn at_slot(&self, slot: u64) -> f64 {
+        self.values[(slot % self.values.len() as u64) as usize]
+    }
+
+    /// Whether the sample at `slot` differs (bitwise) from the sample at
+    /// the previous slot. Slot 0 always counts as changed — there is no
+    /// previous sample to match. Lets playback callers skip work for
+    /// series that sat still across a sampling boundary.
+    pub fn sample_changed(&self, slot: u64) -> bool {
+        if slot == 0 {
+            return true;
+        }
+        self.at_slot(slot).to_bits() != self.at_slot(slot - 1).to_bits()
+    }
+
     /// The total time the series spans.
     pub fn span(&self) -> SimDuration {
         SimDuration::from_millis(self.interval.as_millis() * self.values.len() as u64)
@@ -185,6 +202,21 @@ mod tests {
         // Wraps after 6 minutes.
         assert_eq!(ts.at(SimTime::from_secs(6 * 60)), 0.1);
         assert_eq!(ts.at_index(4), 0.2);
+    }
+
+    #[test]
+    fn slot_lookup_matches_time_lookup() {
+        let ts = TimeSeries::new(mins(2), vec![0.1, 0.2, 0.2, 0.4]);
+        for slot in 0..10u64 {
+            let t = SimTime::from_millis(slot * mins(2).as_millis() + 1);
+            assert_eq!(ts.at_slot(slot).to_bits(), ts.at(t).to_bits());
+        }
+        assert!(ts.sample_changed(0), "slot 0 must count as changed");
+        assert!(ts.sample_changed(1));
+        assert!(!ts.sample_changed(2), "equal neighbours are unchanged");
+        assert!(ts.sample_changed(3));
+        // Wrap: slot 4 re-reads sample 0 after sample 3.
+        assert!(ts.sample_changed(4));
     }
 
     #[test]

@@ -532,6 +532,106 @@ proptest! {
     }
 }
 
+/// A small, fixed DC-9 scale-down for the scheduler tick-sweep oracle
+/// (the properties are over the random *workloads*, not the cluster).
+fn sched_dc() -> (
+    harvest::cluster::Datacenter,
+    harvest::cluster::UtilizationView,
+) {
+    let dc = Datacenter::generate(
+        &harvest::trace::datacenter::DatacenterProfile::dc(9).scaled(0.015),
+        17,
+    );
+    let view = harvest::cluster::UtilizationView::unscaled(&dc);
+    (dc, view)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tick-sweep oracle: the change-driven tick
+    /// ([`harvest::sched::TickSweep::Incremental`] — occupied-server
+    /// index, active-disk index + sample-change filtering, precomputed
+    /// fleet series) must be *bitwise* indistinguishable from the
+    /// full-fleet reference sweeps — identical per-job results
+    /// (makespans included), kill counts and per-server kill
+    /// attribution, task placements, utilization accounting down to the
+    /// float bits, and fabric/disk stats — across randomized workloads
+    /// and policies on a scaled DC-9 with both transfer models on.
+    #[test]
+    fn sched_incremental_tick_matches_full_sweep_oracle(
+        seed in 0u64..1_000,
+        gap_secs in 120u64..900,
+        policy_pick in 0u64..2,
+    ) {
+        use harvest::sched::policy::SchedPolicy;
+        use harvest::sched::sim::{SchedSim, SchedSimConfig, TickSweep};
+        use harvest::jobs::workload::Workload;
+        use harvest::sim::rng::stream_rng;
+
+        let (dc, view) = sched_dc();
+        let policy = if policy_pick == 0 {
+            SchedPolicy::PrimaryAware
+        } else {
+            SchedPolicy::History
+        };
+        let horizon = harvest::sim::SimDuration::from_hours(1);
+        let mut wl_rng = stream_rng(seed, "tick-oracle-wl");
+        let workload = Workload::poisson(
+            &mut wl_rng,
+            harvest::jobs::tpcds::tpcds_suite(),
+            harvest::sim::SimDuration::from_secs(gap_secs),
+            horizon,
+        );
+        let run = |sweep: TickSweep| {
+            let mut cfg = SchedSimConfig::testbed(policy, seed);
+            cfg.horizon = horizon;
+            cfg.drain = harvest::sim::SimDuration::from_hours(2);
+            cfg.network = Some(NetworkConfig::datacenter());
+            cfg.disk = Some(DiskConfig::datacenter());
+            cfg.sweep = sweep;
+            SchedSim::new(&dc, &view, &workload, cfg).run()
+        };
+        let inc = run(TickSweep::Incremental);
+        let full = run(TickSweep::Full);
+        prop_assert_eq!(inc.total_kills, full.total_kills, "kill counts diverged");
+        prop_assert_eq!(inc.tasks_started, full.tasks_started, "placements diverged");
+        let makespans = |s: &harvest::sched::SimStats| -> Vec<Option<u64>> {
+            s.jobs
+                .iter()
+                .map(|j| j.execution_time.map(|d| d.as_millis()))
+                .collect()
+        };
+        prop_assert_eq!(makespans(&inc), makespans(&full), "makespans diverged");
+        prop_assert_eq!(
+            inc.avg_total_utilization.to_bits(),
+            full.avg_total_utilization.to_bits(),
+            "total-utilization bits diverged"
+        );
+        prop_assert_eq!(
+            inc.avg_primary_utilization.to_bits(),
+            full.avg_primary_utilization.to_bits(),
+            "primary-utilization bits diverged"
+        );
+        // Belt and braces: everything else (per-job results, per-server
+        // kills, fabric and disk stats) via the derived equality.
+        prop_assert_eq!(inc, full, "sweep trajectories diverged");
+    }
+
+    /// The precomputed fleet-utilization series serves exactly what the
+    /// per-server sweep it replaced computes, bitwise, at any instant.
+    #[test]
+    fn fleet_series_matches_scan_bitwise(secs in 0u64..90 * 86_400) {
+        let (_dc, view) = sched_dc();
+        let t = harvest::sim::SimTime::from_secs(secs);
+        prop_assert_eq!(
+            view.fleet_util(t).to_bits(),
+            view.fleet_util_scan(t).to_bits(),
+            "fleet lookup diverged from the scan at {}s", secs
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
