@@ -1,0 +1,122 @@
+//! Experiment-suite fan-out bench: the quick-scale durability + sched
+//! sweeps (fig15 + fig13, the two widest task matrices in `repro`) at
+//! one worker vs. all of them.
+//!
+//! After PRs 3/4 made single-simulation hot paths incremental, suite
+//! wall clock is dominated by the embarrassingly-parallel sweep matrix
+//! that `harvest_sim::par::par_map` now fans out. This bench times the
+//! sequential reference path (`jobs = 1`) against the parallel harness
+//! (`jobs = available cores`) on the same experiments and asserts the
+//! rendered reports are *byte-identical* — the determinism contract the
+//! speedup must never buy anything with.
+//!
+//! Modes:
+//! * default — times both paths once (each run is many seconds of
+//!   simulation, so run-to-run noise is small relative to the measured
+//!   ratio) and (re)writes `BENCH_suite.json` at the workspace root
+//!   with the machine's core count next to the measured speedup. The
+//!   issue's acceptance bar is ≥ 3× for the sweep on a ≥ 4-core
+//!   machine; on fewer cores the JSON records what the hardware can
+//!   show (a 1-core machine records ~1×: the harness is overhead-free,
+//!   not magic).
+//! * `SUITE_SMOKE=1` — a reduced slice of the same sweeps sized for
+//!   CI's 2-core runner under `timeout 300`, asserting byte-identical
+//!   reports always, and a machine-independent ≥ 1.5× floor whenever
+//!   ≥ 2 cores are actually available (both paths share the machine,
+//!   so the floor does not depend on absolute speed). Each path is
+//!   timed best-of-two so a single noisy-neighbor episode on the
+//!   shared runner cannot flake the ratio (the sched_tick smoke's
+//!   lesson).
+
+use std::time::Instant;
+
+use harvest_core::{run_experiment, Scale};
+use harvest_sim::par::default_jobs;
+
+/// The suite slice under test: the two widest sweep matrices.
+const EXPERIMENTS: [&str; 2] = ["fig15", "fig13"];
+
+fn scale(jobs: usize, smoke: bool) -> Scale {
+    let mut s = Scale::quick();
+    s.jobs = jobs;
+    if smoke {
+        // A slice of the quick sweep that still fans out plenty of
+        // tasks (10 DCs × 4 cells × 2 runs for fig15; 2 scalings × 2
+        // runs for fig13) but fits CI's compile + run budget twice.
+        s.runs = 2;
+        s.sched_hours = 4;
+        s.durability_months = 3;
+        s.utilizations = vec![0.45];
+    }
+    s
+}
+
+/// Runs the suite slice, returning (wall seconds, rendered reports).
+fn run_suite(scale: &Scale) -> (f64, Vec<String>) {
+    let t0 = Instant::now();
+    let reports: Vec<String> = EXPERIMENTS
+        .iter()
+        .map(|id| run_experiment(id, scale).expect("experiment runs"))
+        .collect();
+    (t0.elapsed().as_secs_f64(), reports)
+}
+
+fn main() {
+    let cores = default_jobs();
+    let smoke = std::env::var_os("SUITE_SMOKE").is_some();
+    println!(
+        "suite bench: {} at quick scale{}, 1 worker vs {cores}",
+        EXPERIMENTS.join("+"),
+        if smoke { " (smoke slice)" } else { "" },
+    );
+
+    // One pass per path for the recorded baseline (each pass is many
+    // seconds of simulation, so noise is small relative to the ratio);
+    // best of two in smoke mode, where a floor assert rides on it.
+    let iters = if smoke { 2 } else { 1 };
+    let best = |jobs: usize| -> (f64, Vec<String>) {
+        (0..iters)
+            .map(|_| run_suite(&scale(jobs, smoke)))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("iters >= 1")
+    };
+    let (seq_secs, seq_reports) = best(1);
+    println!("bench suite/sequential (1 worker)           {seq_secs:>10.3}s");
+    let (par_secs, par_reports) = best(cores);
+    println!("bench suite/parallel ({cores} workers)          {par_secs:>10.3}s");
+    let speedup = seq_secs / par_secs;
+    println!("bench suite/speedup                         {speedup:>10.2}x");
+
+    // The determinism contract: identical sweep outcomes, byte for byte.
+    assert_eq!(
+        seq_reports, par_reports,
+        "suite reports differ between 1 worker and {cores}"
+    );
+    for report in &seq_reports {
+        assert!(report.contains("Figure"), "suite produced an empty report");
+    }
+
+    if smoke {
+        // Machine-independent floor, only meaningful when the machine
+        // can actually run two workers at once.
+        let floor = 1.5;
+        if cores >= 2 {
+            assert!(
+                speedup >= floor,
+                "parallel suite only {speedup:.2}x faster than sequential on {cores} cores \
+                 (floor {floor}x) — the sweep matrix has regressed toward serial execution"
+            );
+        } else {
+            println!("single-core machine: skipping the {floor}x floor assert");
+        }
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"suite\",\n  \"workload\": \"repro {} at quick scale (the durability and scheduling sweep matrices)\",\n  \"cores\": {cores},\n  \"suite\": {{ \"sequential_secs\": {seq_secs:.3}, \"parallel_secs\": {par_secs:.3}, \"speedup\": {speedup:.2} }},\n  \"note\": \"speedup scales with cores (acceptance bar: >= 3x on a >= 4-core machine); reports asserted byte-identical across worker counts\"\n}}\n",
+        EXPERIMENTS.join(" "),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_suite.json");
+    std::fs::write(path, &json).expect("write BENCH_suite.json");
+    println!("wrote {path}");
+}

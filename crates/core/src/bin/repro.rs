@@ -1,10 +1,12 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--full] [--net] [--disk] [--full-sweep] [--seed N] [EXPERIMENT...]
+//! repro [--full] [--net] [--disk] [--full-sweep] [--jobs N] [--seed N]
+//!       [EXPERIMENT...]
 //!
 //!   EXPERIMENT    fig1..fig8, fig10..fig16, micro, or "all" (default)
-//!   --full        bigger clusters, more runs (slower, tighter bands)
+//!   --full        bigger clusters, the paper's five runs per data point
+//!                 (slower, tighter bands)
 //!   --net         run over the harvest-net fabric (repair, remote
 //!                 reads, and shuffles pay for bandwidth)
 //!   --disk        run over the harvest-disk model (the same bytes pay
@@ -13,8 +15,15 @@
 //!                 sweeps instead of the change-driven default — the
 //!                 bitwise-identical reference mode (slower; for
 //!                 validation)
+//!   --jobs N      worker threads for the sweep matrices (default: all
+//!                 available cores; 1 = the sequential reference path;
+//!                 reports are byte-identical for any N)
 //!   --seed N      master seed (default 42)
 //! ```
+//!
+//! Reports go to stdout; per-experiment wall-clock timings (which vary
+//! run to run) go to stderr as a closing table, so stdout stays
+//! byte-for-byte comparable across runs and `--jobs` settings.
 
 use std::process::ExitCode;
 
@@ -28,6 +37,7 @@ fn main() -> ExitCode {
     let mut disk = false;
     let mut full_sweep = false;
     let mut seed = None;
+    let mut jobs = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -43,12 +53,24 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--jobs" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs requires an integer >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--full] [--net] [--disk] [--full-sweep] [--seed N] \
-                     [EXPERIMENT...]"
+                    "usage: repro [--full] [--net] [--disk] [--full-sweep] [--jobs N] \
+                     [--seed N] [EXPERIMENT...]"
                 );
                 println!("experiments: {} all", ALL_EXPERIMENTS.join(" "));
+                println!(
+                    "--full runs the paper's five runs per sweep point; --jobs N sets \
+                     the sweep worker count (default: all cores, 1 = sequential \
+                     reference; output is byte-identical for any N)"
+                );
                 return ExitCode::SUCCESS;
             }
             other => experiments.push(other.to_string()),
@@ -63,6 +85,9 @@ fn main() -> ExitCode {
     }
     if full_sweep {
         scale.tick_sweep = harvest_sched::TickSweep::Full;
+    }
+    if let Some(jobs) = jobs {
+        scale.jobs = jobs;
     }
     if let Some(seed) = seed {
         scale.seed = seed;
@@ -86,18 +111,37 @@ fn main() -> ExitCode {
         experiments = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
 
+    // (experiment id, wall seconds) for the closing timing table.
+    let mut timings: Vec<(String, f64)> = Vec::with_capacity(experiments.len());
+    let suite_started = std::time::Instant::now();
+    // Suite-level perf visibility without a profiler: per-experiment
+    // wall clock plus the total, on stderr so stdout stays
+    // byte-identical across runs and `--jobs` settings. Printed even
+    // after a mid-suite error — the completed timings are still useful.
+    let timing_table = |timings: &[(String, f64)], total: f64| {
+        eprintln!("timing ({} workers):", scale.jobs);
+        for (id, secs) in timings {
+            eprintln!("  {id:<8} {secs:>8.1}s");
+        }
+        eprintln!("  {:<8} {total:>8.1}s", "total");
+    };
     for id in &experiments {
         let started = std::time::Instant::now();
         match run_experiment(id, &scale) {
             Ok(report) => {
                 println!("{report}");
-                eprintln!("[{id} took {:.1}s]", started.elapsed().as_secs_f64());
+                let secs = started.elapsed().as_secs_f64();
+                // Live progress for long suites; the table recaps.
+                eprintln!("[{id} took {secs:.1}s]");
+                timings.push((id.clone(), secs));
             }
             Err(e) => {
                 eprintln!("error: {e}");
+                timing_table(&timings, suite_started.elapsed().as_secs_f64());
                 return ExitCode::FAILURE;
             }
         }
     }
+    timing_table(&timings, suite_started.elapsed().as_secs_f64());
     ExitCode::SUCCESS
 }

@@ -1,16 +1,24 @@
 //! Figure 16: data availability under load (§6.4).
 
 use harvest_cluster::{Datacenter, UtilizationView};
-use harvest_dfs::availability::{simulate_availability, AvailabilityConfig};
+use harvest_dfs::availability::{simulate_availability, AvailabilityConfig, AvailabilityResult};
 use harvest_dfs::placement::PlacementPolicy;
+use harvest_sim::par::par_map;
 use harvest_sim::SimDuration;
 use harvest_trace::datacenter::DatacenterProfile;
 
+use super::STORAGE_CELLS as CELLS;
 use crate::report::{num, sci, Table};
 use crate::scale::Scale;
 
 /// Figure 16: failed accesses vs utilization (linear scaling, DC-9) for
 /// HDFS-Stock and HDFS-H at three- and four-way replication.
+///
+/// The (utilization × policy × run) matrix is flattened into
+/// independent tasks over `scale.jobs` workers; the scaled utilization
+/// views are hoisted and shared read-only. Aggregation replays the
+/// sequential loop's order, so the report is byte-identical at any
+/// thread count.
 pub fn fig16(scale: &Scale) -> String {
     let profile = DatacenterProfile::dc(9).scaled(scale.dc_scale);
     let dc = Datacenter::generate(&profile, scale.seed);
@@ -30,14 +38,42 @@ pub fn fig16(scale: &Scale) -> String {
             utils.push(extra);
         }
     }
-    for &util in &utils {
+
+    // Hoist the per-utilization views (calibration + playback
+    // precompute), themselves an independent parallel sweep.
+    let views: Vec<UtilizationView> = par_map(scale.jobs, &utils, |&util| {
         let factor = harvest_trace::scaling::calibrate(
             &traces,
             harvest_trace::scaling::ScalingKind::Linear,
             util,
         );
-        let view =
-            UtilizationView::scaled(&dc, harvest_trace::scaling::ScalingKind::Linear, factor);
+        UtilizationView::scaled(&dc, harvest_trace::scaling::ScalingKind::Linear, factor)
+    });
+
+    // The task matrix, utilization-major then cell then run.
+    struct Task {
+        util: usize,
+        cell: usize,
+        r: usize,
+    }
+    let mut tasks = Vec::with_capacity(utils.len() * CELLS.len() * scale.runs);
+    for util in 0..utils.len() {
+        for cell in 0..CELLS.len() {
+            for r in 0..scale.runs {
+                tasks.push(Task { util, cell, r });
+            }
+        }
+    }
+    let results: Vec<AvailabilityResult> = par_map(scale.jobs, &tasks, |t| {
+        let (policy, replication) = CELLS[t.cell];
+        let mut cfg = AvailabilityConfig::paper(policy, replication, scale.run_seed("fig16", t.r));
+        cfg.span = SimDuration::from_days(scale.availability_days);
+        cfg.network = scale.network;
+        cfg.disk = scale.disk;
+        simulate_availability(&dc, &views[t.util], &cfg)
+    });
+
+    for (u, &util) in utils.iter().enumerate() {
         let mut row = vec![num(util, 2)];
         // Remote-read and disk aggregates for Stock R=3, averaged over
         // the same runs as the failure column they sit next to.
@@ -45,20 +81,10 @@ pub fn fig16(scale: &Scale) -> String {
         let mut read_ms = 0.0;
         let mut p99_ms: f64 = 0.0;
         let mut disk_failures = 0.0;
-        for (policy, replication) in [
-            (PlacementPolicy::Stock, 3),
-            (PlacementPolicy::History, 3),
-            (PlacementPolicy::Stock, 4),
-            (PlacementPolicy::History, 4),
-        ] {
+        for (c, &(policy, replication)) in CELLS.iter().enumerate() {
             let mut total = 0.0;
-            for r in 0..scale.runs {
-                let mut cfg =
-                    AvailabilityConfig::paper(policy, replication, scale.run_seed("fig16", r));
-                cfg.span = SimDuration::from_days(scale.availability_days);
-                cfg.network = scale.network;
-                cfg.disk = scale.disk;
-                let result = simulate_availability(&dc, &view, &cfg);
+            let start = (u * CELLS.len() + c) * scale.runs;
+            for result in &results[start..start + scale.runs] {
                 total += result.failed_percent;
                 if (scale.network.is_some() || scale.disk.is_some())
                     && policy == PlacementPolicy::Stock

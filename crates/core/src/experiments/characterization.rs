@@ -6,9 +6,10 @@
 //! tenant's month of utilization, classify it with the FFT classifier
 //! (not the generator's label), and replay three years of reimages.
 
-use harvest_signal::classify::{classify, ClassifierConfig, UtilizationPattern};
-use harvest_signal::spectrum::{dominant_period_samples, periodicity_strength};
+use harvest_signal::classify::{classify_with, ClassifierConfig, UtilizationPattern};
+use harvest_signal::spectrum::{dominant_period_samples, periodicity_strength, SpectrumScratch};
 use harvest_sim::metrics::fraction_at_or_below;
+use harvest_sim::par::{par_map, par_map_with};
 use harvest_sim::rng::{indexed_rng, stream_rng};
 use harvest_trace::datacenter::DatacenterProfile;
 use harvest_trace::gen::UtilGen;
@@ -68,6 +69,12 @@ pub fn fig1(scale: &Scale) -> String {
 }
 
 /// Runs the FFT classifier over every tenant of every datacenter.
+///
+/// The thousands of (generate trace, FFT, classify) units are
+/// independent — each derives its RNG from its tenant index — so they
+/// fan out over `scale.jobs` workers, and each worker reuses one
+/// [`SpectrumScratch`] across every trace it classifies instead of
+/// allocating a fresh spectrum per tenant.
 fn classify_all(scale: &Scale) -> Vec<(String, Vec<(UtilizationPattern, usize)>)> {
     let classifier = ClassifierConfig::default();
     DatacenterProfile::all()
@@ -75,15 +82,17 @@ fn classify_all(scale: &Scale) -> Vec<(String, Vec<(UtilizationPattern, usize)>)
         .map(|profile| {
             let profile = profile.scaled(scale.dc_scale.max(0.05));
             let tenants = profile.sample_tenants(scale.seed);
-            let per_tenant: Vec<(UtilizationPattern, usize)> = tenants
-                .iter()
-                .enumerate()
-                .map(|(i, t)| {
+            let indices: Vec<usize> = (0..tenants.len()).collect();
+            let per_tenant: Vec<(UtilizationPattern, usize)> =
+                par_map_with(scale.jobs, &indices, SpectrumScratch::new, |scratch, &i| {
+                    let t = &tenants[i];
                     let mut rng = indexed_rng(scale.seed, "char-trace", i as u64);
                     let trace = t.util.generate(&mut rng, SAMPLES_PER_MONTH);
-                    (classify(trace.values(), &classifier), t.n_servers)
-                })
-                .collect();
+                    (
+                        classify_with(trace.values(), &classifier, scratch),
+                        t.n_servers,
+                    )
+                });
             (profile.name(), per_tenant)
         })
         .collect()
@@ -160,18 +169,25 @@ fn reimage_data(dc_id: usize, scale: &Scale) -> ReimageData {
     let months = 36;
     let profile = DatacenterProfile::dc(dc_id).scaled(scale.dc_scale.max(0.05));
     let tenants = profile.sample_tenants(scale.seed);
+    // Three years of reimages per tenant, fanned out over the sweep
+    // workers (the RNG stream is already indexed per tenant), then
+    // folded back in tenant order so the aggregates are unchanged.
+    let indices: Vec<usize> = (0..tenants.len()).collect();
+    let per_tenant = par_map(scale.jobs, &indices, |&i| {
+        let t = &tenants[i];
+        let mut rng = indexed_rng(scale.seed, "char-reimage", (dc_id * 10_000 + i) as u64);
+        let (events, rates) = t.reimage.generate(&mut rng, t.n_servers, months);
+        let server_rates = per_server_monthly_rates(&events, t.n_servers, months);
+        let tenant_rate = harvest_trace::reimage::tenant_monthly_rate(&events, t.n_servers, months);
+        (server_rates, tenant_rate, rates)
+    });
+
     let mut per_server_rates = Vec::new();
     let mut per_tenant_rates = Vec::new();
     let mut monthly: Vec<Vec<f64>> = vec![Vec::new(); months];
-    for (i, t) in tenants.iter().enumerate() {
-        let mut rng = indexed_rng(scale.seed, "char-reimage", (dc_id * 10_000 + i) as u64);
-        let (events, rates) = t.reimage.generate(&mut rng, t.n_servers, months);
-        per_server_rates.extend(per_server_monthly_rates(&events, t.n_servers, months));
-        per_tenant_rates.push(harvest_trace::reimage::tenant_monthly_rate(
-            &events,
-            t.n_servers,
-            months,
-        ));
+    for (server_rates, tenant_rate, rates) in per_tenant {
+        per_server_rates.extend(server_rates);
+        per_tenant_rates.push(tenant_rate);
         // Group tenants by their per-month reimage *frequency* (the
         // drifted model rate). Raw monthly counts would add Poisson
         // sampling noise that scales inversely with tenant size; on

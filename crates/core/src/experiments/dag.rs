@@ -2,11 +2,13 @@
 
 use harvest_jobs::estimate::max_concurrent_tasks;
 use harvest_jobs::tpcds::query_19;
+use harvest_sim::par::par_map;
 
 use crate::report::Table;
+use crate::scale::Scale;
 
 /// Figure 7: per-level concurrency of query 19 and the BFS estimate.
-pub fn fig7() -> String {
+pub fn fig7(scale: &Scale) -> String {
     let q = query_19();
     let levels = q.levels();
     let max_level = levels.iter().copied().max().unwrap_or(0);
@@ -15,7 +17,9 @@ pub fn fig7() -> String {
         "Figure 7: TPC-DS query 19 execution DAG",
         &["level", "vertices", "concurrent tasks"],
     );
-    for level in 0..=max_level {
+    // Each level's row is an independent scan of the stage list.
+    let level_ids: Vec<usize> = (0..=max_level).collect();
+    let rows = par_map(scale.jobs, &level_ids, |&level| {
         let members: Vec<String> = q
             .stages
             .iter()
@@ -30,7 +34,10 @@ pub fn fig7() -> String {
             .filter(|(i, _)| levels[*i] == level)
             .map(|(_, s)| s.tasks)
             .sum();
-        table.row(&[level.to_string(), members.join(", "), tasks.to_string()]);
+        [level.to_string(), members.join(", "), tasks.to_string()]
+    });
+    for row in &rows {
+        table.row(row);
     }
     let estimate = max_concurrent_tasks(&q);
     table.note(format!(
@@ -45,7 +52,7 @@ mod tests {
 
     #[test]
     fn fig7_estimate_matches_paper() {
-        let out = fig7();
+        let out = fig7(&Scale::quick());
         assert!(out.contains("estimate: 469 containers"));
         assert!(out.contains("Mapper 2 (469)"));
     }

@@ -5,8 +5,10 @@ use harvest_dfs::durability::{simulate_durability, DurabilityConfig};
 use harvest_dfs::placement::PlacementPolicy;
 use harvest_disk::DiskConfig;
 use harvest_net::NetworkConfig;
+use harvest_sim::par::par_map;
 use harvest_trace::datacenter::DatacenterProfile;
 
+use super::STORAGE_CELLS as CELLS;
 use crate::report::{sci, Table};
 use crate::scale::Scale;
 
@@ -29,6 +31,70 @@ pub struct LossSummary {
     pub peak_queue_len: usize,
 }
 
+/// One durability simulation's outcome — the unit of the parallel
+/// sweep matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct RunLoss {
+    /// Lost-block percentage.
+    pub percent: f64,
+    /// Absolute lost blocks.
+    pub blocks: u64,
+    /// Superseded transfer events dropped (fabric + disks).
+    pub stale_events_dropped: u64,
+    /// Event-heap high-water mark.
+    pub peak_queue_len: usize,
+}
+
+/// Runs one durability simulation: run `r` of a (DC, policy,
+/// replication) cell. Self-contained — every mutable piece of state is
+/// constructed inside from the seed, so runs can execute on any thread.
+#[allow(clippy::too_many_arguments)]
+pub fn run_loss(
+    dc: &Datacenter,
+    policy: PlacementPolicy,
+    replication: usize,
+    months: usize,
+    base_seed: u64,
+    r: usize,
+    network: Option<NetworkConfig>,
+    disk: Option<DiskConfig>,
+) -> RunLoss {
+    let mut cfg = DurabilityConfig::paper(policy, replication, base_seed ^ (r as u64) << 32);
+    cfg.months = months;
+    cfg.network = network;
+    cfg.disk = disk;
+    let result = simulate_durability(dc, &cfg);
+    let mut stale = 0u64;
+    let mut peak = 0usize;
+    if let Some(f) = result.fabric {
+        stale += f.stale_events_dropped;
+        peak = peak.max(f.peak_queue_len);
+    }
+    if let Some(d) = result.disk {
+        stale += d.stale_events_dropped;
+        peak = peak.max(d.peak_queue_len);
+    }
+    RunLoss {
+        percent: result.lost_percent,
+        blocks: result.lost_blocks,
+        stale_events_dropped: stale,
+        peak_queue_len: peak,
+    }
+}
+
+/// Folds per-run outcomes (in run order) into a [`LossSummary`].
+pub fn summarize(runs: &[RunLoss]) -> LossSummary {
+    let n = runs.len() as f64;
+    LossSummary {
+        avg_percent: runs.iter().map(|r| r.percent).sum::<f64>() / n,
+        min_percent: runs.iter().map(|r| r.percent).fold(f64::MAX, f64::min),
+        max_percent: runs.iter().map(|r| r.percent).fold(f64::MIN, f64::max),
+        avg_blocks: runs.iter().map(|r| r.blocks as f64).sum::<f64>() / n,
+        stale_events_dropped: runs.iter().map(|r| r.stale_events_dropped).sum(),
+        peak_queue_len: runs.iter().map(|r| r.peak_queue_len).max().unwrap_or(0),
+    }
+}
+
 /// Runs `runs` durability simulations for one (DC, policy, replication).
 #[allow(clippy::too_many_arguments)]
 pub fn loss_summary(
@@ -41,39 +107,19 @@ pub fn loss_summary(
     network: Option<NetworkConfig>,
     disk: Option<DiskConfig>,
 ) -> LossSummary {
-    let mut percents = Vec::with_capacity(runs);
-    let mut blocks = 0.0;
-    let mut stale = 0u64;
-    let mut peak_queue = 0usize;
-    for r in 0..runs {
-        let mut cfg = DurabilityConfig::paper(policy, replication, base_seed ^ (r as u64) << 32);
-        cfg.months = months;
-        cfg.network = network;
-        cfg.disk = disk;
-        let result = simulate_durability(dc, &cfg);
-        percents.push(result.lost_percent);
-        blocks += result.lost_blocks as f64;
-        if let Some(f) = result.fabric {
-            stale += f.stale_events_dropped;
-            peak_queue = peak_queue.max(f.peak_queue_len);
-        }
-        if let Some(d) = result.disk {
-            stale += d.stale_events_dropped;
-            peak_queue = peak_queue.max(d.peak_queue_len);
-        }
-    }
-    LossSummary {
-        avg_percent: percents.iter().sum::<f64>() / runs as f64,
-        min_percent: percents.iter().cloned().fold(f64::MAX, f64::min),
-        max_percent: percents.iter().cloned().fold(f64::MIN, f64::max),
-        avg_blocks: blocks / runs as f64,
-        stale_events_dropped: stale,
-        peak_queue_len: peak_queue,
-    }
+    let outcomes: Vec<RunLoss> = (0..runs)
+        .map(|r| run_loss(dc, policy, replication, months, base_seed, r, network, disk))
+        .collect();
+    summarize(&outcomes)
 }
 
 /// Figure 15: percentage of lost blocks per datacenter, for HDFS-Stock
 /// and HDFS-H at three- and four-way replication.
+///
+/// The whole matrix — 10 DCs × 4 cells × `runs` — is flattened into
+/// independent tasks and fanned out over `scale.jobs` workers;
+/// aggregation happens afterwards in input order, so the report is
+/// byte-identical at any thread count.
 pub fn fig15(scale: &Scale) -> String {
     let mut table = Table::new(
         format!(
@@ -89,30 +135,58 @@ pub fn fig15(scale: &Scale) -> String {
             "H R=3 blocks",
         ],
     );
+
+    // Hoist the shared read-only state: one datacenter per profile,
+    // themselves generated in parallel (each from its own seed stream).
+    let dc_ids: Vec<usize> = (0..10).collect();
+    let dcs: Vec<Datacenter> = par_map(scale.jobs, &dc_ids, |&dc_id| {
+        let profile = DatacenterProfile::dc(dc_id).scaled(scale.dc_scale);
+        Datacenter::generate(&profile, scale.seed)
+    });
+
+    // The task matrix, dc-major then cell then run, so each (dc, cell)
+    // owns a contiguous chunk of `runs` results.
+    struct Task {
+        dc_id: usize,
+        cell: usize,
+        r: usize,
+    }
+    let mut tasks = Vec::with_capacity(10 * CELLS.len() * scale.runs);
+    for dc_id in 0..10 {
+        for cell in 0..CELLS.len() {
+            for r in 0..scale.runs {
+                tasks.push(Task { dc_id, cell, r });
+            }
+        }
+    }
+    let outcomes: Vec<RunLoss> = par_map(scale.jobs, &tasks, |t| {
+        let (policy, replication) = CELLS[t.cell];
+        run_loss(
+            &dcs[t.dc_id],
+            policy,
+            replication,
+            scale.durability_months,
+            scale.run_seed("fig15", t.dc_id),
+            t.r,
+            scale.network,
+            scale.disk,
+        )
+    });
+
     let mut stock3_total = 0.0;
     let mut h3_total = 0.0;
     let mut h4_blocks = 0.0;
     let mut stale_total = 0u64;
     let mut peak_queue = 0usize;
     for dc_id in 0..10 {
-        let profile = DatacenterProfile::dc(dc_id).scaled(scale.dc_scale);
-        let dc = Datacenter::generate(&profile, scale.seed);
-        let cell = |policy, replication| {
-            loss_summary(
-                &dc,
-                policy,
-                replication,
-                scale.durability_months,
-                scale.runs,
-                scale.run_seed("fig15", dc_id),
-                scale.network,
-                scale.disk,
-            )
+        let cell = |c: usize| -> LossSummary {
+            let start = (dc_id * CELLS.len() + c) * scale.runs;
+            summarize(&outcomes[start..start + scale.runs])
         };
-        let stock3 = cell(PlacementPolicy::Stock, 3);
-        let h3 = cell(PlacementPolicy::History, 3);
-        let stock4 = cell(PlacementPolicy::Stock, 4);
-        let h4 = cell(PlacementPolicy::History, 4);
+        let stock3 = cell(0);
+        let h3 = cell(1);
+        let stock4 = cell(2);
+        let h4 = cell(3);
         stock3_total += stock3.avg_percent;
         h3_total += h3.avg_percent;
         h4_blocks += h4.avg_blocks;
@@ -189,5 +263,18 @@ mod tests {
             hist.avg_percent,
             stock.avg_percent
         );
+    }
+
+    #[test]
+    fn summarize_matches_loss_summary() {
+        let profile = DatacenterProfile::dc(3).scaled(0.02);
+        let dc = Datacenter::generate(&profile, 42);
+        let runs: Vec<RunLoss> = (0..3)
+            .map(|r| run_loss(&dc, PlacementPolicy::Stock, 3, 3, 7, r, None, None))
+            .collect();
+        let a = summarize(&runs);
+        let b = loss_summary(&dc, PlacementPolicy::Stock, 3, 3, 3, 7, None, None);
+        assert_eq!(a.avg_percent.to_bits(), b.avg_percent.to_bits());
+        assert_eq!(a.avg_blocks.to_bits(), b.avg_blocks.to_bits());
     }
 }

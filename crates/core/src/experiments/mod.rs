@@ -1,5 +1,17 @@
 //! One module per reproduced figure.
 
+use harvest_dfs::placement::PlacementPolicy;
+
+/// The four (policy, replication) cells both storage figures (15 and
+/// 16) sweep, in the paper's column order — shared so the two reports
+/// can never disagree on what a column means.
+pub(crate) const STORAGE_CELLS: [(PlacementPolicy, usize); 4] = [
+    (PlacementPolicy::Stock, 3),
+    (PlacementPolicy::History, 3),
+    (PlacementPolicy::Stock, 4),
+    (PlacementPolicy::History, 4),
+];
+
 pub mod availability;
 pub mod characterization;
 pub mod dag;

@@ -13,6 +13,7 @@ use harvest_jobs::tpcds::{scale_job, tpcds_suite};
 use harvest_jobs::workload::Workload;
 use harvest_sched::policy::SchedPolicy;
 use harvest_sched::sim::{SchedSim, SchedSimConfig, TickSweep};
+use harvest_sim::par::par_map;
 use harvest_sim::rng::stream_rng;
 use harvest_sim::SimDuration;
 use harvest_trace::datacenter::DatacenterProfile;
@@ -122,6 +123,12 @@ pub fn sweep_point(
 }
 
 /// Figure 13: DC-9's batch run times across the utilization spectrum.
+///
+/// The (scaling × utilization × run) matrix is flattened into
+/// independent [`sweep_point`] tasks over `scale.jobs` workers; each
+/// task derives its own seed stream and shares only the read-only
+/// datacenter, and aggregation replays the sequential order — the
+/// report is byte-identical at any thread count.
 pub fn fig13(scale: &Scale) -> String {
     let profile = DatacenterProfile::dc(9).scaled(scale.dc_scale);
     let dc = Datacenter::generate(&profile, scale.seed);
@@ -139,23 +146,41 @@ pub fn fig13(scale: &Scale) -> String {
             "improvement",
         ],
     );
-    let mut stale_total = 0u64;
-    let mut peak_queue = 0usize;
+    struct Task {
+        scaling: ScalingKind,
+        util: f64,
+        r: usize,
+    }
+    let mut tasks = Vec::with_capacity(2 * scale.utilizations.len() * scale.runs);
     for scaling in [ScalingKind::Linear, ScalingKind::Root] {
         for &util in &scale.utilizations {
+            for r in 0..scale.runs {
+                tasks.push(Task { scaling, util, r });
+            }
+        }
+    }
+    let points: Vec<SweepPoint> = par_map(scale.jobs, &tasks, |t| {
+        sweep_point(
+            &dc,
+            t.scaling,
+            t.util,
+            scale.sched_hours,
+            scale.run_seed("fig13", t.r),
+            scale.network,
+            scale.disk,
+            scale.tick_sweep,
+        )
+    });
+
+    let mut stale_total = 0u64;
+    let mut peak_queue = 0usize;
+    let mut chunks = points.chunks_exact(scale.runs);
+    for scaling in [ScalingKind::Linear, ScalingKind::Root] {
+        for &util in &scale.utilizations {
+            let runs = chunks.next().expect("one chunk per sweep point");
             let mut pt = 0.0;
             let mut h = 0.0;
-            for r in 0..scale.runs {
-                let p = sweep_point(
-                    &dc,
-                    scaling,
-                    util,
-                    scale.sched_hours,
-                    scale.run_seed("fig13", r),
-                    scale.network,
-                    scale.disk,
-                    scale.tick_sweep,
-                );
+            for p in runs {
                 pt += p.pt_secs;
                 h += p.h_secs;
                 stale_total += p.stale_events_dropped;
@@ -202,28 +227,61 @@ pub fn fig14(scale: &Scale) -> String {
     // the effect size.
     let utils: Vec<f64> = vec![scale.utilizations[scale.utilizations.len() / 2]];
     let runs = scale.runs.max(2);
-    let mut low_var = Vec::new(); // DC-0, DC-2 improvements
-    let mut high_var = Vec::new(); // DC-1, DC-4 improvements
-    for dc_id in 0..10 {
+
+    // Shared read-only state first: the ten datacenters, generated in
+    // parallel (each deterministically from its own profile + seed).
+    let dc_ids: Vec<usize> = (0..10).collect();
+    let dcs: Vec<Datacenter> = par_map(scale.jobs, &dc_ids, |&dc_id| {
         let profile = DatacenterProfile::dc(dc_id).scaled(scale.dc_scale);
-        let dc = Datacenter::generate(&profile, scale.seed);
+        Datacenter::generate(&profile, scale.seed)
+    });
+
+    // Then the flattened (dc × scaling × util × run) sweep matrix.
+    struct Task {
+        dc_id: usize,
+        scaling: ScalingKind,
+        util: f64,
+        r: usize,
+    }
+    let mut tasks = Vec::with_capacity(10 * 2 * utils.len() * runs);
+    for dc_id in 0..10 {
         for scaling in [ScalingKind::Linear, ScalingKind::Root] {
-            let mut imps = Vec::new();
             for &util in &utils {
                 for r in 0..runs {
-                    let p = sweep_point(
-                        &dc,
+                    tasks.push(Task {
+                        dc_id,
                         scaling,
                         util,
-                        scale.sched_hours,
-                        scale.run_seed("fig14", dc_id * 100 + r),
-                        scale.network,
-                        scale.disk,
-                        scale.tick_sweep,
-                    );
-                    imps.push(p.improvement());
+                        r,
+                    });
                 }
             }
+        }
+    }
+    let points: Vec<SweepPoint> = par_map(scale.jobs, &tasks, |t| {
+        sweep_point(
+            &dcs[t.dc_id],
+            t.scaling,
+            t.util,
+            scale.sched_hours,
+            scale.run_seed("fig14", t.dc_id * 100 + t.r),
+            scale.network,
+            scale.disk,
+            scale.tick_sweep,
+        )
+    });
+
+    let mut low_var = Vec::new(); // DC-0, DC-2 improvements
+    let mut high_var = Vec::new(); // DC-1, DC-4 improvements
+    let mut chunks = points.chunks_exact(utils.len() * runs);
+    for dc_id in 0..10 {
+        for scaling in [ScalingKind::Linear, ScalingKind::Root] {
+            let imps: Vec<f64> = chunks
+                .next()
+                .expect("one chunk per (dc, scaling)")
+                .iter()
+                .map(|p| p.improvement())
+                .collect();
             let min = imps.iter().cloned().fold(f64::MAX, f64::min);
             let max = imps.iter().cloned().fold(f64::MIN, f64::max);
             let avg = imps.iter().sum::<f64>() / imps.len() as f64;

@@ -18,6 +18,7 @@ use harvest_sched::sim::{SchedSim, SchedSimConfig};
 use harvest_sched::stats::SimStats;
 use harvest_service::LatencyModel;
 use harvest_sim::metrics::StreamingStats;
+use harvest_sim::par::par_map;
 use harvest_sim::rng::stream_rng;
 use harvest_sim::{dist, SimDuration, SimTime};
 use rand::RngExt;
@@ -69,19 +70,35 @@ pub fn fig10(scale: &Scale) -> String {
         ],
     );
 
-    // The no-harvesting baseline: the same utilization playback with zero
-    // harvested cores.
-    let baseline = run_testbed(scale, SchedPolicy::History, true);
-    let mut base_series = Vec::new();
-    let n_ticks = baseline.server_load[0].len();
-    for k in 0..n_ticks {
-        let loads: Vec<(f64, u32)> = baseline
-            .server_load
-            .iter()
-            .map(|s| (s[k].primary_util, 0))
-            .collect();
-        base_series.push(model.fleet_p99_ms(&loads, scale.seed, k as u64));
-    }
+    // One simulation per scheduler, fanned out over the sweep workers.
+    // The no-harvesting baseline needs no simulation of its own: it is
+    // the History run's utilization playback with the harvested cores
+    // zeroed, so its series is derived from the same stats.
+    let all_stats = par_map(scale.jobs, &SchedPolicy::ALL, |&policy| {
+        run_testbed(scale, policy, true)
+    });
+    let series_for = |stats: &SimStats, zero_cores: bool| -> Vec<f64> {
+        let n_ticks = stats.server_load[0].len();
+        (0..n_ticks)
+            .map(|k| {
+                let loads: Vec<(f64, u32)> = stats
+                    .server_load
+                    .iter()
+                    .map(|s| {
+                        let cores = if zero_cores { 0 } else { s[k].secondary_cores };
+                        (s[k].primary_util, cores)
+                    })
+                    .collect();
+                model.fleet_p99_ms(&loads, scale.seed, k as u64)
+            })
+            .collect()
+    };
+
+    let history = SchedPolicy::ALL
+        .iter()
+        .position(|p| *p == SchedPolicy::History)
+        .expect("History is a scheduler");
+    let base_series = series_for(&all_stats[history], true);
     let base_avg = mean(&base_series);
     table.row(&[
         "No Harvesting".into(),
@@ -90,18 +107,8 @@ pub fn fig10(scale: &Scale) -> String {
         num(max(&base_series), 0),
         num(0.0, 0),
     ]);
-
-    for policy in SchedPolicy::ALL {
-        let stats = run_testbed(scale, policy, true);
-        let mut series = Vec::new();
-        for k in 0..stats.server_load[0].len() {
-            let loads: Vec<(f64, u32)> = stats
-                .server_load
-                .iter()
-                .map(|s| (s[k].primary_util, s[k].secondary_cores))
-                .collect();
-            series.push(model.fleet_p99_ms(&loads, scale.seed, k as u64));
-        }
+    for (policy, stats) in SchedPolicy::ALL.iter().zip(&all_stats) {
+        let series = series_for(stats, false);
         table.row(&[
             policy.to_string(),
             num(mean(&series), 0),
@@ -120,7 +127,8 @@ pub fn fig11(scale: &Scale) -> String {
         "Figure 11: batch job execution times (s)",
         &["system", "jobs", "mean", "median", "max", "task kills"],
     );
-    for policy in SchedPolicy::ALL {
+    // One simulation per scheduler, fanned out over the sweep workers.
+    let rows = par_map(scale.jobs, &SchedPolicy::ALL, |&policy| {
         let stats = run_testbed(scale, policy, false);
         let mut times: Vec<f64> = stats
             .jobs
@@ -128,13 +136,16 @@ pub fn fig11(scale: &Scale) -> String {
             .filter_map(|j| j.execution_time.map(|d| d.as_secs_f64()))
             .collect();
         times.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN"));
+        (policy, times, stats.total_kills)
+    });
+    for (policy, times, kills) in rows {
         table.row(&[
             policy.to_string(),
             times.len().to_string(),
             num(mean(&times), 0),
             num(quantile(&times, 0.5), 0),
             num(max(&times), 0),
-            stats.total_kills.to_string(),
+            kills.to_string(),
         ]);
     }
     table.note("paper: YARN-Stock is fastest (1181 s avg for YARN-PT vs 938 s for YARN-H) but ruins the primary; YARN-H/Tez-H beats YARN-PT by killing fewer tasks");
@@ -197,7 +208,11 @@ pub fn fig12(scale: &Scale) -> String {
         num(0.0, 0),
     ]);
 
-    for policy in PlacementPolicy::ALL {
+    // One self-contained task per HDFS variant: each builds its own
+    // RNG stream, placer, block store, and latency series from shared
+    // read-only state, so the variants run concurrently yet
+    // byte-identically to the sequential loop they replaced.
+    let outcomes = par_map(scale.jobs, &PlacementPolicy::ALL, |&policy| {
         let mut rng = stream_rng(scale.run_seed("fig12", 0), "access");
         let placer = Placer::new(&dc, policy);
         let mut store = BlockStore::new(&dc);
@@ -261,6 +276,9 @@ pub fn fig12(scale: &Scale) -> String {
                 .collect();
             series.push(model.fleet_p99_ms(&loads, scale.seed ^ 0xF1612, k as u64));
         }
+        (series, failed)
+    });
+    for (policy, (series, failed)) in PlacementPolicy::ALL.iter().zip(outcomes) {
         table.row(&[
             policy.to_string(),
             num(mean(&series), 0),

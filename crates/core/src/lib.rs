@@ -11,6 +11,20 @@
 //! each report states the paper's qualitative claim next to the measured
 //! result so the *shape* can be checked — see `EXPERIMENTS.md` at the
 //! workspace root for the recorded comparison.
+//!
+//! # The task matrix
+//!
+//! Every sweep experiment is structured the same way: build the shared
+//! read-only state (datacenters, utilization views), flatten the sweep
+//! — every `(point × run)`, or per-tenant unit — into a list of task
+//! descriptors each carrying its own derived seed stream, fan the list
+//! out with [`harvest_sim::par::par_map`] over `Scale::jobs` workers,
+//! then aggregate the returned results in input order. Because nothing
+//! mutable is shared and aggregation order is fixed, a report is
+//! byte-identical at any `--jobs` value (`crates/core/tests/
+//! determinism.rs` pins this against the `--jobs 1` sequential
+//! reference path, the same oracle pattern as `ReshareScope::Global`
+//! and `TickSweep::Full`).
 
 pub mod experiments;
 pub mod report;
@@ -32,7 +46,7 @@ pub fn run_experiment(id: &str, scale: &Scale) -> Result<String, String> {
         "fig4" => Ok(experiments::characterization::fig4(scale)),
         "fig5" => Ok(experiments::characterization::fig5(scale)),
         "fig6" => Ok(experiments::characterization::fig6(scale)),
-        "fig7" => Ok(experiments::dag::fig7()),
+        "fig7" => Ok(experiments::dag::fig7(scale)),
         "fig8" => Ok(experiments::grid::fig8(scale)),
         "fig10" => Ok(experiments::testbed::fig10(scale)),
         "fig11" => Ok(experiments::testbed::fig11(scale)),

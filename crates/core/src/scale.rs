@@ -40,6 +40,12 @@ pub struct Scale {
     /// full-fleet reference sweeps (bitwise-identical results, pre-index
     /// cost) for validation.
     pub tick_sweep: TickSweep,
+    /// Worker threads for the sweep matrices (`repro --jobs N`).
+    /// Defaults to every available core; `1` is the sequential
+    /// reference path. Reports are byte-identical at any value — the
+    /// experiments fan out over [`harvest_sim::par::par_map`], whose
+    /// order-preserving writes make thread count unobservable.
+    pub jobs: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -58,24 +64,28 @@ impl Scale {
             availability_days: 5,
             utilizations: vec![0.30, 0.45, 0.60],
             tick_sweep: TickSweep::Incremental,
+            jobs: harvest_sim::par::default_jobs(),
             seed: 42,
         }
     }
 
-    /// Fuller preset (`repro --full`): three runs per point, bigger
-    /// clusters, longer horizons. Roughly an hour of single-core time
-    /// for the complete suite.
+    /// Fuller preset (`repro --full`): the paper's five runs per data
+    /// point, bigger clusters, longer horizons. The sweep matrix fans
+    /// out over every available core by default (`--jobs N` to pin);
+    /// sequential (`--jobs 1`) it is several hours of single-core time,
+    /// so let the parallel harness pay for the fifth run.
     pub fn full() -> Self {
         Scale {
             dc_scale: 0.06,
             network: None,
             disk: None,
-            runs: 3,
+            runs: 5,
             sched_hours: 12,
             durability_months: 12,
             availability_days: 15,
             utilizations: vec![0.25, 0.35, 0.45, 0.55, 0.65],
             tick_sweep: TickSweep::Incremental,
+            jobs: harvest_sim::par::default_jobs(),
             seed: 42,
         }
     }

@@ -5,7 +5,7 @@
 //! tend to be periodic (diurnal), crawlers/scrubbers roughly constant, and
 //! development/testing tenants unpredictable.
 
-use crate::spectrum::periodicity_strength;
+use crate::spectrum::{periodicity_strength_with, SpectrumScratch};
 
 /// A primary tenant's utilization trend class (paper §3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -77,6 +77,18 @@ impl Default for ClassifierConfig {
 /// Figure 1b) and *unpredictable* (energy spread across low frequencies,
 /// as in Figure 1d).
 pub fn classify(values: &[f64], config: &ClassifierConfig) -> UtilizationPattern {
+    classify_with(values, config, &mut SpectrumScratch::new())
+}
+
+/// [`classify`] with caller-owned FFT scratch buffers, so a sweep over
+/// thousands of tenant traces reuses one spectrum allocation per worker
+/// instead of allocating per trace. Results are identical to
+/// [`classify`] bit for bit.
+pub fn classify_with(
+    values: &[f64],
+    config: &ClassifierConfig,
+    scratch: &mut SpectrumScratch,
+) -> UtilizationPattern {
     if values.len() < 8 {
         return UtilizationPattern::Unpredictable;
     }
@@ -89,7 +101,7 @@ pub fn classify(values: &[f64], config: &ClassifierConfig) -> UtilizationPattern
     if cv <= config.constant_cv_max {
         return UtilizationPattern::Constant;
     }
-    let strength = periodicity_strength(values, config.period_samples);
+    let strength = periodicity_strength_with(values, config.period_samples, scratch);
     if strength >= config.periodic_strength_min {
         UtilizationPattern::Periodic
     } else {

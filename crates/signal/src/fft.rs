@@ -77,11 +77,25 @@ fn transform(data: &mut [Complex], inverse: bool) {
 /// Returns the full complex spectrum of the padded signal (length
 /// `next_pow2(signal.len())`).
 pub fn fft_real_padded(signal: &[f64]) -> Vec<Complex> {
-    let n = next_pow2(signal.len());
-    let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
-    data.resize(n, Complex::ZERO);
-    fft_in_place(&mut data);
+    let mut data = Vec::new();
+    fft_real_padded_into(signal, &mut data);
     data
+}
+
+/// [`fft_real_padded`] into a caller-owned buffer, so hot loops (e.g.
+/// classifying thousands of tenant traces) reuse one allocation instead
+/// of building a fresh spectrum vector per call.
+///
+/// `out` is cleared and overwritten with the full complex spectrum of
+/// the padded signal (length `next_pow2(signal.len())`); its capacity is
+/// retained across calls.
+pub fn fft_real_padded_into(signal: &[f64], out: &mut Vec<Complex>) {
+    let n = next_pow2(signal.len());
+    out.clear();
+    out.reserve(n);
+    out.extend(signal.iter().map(|&x| Complex::from_real(x)));
+    out.resize(n, Complex::ZERO);
+    fft_in_place(out);
 }
 
 /// Magnitudes of the non-redundant half of a real signal's spectrum
@@ -137,6 +151,23 @@ mod tests {
         assert_eq!(peak, freq);
         // The tone bin should hold essentially all the energy: |X[f]| = n/2.
         assert_close(mags[freq], n as f64 / 2.0, 1e-6);
+    }
+
+    #[test]
+    fn padded_into_reuses_buffer_and_matches_allocating_path() {
+        let signal: Vec<f64> = (0..100).map(|i| (i as f64 * 0.13).sin()).collect();
+        let fresh = fft_real_padded(&signal);
+        let mut buf = Vec::new();
+        fft_real_padded_into(&signal, &mut buf);
+        assert_eq!(buf.len(), 128);
+        assert_eq!(fresh, buf);
+        let cap = buf.capacity();
+        // A second, shorter signal must not reallocate and must match
+        // its own allocating result exactly (no stale-tail leakage).
+        let short: Vec<f64> = (0..60).map(|i| (i as f64 * 0.31).cos()).collect();
+        fft_real_padded_into(&short, &mut buf);
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(fft_real_padded(&short), buf);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod fft;
 pub mod kmeans;
 pub mod spectrum;
 
-pub use classify::{classify, ClassifierConfig, UtilizationPattern};
+pub use classify::{classify, classify_with, ClassifierConfig, UtilizationPattern};
 pub use complex::Complex;
 pub use kmeans::{kmeans, KMeansResult};
+pub use spectrum::SpectrumScratch;

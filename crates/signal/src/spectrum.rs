@@ -9,6 +9,27 @@
 use crate::complex::Complex;
 use crate::fft::fft_in_place;
 
+/// Reusable buffers for spectral analysis.
+///
+/// One spectrum costs two allocations (the complex FFT workspace and
+/// the power vector); a classification sweep over thousands of tenant
+/// traces costs thousands — unless each worker carries one scratch and
+/// threads it through every call. The scratch carries no information
+/// between calls (both buffers are fully overwritten), so reuse never
+/// changes a result.
+#[derive(Debug, Default)]
+pub struct SpectrumScratch {
+    data: Vec<Complex>,
+    powers: Vec<f64>,
+}
+
+impl SpectrumScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Power spectrum (|X[k]|²) of the non-redundant half of a real signal.
 ///
 /// The signal is mean-subtracted (so the DC level and its window leakage do
@@ -19,6 +40,16 @@ use crate::fft::fft_in_place;
 ///
 /// Returns `(powers, n)` where `powers.len() == n / 2 + 1`.
 pub fn power_spectrum_truncated(signal: &[f64]) -> (Vec<f64>, usize) {
+    let mut scratch = SpectrumScratch::new();
+    let n = power_spectrum_truncated_into(signal, &mut scratch);
+    (std::mem::take(&mut scratch.powers), n)
+}
+
+/// [`power_spectrum_truncated`] into reusable scratch buffers.
+///
+/// Returns the truncated length `n`; the powers (`n / 2 + 1` of them)
+/// are left in `scratch.powers` for the caller to read.
+pub fn power_spectrum_truncated_into(signal: &[f64], scratch: &mut SpectrumScratch) -> usize {
     assert!(!signal.is_empty(), "cannot take spectrum of empty signal");
     let n = if signal.len().is_power_of_two() {
         signal.len()
@@ -27,16 +58,21 @@ pub fn power_spectrum_truncated(signal: &[f64]) -> (Vec<f64>, usize) {
     };
     let n = n.max(1);
     let mean = signal[..n].iter().sum::<f64>() / n as f64;
-    let mut data: Vec<Complex> = (0..n)
-        .map(|i| {
-            let w = hann(i, n);
-            Complex::from_real((signal[i] - mean) * w)
-        })
-        .collect();
-    fft_in_place(&mut data);
+    let data = &mut scratch.data;
+    data.clear();
+    data.reserve(n);
+    data.extend((0..n).map(|i| {
+        let w = hann(i, n);
+        Complex::from_real((signal[i] - mean) * w)
+    }));
+    fft_in_place(data);
     let half = n / 2;
-    let powers = data[..=half].iter().map(|z| z.norm_sqr()).collect();
-    (powers, n)
+    scratch.powers.clear();
+    scratch.powers.reserve(half + 1);
+    scratch
+        .powers
+        .extend(data[..=half].iter().map(|z| z.norm_sqr()));
+    n
 }
 
 fn hann(i: usize, n: usize) -> f64 {
@@ -57,10 +93,21 @@ fn hann(i: usize, n: usize) -> f64 {
 /// `period_samples` is the period expressed in samples (e.g. a diurnal
 /// cycle on a two-minute grid is 720 samples).
 pub fn periodicity_strength(signal: &[f64], period_samples: f64) -> f64 {
+    periodicity_strength_with(signal, period_samples, &mut SpectrumScratch::new())
+}
+
+/// [`periodicity_strength`] with caller-owned scratch buffers, for hot
+/// loops classifying many traces.
+pub fn periodicity_strength_with(
+    signal: &[f64],
+    period_samples: f64,
+    scratch: &mut SpectrumScratch,
+) -> f64 {
     if signal.len() < 8 || period_samples <= 0.0 {
         return 0.0;
     }
-    let (powers, n) = power_spectrum_truncated(signal);
+    let n = power_spectrum_truncated_into(signal, scratch);
+    let powers = &scratch.powers;
     // Skip DC and near-DC bins: slow drift is not periodicity.
     let first_bin = 2usize;
     let total: f64 = powers.iter().skip(first_bin).sum();
@@ -186,5 +233,18 @@ mod tests {
         assert_eq!(periodicity_strength(&[1.0, 2.0], 2.0), 0.0);
         assert_eq!(dominant_period_samples(&[1.0]), None);
         assert_eq!(spectral_flatness(&[1.0, 2.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bitwise_identical_across_mixed_lengths() {
+        // One scratch over signals of different truncated lengths must
+        // reproduce the allocating path bit for bit (no stale state).
+        let mut scratch = SpectrumScratch::new();
+        for len in [4_096usize, 1_000, 21_600, 64] {
+            let sig: Vec<f64> = (0..len).map(|i| (i as f64 * 0.011).sin() + 0.5).collect();
+            let fresh = periodicity_strength(&sig, 720.0);
+            let reused = periodicity_strength_with(&sig, 720.0, &mut scratch);
+            assert_eq!(fresh.to_bits(), reused.to_bits(), "len {len}");
+        }
     }
 }

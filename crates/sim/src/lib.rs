@@ -14,7 +14,10 @@
 //! * [`metrics`] — streaming statistics, exact percentile sets, and
 //!   fixed-bin histograms used by the experiment harness;
 //! * [`rng`] — seed-derivation helpers so independent simulation
-//!   components get decorrelated, reproducible random streams.
+//!   components get decorrelated, reproducible random streams;
+//! * [`par`] — a deterministic, order-preserving `par_map` for
+//!   embarrassingly-parallel experiment matrices (byte-identical output
+//!   at any thread count).
 //!
 //! # Examples
 //!
@@ -33,8 +36,10 @@
 pub mod dist;
 pub mod engine;
 pub mod metrics;
+pub mod par;
 pub mod rng;
 pub mod time;
 
 pub use engine::{EventKey, EventQueue};
+pub use par::{default_jobs, par_map, par_map_with};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,221 @@
+//! Deterministic order-preserving parallel map.
+//!
+//! The experiment harness is an embarrassingly-parallel matrix: every
+//! `(sweep point × run)` is an independent simulation whose inputs are a
+//! task descriptor plus shared read-only state (a [`crate::rng`] seed
+//! stream per task keeps the random streams decorrelated no matter which
+//! worker executes it). [`par_map`] fans such a matrix out over
+//! `std::thread::scope` workers pulling indices from one atomic cursor
+//! (work stealing without queues), and writes each result into its
+//! input slot of a pre-sized `Vec<Option<R>>`.
+//!
+//! # Determinism contract
+//!
+//! `par_map(jobs, tasks, f)` returns *the same bytes* as
+//! `tasks.iter().map(f)` for any `jobs`, provided `f` is a pure function
+//! of its task (and of shared *immutable* state). Thread count and
+//! scheduling only decide *who* computes a slot, never *what* goes in it
+//! or where: results are placed by input index, and every aggregation a
+//! caller performs over the returned `Vec` happens on the calling thread
+//! in input order, so even float reduction order is unchanged. That is
+//! why determinism is free — there is no reduction tree whose shape
+//! depends on `jobs`. `jobs == 1` short-circuits to a plain sequential
+//! loop with no threads spawned: the reference path (`repro --jobs 1`).
+//!
+//! # Cost model
+//!
+//! * Task granularity: one claim is one `fetch_add` (~nanoseconds), so
+//!   tasks of ≥ tens of microseconds amortize it fully. The harness's
+//!   tasks are whole simulations (milliseconds to minutes); per-tenant
+//!   classification tasks (~100 µs) still amortize ~10⁴×.
+//! * Imbalance: the atomic cursor is claim-by-one, so a convoy of cheap
+//!   tasks behind one expensive task costs at most
+//!   `max(task) + total/jobs` wall clock — no static partitioning
+//!   cliffs. Put the expensive axis (runs, tenants) in the task list
+//!   rather than inside one task when possible.
+//! * Memory: results are buffered per worker as `(index, R)` pairs and
+//!   merged after the join, so `R` should be a summary (statistics, a
+//!   report row), not a trace. Workers share nothing mutable; per-worker
+//!   scratch comes from [`par_map_with`]'s `init`, which runs once per
+//!   worker, not once per task.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The default worker count for parallel sweeps: every core the OS
+/// grants us, or 1 if that cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `tasks` on up to `jobs` worker threads, returning the
+/// results in input order — byte-identical to the sequential map for
+/// any `jobs` (see the module docs for the contract).
+pub fn par_map<T, R, F>(jobs: usize, tasks: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(jobs, tasks, || (), |(), t| f(t))
+}
+
+/// [`par_map`] with per-worker scratch state: `init` runs once on each
+/// worker (and once total on the sequential path) and the resulting
+/// scratch is threaded through every task that worker claims.
+///
+/// This is how allocation-heavy inner loops (e.g. FFT spectra in tenant
+/// classification) reuse buffers without sharing anything mutable
+/// across threads. The scratch must not carry information between tasks
+/// that changes results, or the determinism contract breaks.
+pub fn par_map_with<T, R, S, I, F>(jobs: usize, tasks: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(tasks.len().max(1));
+    if jobs == 1 {
+        let mut scratch = init();
+        return tasks.iter().map(|t| f(&mut scratch, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    let mut claimed = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = tasks.get(i) else { break };
+                        claimed.push((i, f(&mut scratch, task)));
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+
+    // Pre-sized output; placement by input index makes order free.
+    let mut out: Vec<Option<R>> = Vec::with_capacity(tasks.len());
+    out.resize_with(tasks.len(), || None);
+    for bucket in buckets {
+        for (i, r) in bucket {
+            debug_assert!(out[i].is_none(), "slot {i} claimed twice");
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("par_map left a slot unclaimed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u64> = par_map(8, &[], |x: &u64| x + 1);
+        assert!(none.is_empty());
+        assert_eq!(par_map(8, &[41u64], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn order_preserved_under_contention_with_unbalanced_costs() {
+        // 64 tasks with deliberately unbalanced costs (task i spins
+        // proportionally to a sawtooth of i, so early tasks are the
+        // expensive ones and late claimers finish first) on more
+        // workers than cores — maximum claim contention. The output
+        // must still be exactly the input order.
+        let tasks: Vec<u64> = (0..64).collect();
+        let expect: Vec<u64> = tasks.iter().map(|&i| i * i + 1).collect();
+        for jobs in [2, 3, 7, 16] {
+            let got = par_map(jobs, &tasks, |&i| {
+                let spin = (64 - i % 64) * 500;
+                let mut acc = 0u64;
+                for k in 0..spin {
+                    acc = acc.wrapping_add(k ^ i);
+                }
+                std::hint::black_box(acc);
+                i * i + 1
+            });
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_reference_bytewise() {
+        // Float results: parallel must reproduce the sequential bits.
+        let tasks: Vec<f64> = (0..257).map(|i| i as f64 * 0.37).collect();
+        let f = |x: &f64| (x.sin() * 1e9).sqrt();
+        let seq: Vec<f64> = tasks.iter().map(f).collect();
+        let par = par_map(5, &tasks, f);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        static HITS: AtomicUsize = AtomicUsize::new(0);
+        let tasks: Vec<usize> = (0..100).collect();
+        let out = par_map(4, &tasks, |&i| {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(HITS.load(Ordering::Relaxed), 100);
+        assert_eq!(out, tasks);
+    }
+
+    #[test]
+    fn per_worker_scratch_is_reused_not_shared() {
+        // Each worker's scratch counts the tasks it claimed; the counts
+        // must sum to the task count (every init is a fresh scratch).
+        let tasks: Vec<usize> = (0..64).collect();
+        let out = par_map_with(
+            4,
+            &tasks,
+            || 0usize,
+            |claimed, &i| {
+                *claimed += 1;
+                (i, *claimed)
+            },
+        );
+        // Input order preserved on the task ids.
+        assert_eq!(out.iter().map(|&(i, _)| i).collect::<Vec<_>>(), tasks);
+        // Scratch is per worker, not per task: with 64 tasks over at
+        // most 4 workers, pigeonhole forces some worker's scratch to
+        // count at least 16 claims — an init-per-task regression would
+        // leave every count at 1.
+        let max_claims = out.iter().map(|&(_, c)| c).max().unwrap();
+        assert!(max_claims >= 16, "max scratch count {max_claims} < 16");
+        assert!(out.iter().all(|&(_, c)| (1..=64).contains(&c)));
+    }
+
+    #[test]
+    fn jobs_one_never_spawns() {
+        // The sequential reference path must run on the calling thread.
+        let caller = std::thread::current().id();
+        let tasks = [1, 2, 3];
+        let out = par_map(1, &tasks, |&x| {
+            assert_eq!(std::thread::current().id(), caller);
+            x * 2
+        });
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}
