@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--full] [--net] [--disk] [--full-sweep] [--jobs N] [--seed N]
-//!       [EXPERIMENT...]
+//!       [--trace-out FILE] [--metrics-out FILE] [EXPERIMENT...]
 //!
 //!   EXPERIMENT    fig1..fig8, fig10..fig16, micro, or "all" (default)
 //!   --full        bigger clusters, the paper's five runs per data point
@@ -19,7 +19,20 @@
 //!                 available cores; 1 = the sequential reference path;
 //!                 reports are byte-identical for any N)
 //!   --seed N      master seed (default 42)
+//!   --trace-out FILE    write a Chrome-trace/Perfetto JSON of the run
+//!   --metrics-out FILE  write a machine-readable metrics report (JSON)
 //! ```
+//!
+//! # Inspecting a run
+//!
+//! `--trace-out` and `--metrics-out` turn the observability layer on:
+//! recording-aware experiments (currently `micro`) replay instrumented
+//! runs whose sim-time spans, counters, gauges, and latency sketches
+//! land in the files, and the harness adds one wall-time span per
+//! experiment. Load the trace file in `chrome://tracing` or
+//! <https://ui.perfetto.dev>; the metrics file is plain JSON (see
+//! `harvest_sim::obs`). Recording never touches stdout — reports stay
+//! byte-identical with it on or off.
 //!
 //! Reports go to stdout; per-experiment wall-clock timings (which vary
 //! run to run) go to stderr as a closing table, so stdout stays
@@ -27,7 +40,8 @@
 
 use std::process::ExitCode;
 
-use harvest_core::{run_experiment, Scale, ALL_EXPERIMENTS};
+use harvest_core::{run_experiment_recorded, Scale, ALL_EXPERIMENTS};
+use harvest_sim::obs::Recorder;
 
 fn main() -> ExitCode {
     // Collect flags first, apply them to the scale afterwards, so flag
@@ -38,6 +52,8 @@ fn main() -> ExitCode {
     let mut full_sweep = false;
     let mut seed = None;
     let mut jobs = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -46,6 +62,20 @@ fn main() -> ExitCode {
             "--net" => net = true,
             "--disk" => disk = true,
             "--full-sweep" => full_sweep = true,
+            "--trace-out" => match args.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--metrics-out" => match args.next() {
+                Some(path) => metrics_out = Some(path),
+                None => {
+                    eprintln!("--metrics-out requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--seed" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = Some(s),
                 None => {
@@ -63,13 +93,29 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--full] [--net] [--disk] [--full-sweep] [--jobs N] \
-                     [--seed N] [EXPERIMENT...]"
+                     [--seed N] [--trace-out FILE] [--metrics-out FILE] [EXPERIMENT...]"
                 );
                 println!("experiments: {} all", ALL_EXPERIMENTS.join(" "));
                 println!(
                     "--full runs the paper's five runs per sweep point; --jobs N sets \
                      the sweep worker count (default: all cores, 1 = sequential \
                      reference; output is byte-identical for any N)"
+                );
+                println!();
+                println!("inspecting a run:");
+                println!(
+                    "  --trace-out FILE    write a Chrome-trace/Perfetto JSON of the run \
+                     (open in chrome://tracing or ui.perfetto.dev): sim-time tracks per \
+                     subsystem (sched ticks, fabric flows, disk streams, dfs repairs) \
+                     plus wall-time tracks for the harness and parallel workers"
+                );
+                println!(
+                    "  --metrics-out FILE  write a machine-readable JSON report: counters, \
+                     gauge envelopes, and latency-sketch quantiles (p50/p90/p99)"
+                );
+                println!(
+                    "  either flag turns recording on (the `micro` experiment then replays \
+                     instrumented runs); stdout stays byte-identical with recording on or off"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -92,6 +138,12 @@ fn main() -> ExitCode {
     if let Some(seed) = seed {
         scale.seed = seed;
     }
+    let mut rec = if trace_out.is_some() || metrics_out.is_some() {
+        Recorder::new("repro")
+    } else {
+        Recorder::off()
+    };
+    scale.record = rec.is_on();
     // Validate every experiment name before expanding "all" or running
     // anything: a typo anywhere in the list (including a mistyped flag,
     // which parses as a name) must not cost the hour of experiments
@@ -127,10 +179,17 @@ fn main() -> ExitCode {
     };
     for id in &experiments {
         let started = std::time::Instant::now();
-        match run_experiment(id, &scale) {
+        let t0_us = suite_started.elapsed().as_micros() as u64;
+        match run_experiment_recorded(id, &scale, &mut rec) {
             Ok(report) => {
                 println!("{report}");
                 let secs = started.elapsed().as_secs_f64();
+                rec.wall_span(
+                    "harness",
+                    id,
+                    t0_us,
+                    suite_started.elapsed().as_micros() as u64,
+                );
                 // Live progress for long suites; the table recaps.
                 eprintln!("[{id} took {secs:.1}s]");
                 timings.push((id.clone(), secs));
@@ -143,5 +202,21 @@ fn main() -> ExitCode {
         }
     }
     timing_table(&timings, suite_started.elapsed().as_secs_f64());
+    // Exports last, after the timing table: on stderr either way, and
+    // a write failure fails the run.
+    if let Some(path) = trace_out {
+        if let Err(e) = std::fs::write(&path, rec.chrome_trace_json()) {
+            eprintln!("error: cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[trace written to {path}]");
+    }
+    if let Some(path) = metrics_out {
+        if let Err(e) = std::fs::write(&path, rec.metrics_json()) {
+            eprintln!("error: cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[metrics written to {path}]");
+    }
     ExitCode::SUCCESS
 }

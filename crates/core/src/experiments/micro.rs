@@ -26,8 +26,13 @@ use crate::report::{num, Table};
 use crate::scale::Scale;
 
 /// §6.2 microbenchmarks: clustering, class selection, and per-block
-/// placement timings for a DC-9-like input.
-pub fn micro(scale: &Scale) -> String {
+/// placement timings for a DC-9-like input. With a live `rec` this is
+/// also the observability showcase: it replays a recorded scheduling
+/// run (network + disks on), a recorded reimage storm, and a profiled
+/// `par_map` sweep, so one `repro micro --trace-out` run exercises
+/// every subsystem's track. The showcase prints nothing and does not
+/// touch the report.
+pub fn micro(scale: &Scale, rec: &mut harvest_sim::obs::Recorder) -> String {
     let profile = DatacenterProfile::dc(9).scaled(scale.dc_scale.max(0.1));
     let dc = Datacenter::generate(&profile, scale.seed);
     let view = UtilizationView::unscaled(&dc);
@@ -122,7 +127,74 @@ pub fn micro(scale: &Scale) -> String {
     }
 
     table.note("absolute times differ (language, hardware, cluster size); the shape to check is clustering >> placement > selection, and HDFS-H placement costing a small constant factor over Stock");
+
+    if rec.is_on() {
+        record_showcase(scale, rec);
+    }
+
     table.render()
+}
+
+/// Feeds the recorder one representative run of every instrumented
+/// subsystem: a scheduling simulation with the fabric and disks on
+/// (tick spans, flow and stream lifetimes, re-share sizes), a reimage
+/// storm (repair spans), and a profiled [`par_map_profiled`] sweep
+/// (wall-time worker tracks). Only runs when recording is on — the
+/// microbenchmark report never depends on it.
+fn record_showcase(scale: &Scale, rec: &mut harvest_sim::obs::Recorder) {
+    use harvest_jobs::tpcds::{scale_job, tpcds_suite};
+    use harvest_jobs::workload::Workload;
+    use harvest_sched::policy::SchedPolicy;
+    use harvest_sched::sim::{SchedSim, SchedSimConfig};
+    use harvest_sim::par::par_map_profiled;
+    use harvest_sim::SimDuration;
+
+    let network = scale
+        .network
+        .unwrap_or_else(harvest_net::NetworkConfig::datacenter);
+    let disk = scale
+        .disk
+        .unwrap_or_else(harvest_disk::DiskConfig::datacenter);
+
+    // A small recorded scheduling run: every tick, flow, and stream
+    // lands on its subsystem's sim-time track.
+    let profile = DatacenterProfile::dc(9).scaled(0.02);
+    let dc = Datacenter::generate(&profile, scale.seed);
+    let view = UtilizationView::unscaled(&dc);
+    let suite: Vec<_> = tpcds_suite()
+        .iter()
+        .map(|q| scale_job(q, 16.0, 1.0))
+        .collect();
+    let mut wl_rng = stream_rng(scale.seed, "micro-obs-wl");
+    let horizon = SimDuration::from_hours(1);
+    let workload = Workload::poisson(&mut wl_rng, suite, SimDuration::from_secs(900), horizon);
+    let mut cfg = SchedSimConfig::testbed(SchedPolicy::PrimaryAware, scale.seed);
+    cfg.horizon = horizon;
+    cfg.drain = SimDuration::from_hours(2);
+    cfg.network = Some(network);
+    cfg.disk = Some(disk);
+    cfg.sweep = scale.tick_sweep;
+    let _ = SchedSim::new(&dc, &view, &workload, cfg).run_recorded(rec);
+
+    // A recorded reimage storm: repair spans plus the fabric and disk
+    // contention the converging re-replications cause.
+    let tenant = dc
+        .tenants
+        .iter()
+        .max_by_key(|t| t.n_servers())
+        .expect("dc has tenants")
+        .id;
+    let mut storm = harvest_dfs::repair::StormConfig::new(tenant, scale.seed);
+    storm.fill_fraction = 0.15;
+    storm.network = Some(network);
+    storm.disk = Some(disk);
+    storm.max_repair_streams = Some(64);
+    let _ = harvest_dfs::repair::simulate_reimage_storm_recorded(&dc, &storm, rec);
+
+    // A profiled parallel sweep: per-worker busy/idle wall-time tracks.
+    let queries = tpcds_suite();
+    let (_, profiles) = par_map_profiled(scale.jobs, &queries, |q| q.critical_path());
+    rec.record_worker_profiles("micro", &profiles);
 }
 
 #[cfg(test)]
@@ -133,9 +205,28 @@ mod tests {
     fn micro_runs_and_reports() {
         let mut s = Scale::quick();
         s.dc_scale = 0.05;
-        let out = micro(&s);
+        let out = micro(&s, &mut harvest_sim::obs::Recorder::off());
         assert!(out.contains("class selection"));
         assert!(out.contains("HDFS-H"));
         assert!(out.contains("HDFS-Stock"));
+    }
+
+    #[test]
+    fn recorded_micro_covers_every_subsystem() {
+        let mut s = Scale::quick();
+        s.dc_scale = 0.05;
+        s.jobs = 2;
+        let mut rec = harvest_sim::obs::Recorder::new("micro-test");
+        let out = micro(&s, &mut rec);
+        // The report's *shape* is unchanged by recording (its timing
+        // cells vary run to run, so byte-comparison lives in the
+        // determinism suite over the deterministic fig reports).
+        assert!(out.contains("class selection"));
+        let trace = rec.chrome_trace_json();
+        for track in ["\"sched\"", "\"fabric\"", "\"disk\"", "\"dfs\"", "micro/w0"] {
+            assert!(trace.contains(track), "trace lacks {track} track");
+        }
+        assert!(rec.counter_value("sched/tasks_started").is_some());
+        assert!(rec.counter_value("dfs/repairs").is_some());
     }
 }

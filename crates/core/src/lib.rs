@@ -39,6 +39,22 @@ pub use scale::Scale;
 /// architecture diagram and `table1` its extension inventory — both are
 /// documentation, not experiments.)
 pub fn run_experiment(id: &str, scale: &Scale) -> Result<String, String> {
+    let mut rec = harvest_sim::obs::Recorder::off();
+    run_experiment_recorded(id, scale, &mut rec)
+}
+
+/// [`run_experiment`] with an observability [`Recorder`]
+/// (`harvest_sim::obs::Recorder`): recording-aware experiments
+/// (currently `micro`, which replays a recorded scheduling run, a
+/// recorded reimage storm, and a profiled `par_map` sweep) feed spans,
+/// counters, and histograms into `rec`; every other experiment ignores
+/// it. The returned report is byte-identical to [`run_experiment`]'s —
+/// recording is invisible on stdout.
+pub fn run_experiment_recorded(
+    id: &str,
+    scale: &Scale,
+    rec: &mut harvest_sim::obs::Recorder,
+) -> Result<String, String> {
     match id {
         "fig1" => Ok(experiments::characterization::fig1(scale)),
         "fig2" => Ok(experiments::characterization::fig2(scale)),
@@ -55,7 +71,7 @@ pub fn run_experiment(id: &str, scale: &Scale) -> Result<String, String> {
         "fig14" => Ok(experiments::sched_sim::fig14(scale)),
         "fig15" => Ok(experiments::durability::fig15(scale)),
         "fig16" => Ok(experiments::availability::fig16(scale)),
-        "micro" => Ok(experiments::micro::micro(scale)),
+        "micro" => Ok(experiments::micro::micro(scale, rec)),
         other => Err(format!(
             "unknown experiment '{other}' (expected fig1-fig8, fig10-fig16, or micro)"
         )),

@@ -46,6 +46,12 @@ pub struct Scale {
     /// experiments fan out over [`harvest_sim::par::par_map`], whose
     /// order-preserving writes make thread count unobservable.
     pub jobs: usize,
+    /// Whether the harness is collecting an observability trace
+    /// (`repro --trace-out` / `--metrics-out`). Recording never
+    /// changes an experiment's report — stdout is byte-identical with
+    /// it on or off — it only makes recording-aware experiments feed
+    /// the run's [`harvest_sim::obs::Recorder`].
+    pub record: bool,
     /// Master seed.
     pub seed: u64,
 }
@@ -65,6 +71,7 @@ impl Scale {
             utilizations: vec![0.30, 0.45, 0.60],
             tick_sweep: TickSweep::Incremental,
             jobs: harvest_sim::par::default_jobs(),
+            record: false,
             seed: 42,
         }
     }
@@ -86,6 +93,7 @@ impl Scale {
             utilizations: vec![0.25, 0.35, 0.45, 0.55, 0.65],
             tick_sweep: TickSweep::Incremental,
             jobs: harvest_sim::par::default_jobs(),
+            record: false,
             seed: 42,
         }
     }

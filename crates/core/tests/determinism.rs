@@ -87,3 +87,50 @@ fn repro_stdout_is_byte_identical_across_jobs() {
         "missing timing table on stderr: {stderr}"
     );
 }
+
+#[test]
+fn recording_leaves_stdout_byte_identical() {
+    // The observability layer's stdout contract: turning the recorder
+    // on (--trace-out/--metrics-out) must not move a single stdout
+    // byte — recording writes only to the named files and stderr.
+    let tmp = std::env::temp_dir();
+    let trace = tmp.join(format!("harvest-obs-trace-{}.json", std::process::id()));
+    let metrics = tmp.join(format!("harvest-obs-metrics-{}.json", std::process::id()));
+
+    let off = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fig7", "fig8", "--jobs", "2"])
+        .output()
+        .expect("repro runs");
+    assert!(off.status.success(), "recorder-off run failed");
+    let on = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fig7", "fig8", "--jobs", "2"])
+        .args(["--trace-out".as_ref(), trace.as_os_str()])
+        .args(["--metrics-out".as_ref(), metrics.as_os_str()])
+        .output()
+        .expect("repro runs");
+    assert!(on.status.success(), "recorder-on run failed");
+    assert_eq!(
+        off.stdout, on.stdout,
+        "recording changed repro's stdout bytes"
+    );
+
+    // Both exports exist and parse with the in-repo JSON parser.
+    let trace_text = std::fs::read_to_string(&trace).expect("trace file written");
+    let trace_json = harvest_sim::obs::json::parse(&trace_text).expect("trace parses");
+    assert!(
+        trace_json
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .is_some_and(|evs| !evs.is_empty()),
+        "trace has no events"
+    );
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let metrics_json = harvest_sim::obs::json::parse(&metrics_text).expect("metrics parses");
+    assert!(
+        metrics_json.get("counters").is_some(),
+        "metrics report lacks counters"
+    );
+
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&metrics);
+}

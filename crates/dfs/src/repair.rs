@@ -20,6 +20,7 @@ use std::collections::{BinaryHeap, HashMap};
 use harvest_cluster::{Datacenter, ServerId, TenantId};
 use harvest_disk::{DiskConfig, DiskPool, IoDir};
 use harvest_net::NetworkConfig;
+use harvest_sim::obs::{HistogramId, Recorder, TrackId};
 use harvest_sim::rng::stream_rng;
 use harvest_sim::{SimDuration, SimTime};
 use rand::RngExt;
@@ -262,6 +263,33 @@ pub fn repair_source(dc: &Datacenter, existing: &[u32], dest: ServerId) -> Serve
 ///
 /// Panics if the tenant id is out of range or the config is invalid.
 pub fn simulate_reimage_storm(dc: &Datacenter, cfg: &StormConfig) -> StormResult {
+    let mut rec = Recorder::off();
+    simulate_reimage_storm_recorded(dc, cfg, &mut rec)
+}
+
+/// Metric ids registered when the storm's recorder is on.
+struct StormObs {
+    track: TrackId,
+    repair_secs: HistogramId,
+}
+
+/// [`simulate_reimage_storm`] with observability: each repair's
+/// transfer window (throttle slot to last-component landing) becomes a
+/// span on the `dfs` track and a `dfs/repair_secs` histogram sample,
+/// the fabric and disk pool record into child recorders absorbed back
+/// into `rec`, and `dfs/*` counters mirror the result's totals.
+/// Recording never changes the replay: the returned [`StormResult`]
+/// matches [`simulate_reimage_storm`]'s exactly, and nothing is
+/// printed.
+///
+/// # Panics
+///
+/// Panics if the tenant id is out of range or the config is invalid.
+pub fn simulate_reimage_storm_recorded(
+    dc: &Datacenter,
+    cfg: &StormConfig,
+    rec: &mut Recorder,
+) -> StormResult {
     assert!(cfg.replication >= 1, "replication must be at least 1");
     assert!(
         (cfg.tenant.0 as usize) < dc.n_tenants(),
@@ -330,6 +358,18 @@ pub fn simulate_reimage_storm(dc: &Datacenter, cfg: &StormConfig) -> StormResult
         .as_ref()
         .map(|net| harvest_net::Fabric::from_datacenter(dc, net));
     let mut disks = cfg.disk.as_ref().map(|d| DiskPool::from_datacenter(dc, d));
+    let obs = rec.is_on().then(|| StormObs {
+        track: rec.track("dfs"),
+        repair_secs: rec.histogram("dfs/repair_secs"),
+    });
+    if rec.is_on() {
+        if let Some(f) = fabric.as_mut() {
+            f.set_recorder(rec.child());
+        }
+        if let Some(p) = disks.as_mut() {
+            p.set_recorder(rec.child());
+        }
+    }
     let modeled = fabric.is_some() || disks.is_some();
     // In-flight repairs, by repair id.
     let mut in_flight: HashMap<u64, TransferParts> = HashMap::new();
@@ -355,6 +395,8 @@ pub fn simulate_reimage_storm(dc: &Datacenter, cfg: &StormConfig) -> StormResult
 
         // Transfer events first: a completed repair is durable before a
         // simultaneous slot release is processed.
+        let rec = &mut *rec;
+        let obs = obs.as_ref();
         let mut finish_part = |rid: u64, at: SimTime| {
             let e = in_flight.get_mut(&rid).expect("repair in flight");
             if let Some(landed_at) = e.component_done(at) {
@@ -364,6 +406,10 @@ pub fn simulate_reimage_storm(dc: &Datacenter, cfg: &StormConfig) -> StormResult
                 recovered_at = recovered_at.max(landed_at);
                 transfer_secs_total += landed_at.since(started).as_secs_f64();
                 transfers += 1;
+                if let Some(obs) = obs {
+                    rec.observe(obs.repair_secs, landed_at.since(started).as_secs_f64());
+                    rec.span(obs.track, "repair", started, landed_at);
+                }
             }
         };
         if let Some(f) = fabric.as_mut() {
@@ -427,6 +473,23 @@ pub fn simulate_reimage_storm(dc: &Datacenter, cfg: &StormConfig) -> StormResult
                 });
             }
         }
+    }
+
+    if rec.is_on() {
+        if let Some(f) = fabric.as_mut() {
+            let child = f.take_recorder();
+            rec.absorb(child);
+        }
+        if let Some(p) = disks.as_mut() {
+            let child = p.take_recorder();
+            rec.absorb(child);
+        }
+        let id = rec.counter("dfs/repairs");
+        rec.counter_set(id, repairs);
+        let id = rec.counter("dfs/replicas_lost");
+        rec.counter_set(id, replicas_lost);
+        let id = rec.counter("dfs/lost_blocks");
+        rec.counter_set(id, lost_blocks);
     }
 
     StormResult {
@@ -628,6 +691,38 @@ mod tests {
             r.replicas_lost - r.lost_blocks * cfg.replication as u64
         );
         assert!(r.mean_transfer_secs > 0.0);
+    }
+
+    #[test]
+    fn recording_does_not_change_the_storm() {
+        let dc = storm_dc();
+        let mut cfg = StormConfig::new(biggest_tenant(&dc), 13);
+        cfg.fill_fraction = 0.15;
+        cfg.network = Some(NetworkConfig::datacenter());
+        cfg.disk = Some(DiskConfig::datacenter());
+        cfg.max_repair_streams = Some(64);
+        let plain = simulate_reimage_storm(&dc, &cfg);
+        let mut rec = Recorder::new("storm-test");
+        let recorded = simulate_reimage_storm_recorded(&dc, &cfg, &mut rec);
+        assert_eq!(plain.repairs, recorded.repairs);
+        assert_eq!(plain.recovered_at, recorded.recovered_at);
+        assert_eq!(plain.mean_transfer_secs, recorded.mean_transfer_secs);
+        assert_eq!(plain.fabric, recorded.fabric);
+        assert_eq!(plain.disk, recorded.disk);
+        // Counters mirror the result, and the children were absorbed.
+        assert_eq!(rec.counter_value("dfs/repairs"), Some(recorded.repairs));
+        assert_eq!(
+            rec.counter_value("dfs/replicas_lost"),
+            Some(recorded.replicas_lost)
+        );
+        assert_eq!(
+            rec.counter_value("fabric/completed"),
+            Some(recorded.fabric.expect("net on").completed)
+        );
+        assert_eq!(
+            rec.counter_value("disk/completed"),
+            Some(recorded.disk.expect("disks on").completed)
+        );
     }
 
     #[test]

@@ -49,6 +49,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use harvest_cluster::ServerId;
 use harvest_signal::classify::UtilizationPattern;
 use harvest_sim::engine::{EventKey, EventQueue};
+use harvest_sim::obs::{CounterId, GaugeId, HistogramId, Recorder, TrackId};
 use harvest_sim::{SimDuration, SimTime};
 
 use crate::config::DiskConfig;
@@ -190,6 +191,22 @@ pub struct DiskPool {
     next_id: u64,
     stats: DiskStats,
     completions: Vec<StreamCompletion>,
+    /// Observability sink ([`Recorder::off`] unless a caller attaches
+    /// one); `obs` holds the registered ids iff recording is on, so a
+    /// hot path pays exactly one `Option` check when off.
+    rec: Recorder,
+    obs: Option<DiskObs>,
+}
+
+/// Metric ids registered on [`DiskPool::set_recorder`].
+#[derive(Debug)]
+struct DiskObs {
+    track: TrackId,
+    stream_secs: HistogramId,
+    reshare_streams: HistogramId,
+    queue_len: GaugeId,
+    tombstones: GaugeId,
+    parks: CounterId,
 }
 
 impl DiskPool {
@@ -239,7 +256,50 @@ impl DiskPool {
             next_id: 0,
             stats: DiskStats::default(),
             completions: Vec::new(),
+            rec: Recorder::off(),
+            obs: None,
         }
+    }
+
+    /// Attaches an observability recorder (typically a
+    /// [`Recorder::child`] of the caller's). Recording never changes a
+    /// trajectory: stream lifetimes land as spans on the `disk` track,
+    /// durations in `disk/stream_secs`, per-re-share channel occupancy
+    /// in `disk/reshare_streams`, throttle parks as `disk/parks` (with
+    /// an instant event per park), and event-heap depth/tombstone
+    /// gauges sampled at each re-share.
+    pub fn set_recorder(&mut self, mut rec: Recorder) {
+        self.obs = rec.is_on().then(|| DiskObs {
+            track: rec.track("disk"),
+            stream_secs: rec.histogram("disk/stream_secs"),
+            reshare_streams: rec.histogram("disk/reshare_streams"),
+            queue_len: rec.gauge("disk/queue_len"),
+            tombstones: rec.gauge("disk/queue_tombstones"),
+            parks: rec.counter("disk/parks"),
+        });
+        self.rec = rec;
+    }
+
+    /// Detaches and returns the recorder, mirroring the final
+    /// [`DiskStats`] into `disk/*` counters first so the metrics report
+    /// carries the same numbers as the struct.
+    pub fn take_recorder(&mut self) -> Recorder {
+        if self.rec.is_on() {
+            let s = self.stats;
+            for (name, v) in [
+                ("disk/completed", s.completed),
+                ("disk/bytes_moved", s.bytes_moved),
+                ("disk/peak_active", s.peak_active as u64),
+                ("disk/reshares", s.reshares),
+                ("disk/stale_events_dropped", s.stale_events_dropped),
+                ("disk/peak_queue_len", s.peak_queue_len as u64),
+            ] {
+                let id = self.rec.counter(name);
+                self.rec.counter_set(id, v);
+            }
+        }
+        self.obs = None;
+        std::mem::take(&mut self.rec)
     }
 
     /// The re-share scope in force.
@@ -509,6 +569,17 @@ impl DiskPool {
         }
         self.stats.completed += 1;
         self.stats.bytes_moved += stream.bytes;
+        if let Some(obs) = &self.obs {
+            self.rec
+                .observe(obs.stream_secs, now.since(stream.started).as_secs_f64());
+            self.rec.span_args(
+                obs.track,
+                "stream",
+                stream.started,
+                now,
+                &[("bytes", stream.bytes as f64)],
+            );
+        }
         self.completions.push(StreamCompletion {
             stream: id,
             at: now,
@@ -557,6 +628,13 @@ impl DiskPool {
         let active = &mut self.active;
         let queue = &mut self.queue;
         let stats = &mut self.stats;
+        let rec = &mut self.rec;
+        let obs = self.obs.as_ref();
+        if let Some(obs) = obs {
+            rec.observe(obs.reshare_streams, channel.streams.len() as f64);
+            rec.gauge_at(obs.queue_len, now, queue.len() as f64);
+            rec.gauge_at(obs.tombstones, now, queue.n_stale() as f64);
+        }
         for id in &channel.streams {
             let s = active.get_mut(id).expect("active");
             // A stream whose rate is bitwise-unchanged keeps its pending
@@ -585,6 +663,10 @@ impl DiskPool {
             } else {
                 // Fully throttled: park the completion; the re-share
                 // when the primary backs off rescues it.
+                if let Some(obs) = obs {
+                    rec.add(obs.parks, 1);
+                    rec.instant(obs.track, "park", now);
+                }
                 PARKED
             };
             s.pending =
@@ -852,6 +934,52 @@ mod tests {
         assert!(p.stream_version(s).unwrap() > v);
         p.set_primary_util(SimTime::from_millis(200), S0, 0.0);
         p.drain();
+    }
+
+    /// Recording is pure observation: the completion schedule and the
+    /// stats struct are bitwise identical with a recorder attached, and
+    /// throttle parks are counted.
+    #[test]
+    fn recording_does_not_change_the_trajectory() {
+        let run = |record: bool| {
+            let mut p = DiskPool::new(8, &DiskConfig::datacenter());
+            if record {
+                p.set_recorder(Recorder::new("disk-test"));
+            }
+            // Throttle S0 so its stream parks, then rescue it.
+            p.set_primary_util(SimTime::ZERO, S0, 0.95);
+            for i in 0..30u64 {
+                p.schedule_stream(
+                    SimTime::from_millis(i * 37),
+                    ServerId((i % 8) as u32),
+                    if i % 3 == 0 {
+                        IoDir::Write
+                    } else {
+                        IoDir::Read
+                    },
+                    (i + 1) * 4 * MB,
+                    i,
+                );
+            }
+            p.pump(SimTime::from_secs(60));
+            p.set_primary_util(SimTime::from_secs(60), S0, 0.0);
+            let ends: Vec<(u64, SimTime)> = p.drain().into_iter().map(|c| (c.tag, c.at)).collect();
+            let stats = *p.stats();
+            (ends, stats, p.take_recorder())
+        };
+        let (ends_off, stats_off, _) = run(false);
+        let (ends_on, stats_on, rec) = run(true);
+        assert_eq!(ends_off, ends_on, "recording changed the schedule");
+        assert_eq!(stats_off, stats_on, "recording changed the stats");
+        assert_eq!(
+            rec.counter_value("disk/completed"),
+            Some(stats_on.completed)
+        );
+        assert_eq!(rec.counter_value("disk/reshares"), Some(stats_on.reshares));
+        assert!(
+            rec.counter_value("disk/parks").unwrap_or(0) >= 1,
+            "the throttled stream should have parked at least once"
+        );
     }
 
     /// Channel scoping and the global reference recompute must agree

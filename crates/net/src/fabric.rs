@@ -55,6 +55,7 @@ use std::collections::BTreeMap;
 
 use harvest_cluster::ServerId;
 use harvest_sim::engine::{EventKey, EventQueue};
+use harvest_sim::obs::{GaugeId, HistogramId, Recorder, TrackId};
 use harvest_sim::{SimDuration, SimTime};
 
 use crate::config::NetworkConfig;
@@ -180,6 +181,21 @@ pub struct Fabric {
     hop_latency: SimDuration,
     stats: FabricStats,
     completions: Vec<FlowCompletion>,
+    /// Observability sink ([`Recorder::off`] unless a caller attaches
+    /// one); `obs` holds the registered ids iff recording is on, so a
+    /// hot path pays exactly one `Option` check when off.
+    rec: Recorder,
+    obs: Option<FabricObs>,
+}
+
+/// Metric ids registered on [`Fabric::set_recorder`].
+#[derive(Debug)]
+struct FabricObs {
+    track: TrackId,
+    flow_secs: HistogramId,
+    component_flows: HistogramId,
+    queue_len: GaugeId,
+    tombstones: GaugeId,
 }
 
 impl Fabric {
@@ -200,7 +216,48 @@ impl Fabric {
             hop_latency: SimDuration::from_secs_f64(config.hop_latency_ms / 1_000.0),
             stats: FabricStats::default(),
             completions: Vec::new(),
+            rec: Recorder::off(),
+            obs: None,
         }
+    }
+
+    /// Attaches an observability recorder (typically a
+    /// [`Recorder::child`] of the caller's). Recording never changes a
+    /// trajectory: flow lifetimes land as spans on the `fabric` track,
+    /// durations in `fabric/flow_secs`, re-share component sizes in
+    /// `fabric/reshare_component_flows`, and event-heap depth/tombstone
+    /// gauges sampled at each re-share.
+    pub fn set_recorder(&mut self, mut rec: Recorder) {
+        self.obs = rec.is_on().then(|| FabricObs {
+            track: rec.track("fabric"),
+            flow_secs: rec.histogram("fabric/flow_secs"),
+            component_flows: rec.histogram("fabric/reshare_component_flows"),
+            queue_len: rec.gauge("fabric/queue_len"),
+            tombstones: rec.gauge("fabric/queue_tombstones"),
+        });
+        self.rec = rec;
+    }
+
+    /// Detaches and returns the recorder, mirroring the final
+    /// [`FabricStats`] into `fabric/*` counters first so the metrics
+    /// report carries the same numbers as the struct.
+    pub fn take_recorder(&mut self) -> Recorder {
+        if self.rec.is_on() {
+            let s = self.stats;
+            for (name, v) in [
+                ("fabric/completed", s.completed),
+                ("fabric/bytes_delivered", s.bytes_delivered),
+                ("fabric/peak_active", s.peak_active as u64),
+                ("fabric/reshares", s.reshares),
+                ("fabric/stale_events_dropped", s.stale_events_dropped),
+                ("fabric/peak_queue_len", s.peak_queue_len as u64),
+            ] {
+                let id = self.rec.counter(name);
+                self.rec.counter_set(id, v);
+            }
+        }
+        self.obs = None;
+        std::mem::take(&mut self.rec)
     }
 
     /// Builds topology and fabric for a datacenter in one step.
@@ -415,6 +472,12 @@ impl Fabric {
     fn finish_flow(&mut self, id: FlowId, now: SimTime, tag: u64, bytes: u64, started: SimTime) {
         self.stats.completed += 1;
         self.stats.bytes_delivered += bytes;
+        if let Some(obs) = &self.obs {
+            self.rec
+                .observe(obs.flow_secs, now.since(started).as_secs_f64());
+            self.rec
+                .span_args(obs.track, "flow", started, now, &[("bytes", bytes as f64)]);
+        }
         self.completions.push(FlowCompletion {
             flow: id,
             at: now,
@@ -512,6 +575,13 @@ impl Fabric {
         };
         if ids.is_empty() {
             return;
+        }
+        if let Some(obs) = &self.obs {
+            self.rec.observe(obs.component_flows, ids.len() as f64);
+            self.rec
+                .gauge_at(obs.queue_len, now, self.queue.len() as f64);
+            self.rec
+                .gauge_at(obs.tombstones, now, self.queue.n_stale() as f64);
         }
 
         let slot_of =
@@ -894,6 +964,53 @@ mod tests {
         let glob = run(ReshareScope::Global);
         assert_eq!(comp.0, glob.0, "mid-run rates/versions diverged");
         assert_eq!(comp.1, glob.1, "completion schedules diverged");
+    }
+
+    /// Recording is pure observation: the completion schedule and the
+    /// stats struct are bitwise identical with a recorder attached, and
+    /// the recorder mirrors the final stats as counters.
+    #[test]
+    fn recording_does_not_change_the_trajectory() {
+        let run = |record: bool| {
+            let (dc, mut f) = fabric();
+            if record {
+                f.set_recorder(Recorder::new("fabric-test"));
+            }
+            let n = dc.n_servers();
+            for i in 0..40u64 {
+                f.schedule_flow(
+                    SimTime::from_millis(i * 23),
+                    dc.servers[(i as usize * 13) % n].id,
+                    dc.servers[(i as usize * 7 + 1) % n].id,
+                    (i % 64 + 1) * 4 * MB,
+                    i,
+                );
+            }
+            let ends: Vec<(u64, SimTime)> = f.drain().into_iter().map(|c| (c.tag, c.at)).collect();
+            let stats = *f.stats();
+            (ends, stats, f.take_recorder())
+        };
+        let (ends_off, stats_off, rec_off) = run(false);
+        let (ends_on, stats_on, rec_on) = run(true);
+        assert_eq!(ends_off, ends_on, "recording changed the schedule");
+        assert_eq!(stats_off, stats_on, "recording changed the stats");
+        assert!(!rec_off.is_on());
+        assert_eq!(
+            rec_on.counter_value("fabric/completed"),
+            Some(stats_on.completed)
+        );
+        assert_eq!(
+            rec_on.counter_value("fabric/reshares"),
+            Some(stats_on.reshares)
+        );
+        assert_eq!(
+            rec_on.counter_value("fabric/stale_events_dropped"),
+            Some(stats_on.stale_events_dropped)
+        );
+        assert_eq!(
+            rec_on.counter_value("fabric/peak_queue_len"),
+            Some(stats_on.peak_queue_len as u64)
+        );
     }
 
     /// link_load served from the inverted index agrees with a direct

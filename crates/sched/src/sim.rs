@@ -84,6 +84,7 @@ use harvest_jobs::shuffle::{stage_shuffle_bytes, DEFAULT_BYTES_PER_TASK};
 use harvest_jobs::workload::Workload;
 use harvest_net::{Fabric, NetworkConfig};
 use harvest_sim::engine::EventQueue;
+use harvest_sim::obs::{GaugeId, HistogramId, Recorder, TrackId};
 use harvest_sim::rng::stream_rng;
 use harvest_sim::{SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -258,8 +259,32 @@ impl<'a> SchedSim<'a> {
 
     /// Runs the simulation to completion and returns the statistics.
     pub fn run(&self) -> SimStats {
-        Runner::new(self).run()
+        let mut rec = Recorder::off();
+        self.run_recorded(&mut rec)
     }
+
+    /// [`SchedSim::run`] with observability: tick spans (annotated with
+    /// changed-disk and occupied-server counts) land on the `sched`
+    /// track, the event-queue depth is gauged each tick, and the fabric
+    /// and disk pool record into child recorders that are absorbed back
+    /// into `rec` at the end, along with `sched/*` counters mirroring
+    /// the run's totals. Recording never changes the trajectory: the
+    /// returned [`SimStats`] is bitwise identical to [`SchedSim::run`]'s
+    /// (pinned by tests), and nothing is printed.
+    pub fn run_recorded(&self, rec: &mut Recorder) -> SimStats {
+        let runner = Runner::new(self, std::mem::take(rec));
+        let (stats, r) = runner.run();
+        *rec = r;
+        stats
+    }
+}
+
+/// Metric ids registered when the runner's recorder is on.
+struct SchedObs {
+    track: TrackId,
+    queue_len: GaugeId,
+    tick_changed: HistogramId,
+    tick_occupied: HistogramId,
 }
 
 struct Runner<'a> {
@@ -302,10 +327,20 @@ struct Runner<'a> {
     /// The most recent tick dispatched — the sample the lazy primary
     /// disk refresh replays for disks idle when the tick fired.
     last_tick: Option<SimTime>,
+    /// Observability sink; `obs` holds registered ids iff recording is
+    /// on, so the tick pays one `Option` check when off.
+    rec: Recorder,
+    obs: Option<SchedObs>,
 }
 
 impl<'a> Runner<'a> {
-    fn new(sim: &'a SchedSim<'a>) -> Self {
+    fn new(sim: &'a SchedSim<'a>, mut rec: Recorder) -> Self {
+        let obs = rec.is_on().then(|| SchedObs {
+            track: rec.track("sched"),
+            queue_len: rec.gauge("sched/queue_len"),
+            tick_changed: rec.histogram("sched/tick_changed_disks"),
+            tick_occupied: rec.histogram("sched/tick_occupied_servers"),
+        });
         let n_servers = sim.dc.n_servers();
         let svc = if sim.cfg.policy.uses_history() {
             Some(ClusteringService::build_adaptive(
@@ -320,6 +355,24 @@ impl<'a> Runner<'a> {
         if sim.cfg.preseed_history {
             for q in &sim.workload.queries {
                 history.record(&q.name, q.critical_path());
+            }
+        }
+        let mut fabric = sim
+            .cfg
+            .network
+            .as_ref()
+            .map(|net| Fabric::from_datacenter(sim.dc, net));
+        let mut disks = sim
+            .cfg
+            .disk
+            .as_ref()
+            .map(|d| DiskPool::from_datacenter(sim.dc, d));
+        if rec.is_on() {
+            if let Some(f) = fabric.as_mut() {
+                f.set_recorder(rec.child());
+            }
+            if let Some(d) = disks.as_mut() {
+                d.set_recorder(rec.child());
             }
         }
         Runner {
@@ -352,20 +405,14 @@ impl<'a> Runner<'a> {
             ],
             kills_per_server: vec![0u64; n_servers],
             end_of_time: SimTime::ZERO + sim.cfg.horizon + sim.cfg.drain,
-            fabric: sim
-                .cfg
-                .network
-                .as_ref()
-                .map(|net| Fabric::from_datacenter(sim.dc, net)),
-            disks: sim
-                .cfg
-                .disk
-                .as_ref()
-                .map(|d| DiskPool::from_datacenter(sim.dc, d)),
+            fabric,
+            disks,
             shuffle_gate: Vec::new(),
             stage_servers: Vec::new(),
             pending_wake: None,
             last_tick: None,
+            rec,
+            obs,
         }
     }
 
@@ -374,7 +421,7 @@ impl<'a> Runner<'a> {
         self.fabric.is_some() || self.disks.is_some()
     }
 
-    fn run(mut self) -> SimStats {
+    fn run(mut self) -> (SimStats, Recorder) {
         for (i, arrival) in self.sim.workload.arrivals.iter().enumerate() {
             self.queue.push(arrival.time, Ev::Arrival(i));
         }
@@ -427,8 +474,23 @@ impl<'a> Runner<'a> {
             })
             .collect();
 
+        if self.rec.is_on() {
+            if let Some(f) = self.fabric.as_mut() {
+                let child = f.take_recorder();
+                self.rec.absorb(child);
+            }
+            if let Some(d) = self.disks.as_mut() {
+                let child = d.take_recorder();
+                self.rec.absorb(child);
+            }
+            let id = self.rec.counter("sched/tasks_started");
+            self.rec.counter_set(id, self.tasks_started);
+            let id = self.rec.counter("sched/kills");
+            self.rec.counter_set(id, self.total_kills);
+        }
+
         let denom = 12.0 * self.sim.dc.n_servers() as f64 * self.observed_ms.max(1.0);
-        SimStats {
+        let stats = SimStats {
             jobs,
             total_kills: self.total_kills,
             tasks_started: self.tasks_started,
@@ -438,7 +500,8 @@ impl<'a> Runner<'a> {
             kills_per_server: self.kills_per_server,
             fabric: self.fabric.as_ref().map(|f| *f.stats()),
             disks: self.disks.as_ref().map(|p| *p.stats()),
-        }
+        };
+        (stats, self.rec)
     }
 
     /// Applies every fabric and disk event due by `now`: finished
@@ -650,12 +713,14 @@ impl<'a> Runner<'a> {
         // server order matches the full sweep's, so completion events
         // re-predicted to equal instants keep the same FIFO order.
         let view = self.sim.view;
+        let mut changed = 0usize;
         if let Some(disks) = self.disks.as_mut() {
             match self.sim.cfg.sweep {
                 TickSweep::Full => {
                     for s in 0..view.n_servers() {
                         let sid = ServerId(s as u32);
                         disks.set_primary_util(now, sid, view.server_util(sid, now));
+                        changed += 1;
                     }
                 }
                 TickSweep::Incremental => {
@@ -664,6 +729,7 @@ impl<'a> Runner<'a> {
                     for sid in active {
                         if view.server_sample_changed(sid, slot) {
                             disks.set_primary_util(now, sid, view.server_util(sid, now));
+                            changed += 1;
                         }
                     }
                 }
@@ -687,6 +753,21 @@ impl<'a> Runner<'a> {
         }
 
         self.schedule_pass(now);
+
+        if let Some(obs) = &self.obs {
+            let occupied = self.roster.occupied().count();
+            self.rec.span_args(
+                obs.track,
+                "tick",
+                now,
+                now + TICK,
+                &[("changed", changed as f64), ("occupied", occupied as f64)],
+            );
+            self.rec.observe(obs.tick_changed, changed as f64);
+            self.rec.observe(obs.tick_occupied, occupied as f64);
+            self.rec
+                .gauge_at(obs.queue_len, now, self.queue.len() as f64);
+        }
     }
 
     /// Kills youngest containers on servers whose reserve is violated.
@@ -1261,5 +1342,46 @@ mod tests {
         assert_eq!(a.tasks_started, b.tasks_started);
         assert_eq!(a.total_kills, b.total_kills);
         assert_eq!(a.mean_execution_secs(), b.mean_execution_secs());
+    }
+
+    /// The observability oracle: running with a live recorder must not
+    /// perturb the trajectory — the returned stats are bitwise identical
+    /// to a recorder-off run, while the recorder itself mirrors the
+    /// run's totals and carries the absorbed fabric/disk children.
+    #[test]
+    fn recording_does_not_change_the_trajectory() {
+        let (dc, view) = testbed();
+        let wl = small_workload(23, 1);
+        let mut cfg = SchedSimConfig::testbed(SchedPolicy::PrimaryAware, 23);
+        cfg.horizon = SimDuration::from_hours(1);
+        cfg.drain = SimDuration::from_hours(2);
+        cfg.network = Some(NetworkConfig::datacenter());
+        cfg.disk = Some(DiskConfig::datacenter());
+        let sim = SchedSim::new(&dc, &view, &wl, cfg);
+
+        let plain = sim.run();
+        let mut rec = Recorder::new("sched-test");
+        let recorded = sim.run_recorded(&mut rec);
+        assert_eq!(plain, recorded, "recording changed the trajectory");
+
+        assert!(rec.is_on(), "run_recorded must hand the recorder back");
+        assert_eq!(
+            rec.counter_value("sched/tasks_started"),
+            Some(recorded.tasks_started)
+        );
+        assert_eq!(rec.counter_value("sched/kills"), Some(recorded.total_kills));
+        let fstats = recorded.fabric.expect("network on");
+        assert_eq!(
+            rec.counter_value("fabric/completed"),
+            Some(fstats.completed)
+        );
+        let dstats = recorded.disks.expect("disks on");
+        assert_eq!(rec.counter_value("disk/completed"), Some(dstats.completed));
+
+        // The sched track saw every tick, and the tick histograms have
+        // the same population.
+        let report = rec.metrics_json();
+        assert!(report.contains("\"sched/tick_changed_disks\""));
+        assert!(report.contains("\"sched/tick_occupied_servers\""));
     }
 }

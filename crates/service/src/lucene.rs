@@ -8,7 +8,7 @@
 use std::collections::VecDeque;
 
 use harvest_sim::engine::EventQueue;
-use harvest_sim::metrics::Percentiles;
+use harvest_sim::metrics::{Percentiles, SortedSamples};
 use harvest_sim::{dist, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,23 +23,27 @@ pub struct SearchServer {
 }
 
 /// Measured latency distribution from a [`SearchServer`] run.
+///
+/// The samples are frozen (sorted once at the end of the run), so every
+/// quantile read is `&self` — callers can share a run's stats without
+/// re-sorting or needing mutable access.
 #[derive(Debug, Clone)]
 pub struct ServiceStats {
     /// Completed requests.
     pub completed: u64,
-    /// Response-time percentiles (sojourn time: queueing + service).
-    percentiles: Percentiles,
+    /// Response-time samples (sojourn time: queueing + service), sorted.
+    samples: SortedSamples,
 }
 
 impl ServiceStats {
     /// The p99 response time in milliseconds.
-    pub fn p99_ms(&mut self) -> f64 {
-        self.percentiles.p99().unwrap_or(0.0) * 1_000.0
+    pub fn p99_ms(&self) -> f64 {
+        self.samples.p99().unwrap_or(0.0) * 1_000.0
     }
 
     /// The mean response time in milliseconds.
     pub fn mean_ms(&self) -> f64 {
-        self.percentiles.mean().unwrap_or(0.0) * 1_000.0
+        self.samples.mean().unwrap_or(0.0) * 1_000.0
     }
 }
 
@@ -73,10 +77,8 @@ impl SearchServer {
         let mut queue: EventQueue<Ev> = EventQueue::new();
         let mut waiting: VecDeque<SimTime> = VecDeque::new();
         let mut busy = 0u32;
-        let mut stats = ServiceStats {
-            completed: 0,
-            percentiles: Percentiles::new(),
-        };
+        let mut completed = 0u64;
+        let mut percentiles = Percentiles::new();
 
         let first = SimDuration::from_secs_f64(dist::exponential(&mut rng, arrival_rate));
         queue.push(SimTime::ZERO + first, Ev::Arrival);
@@ -101,8 +103,8 @@ impl SearchServer {
                     }
                 }
                 Ev::Departure { arrived } => {
-                    stats.completed += 1;
-                    stats.percentiles.push(now.since(arrived).as_secs_f64());
+                    completed += 1;
+                    percentiles.push(now.since(arrived).as_secs_f64());
                     match waiting.pop_front() {
                         Some(arrived_next) => {
                             let s = SimDuration::from_secs_f64(dist::exponential(
@@ -121,7 +123,10 @@ impl SearchServer {
                 }
             }
         }
-        stats
+        ServiceStats {
+            completed,
+            samples: percentiles.freeze(),
+        }
     }
 }
 
@@ -139,9 +144,9 @@ mod tests {
     #[test]
     fn latency_grows_with_load() {
         let s = SearchServer::lucene_like();
-        let mut lo = s.run(0.2, 20_000, 2);
-        let mut mid = s.run(0.6, 20_000, 2);
-        let mut hi = s.run(0.9, 20_000, 2);
+        let lo = s.run(0.2, 20_000, 2);
+        let mid = s.run(0.6, 20_000, 2);
+        let hi = s.run(0.9, 20_000, 2);
         // Below saturation the p99 is dominated by the service-time tail
         // and is flat to within a millisecond at this sample count;
         // approaching saturation it must climb decisively.
@@ -160,8 +165,8 @@ mod tests {
         };
         // Demand = 0.4 × 12 threads; on 6 threads that is rho = 0.8 —
         // noticeable, and near-saturation on 5 threads it blows up.
-        let mut p_full = full.run(0.4, 20_000, 3);
-        let mut p_cut = cut.run(0.8, 20_000, 3);
+        let p_full = full.run(0.4, 20_000, 3);
+        let p_cut = cut.run(0.8, 20_000, 3);
         assert!(
             p_cut.p99_ms() > p_full.p99_ms(),
             "cut {} vs full {}",
@@ -172,7 +177,7 @@ mod tests {
             threads: 5,
             mean_service: full.mean_service,
         };
-        let mut p_squeezed = squeezed.run(0.4 * 12.0 / 5.0, 20_000, 3);
+        let p_squeezed = squeezed.run(0.4 * 12.0 / 5.0, 20_000, 3);
         assert!(
             p_squeezed.p99_ms() > p_full.p99_ms() * 1.5,
             "squeezed {} vs full {}",
@@ -197,7 +202,7 @@ mod tests {
         let mut prev_sim = 0.0;
         let mut prev_model = 0.0;
         for rho in [0.5, 0.9, 0.97] {
-            let mut sim = s.run(rho, 30_000, 4);
+            let sim = s.run(rho, 30_000, 4);
             let sim_p99 = sim.p99_ms();
             let model_p99 = model.p99_ms(rho, 0);
             assert!(sim_p99 > prev_sim && model_p99 > prev_model);
@@ -209,7 +214,7 @@ mod tests {
     #[test]
     fn low_load_latency_near_service_time() {
         let s = SearchServer::lucene_like();
-        let mut stats = s.run(0.05, 20_000, 5);
+        let stats = s.run(0.05, 20_000, 5);
         // Essentially no queueing: p99 ≈ p99 of Exp(100ms) ≈ 460 ms.
         let p99 = stats.p99_ms();
         assert!((300.0..600.0).contains(&p99), "p99 {p99}");

@@ -17,7 +17,11 @@
 //!   components get decorrelated, reproducible random streams;
 //! * [`par`] — a deterministic, order-preserving `par_map` for
 //!   embarrassingly-parallel experiment matrices (byte-identical output
-//!   at any thread count).
+//!   at any thread count);
+//! * [`obs`] — zero-cost-when-off observability: a [`Recorder`] facade
+//!   of counters, gauges, bounded quantile sketches, and sim-time
+//!   spans, with Chrome-trace/Perfetto and machine-readable JSON
+//!   exporters.
 //!
 //! # Examples
 //!
@@ -36,10 +40,12 @@
 pub mod dist;
 pub mod engine;
 pub mod metrics;
+pub mod obs;
 pub mod par;
 pub mod rng;
 pub mod time;
 
 pub use engine::{EventKey, EventQueue};
-pub use par::{default_jobs, par_map, par_map_with};
+pub use obs::Recorder;
+pub use par::{default_jobs, par_map, par_map_profiled, par_map_with};
 pub use time::{SimDuration, SimTime};

@@ -165,24 +165,12 @@ impl Percentiles {
 
     /// Returns the `q`-quantile (`q` in `[0, 1]`), or `None` if empty.
     pub fn quantile(&mut self, q: f64) -> Option<f64> {
-        if self.values.is_empty() {
-            return None;
-        }
-        let q = q.clamp(0.0, 1.0);
         if !self.sorted {
             self.values
                 .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in percentile set"));
             self.sorted = true;
         }
-        let n = self.values.len();
-        if n == 1 {
-            return Some(self.values[0]);
-        }
-        let pos = q * (n - 1) as f64;
-        let lo = pos.floor() as usize;
-        let hi = pos.ceil() as usize;
-        let frac = pos - lo as f64;
-        Some(self.values[lo] * (1.0 - frac) + self.values[hi] * frac)
+        quantile_sorted(&self.values, q)
     }
 
     /// Convenience wrapper for the 99th percentile.
@@ -197,6 +185,240 @@ impl Percentiles {
         } else {
             Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
         }
+    }
+
+    /// Consumes the set into an immutable [`SortedSamples`] view so read
+    /// paths can query quantiles through `&self`.
+    pub fn freeze(mut self) -> SortedSamples {
+        if !self.sorted {
+            self.values
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in percentile set"));
+        }
+        SortedSamples {
+            values: self.values,
+        }
+    }
+}
+
+/// Type-7 quantile over an already-sorted slice.
+fn quantile_sorted(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let n = values.len();
+    if n == 1 {
+        return Some(values[0]);
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(values[lo] * (1.0 - frac) + values[hi] * frac)
+}
+
+/// An immutable, pre-sorted sample set: the read-path counterpart of
+/// [`Percentiles`]. Build one with [`Percentiles::freeze`] once ingestion
+/// is done; every query takes `&self`, so summary emission never needs
+/// mutable access.
+#[derive(Debug, Clone, Default)]
+pub struct SortedSamples {
+    values: Vec<f64>,
+}
+
+impl SortedSamples {
+    /// Returns the `q`-quantile (`q` in `[0, 1]`), or `None` if empty.
+    /// Same type-7 interpolation as [`Percentiles::quantile`].
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_sorted(&self.values, q)
+    }
+
+    /// Convenience wrapper for the 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Capacity of each compactor level; higher means lower rank error and
+/// more memory. 256 keeps the worst observed rank error well under the
+/// documented 2% bound.
+const SKETCH_LEVEL_CAP: usize = 256;
+
+/// A deterministic KLL-style compacting quantile sketch: bounded memory
+/// for month-scale streams, mergeable across recorders.
+///
+/// Values land in level 0 with weight 1. When a level fills, it is
+/// sorted and every other element survives to the next level (weight
+/// doubles); the surviving parity alternates per level on each
+/// compaction instead of being chosen randomly, so the sketch is fully
+/// deterministic — the same stream always yields the same summary.
+/// Count, sum, min, and max are tracked exactly.
+///
+/// Accuracy: rank error is bounded by the compaction depth; with
+/// 256-slot levels the empirical worst case across random and
+/// adversarial streams (sorted, reversed, constant, organ-pipe,
+/// alternating-extreme) stays below **2% of n** (see
+/// `sketch_quantiles_within_bound_*` tests). Memory is `O(levels × 256)`
+/// where levels grows logarithmically with n.
+#[derive(Debug, Clone, Default)]
+pub struct QuantileSketch {
+    levels: Vec<Vec<f64>>,
+    /// Per-level survivor parity, flipped on each compaction.
+    parity: Vec<bool>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch.
+    pub fn new() -> Self {
+        QuantileSketch {
+            levels: vec![Vec::new()],
+            parity: vec![false],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.levels[0].push(x);
+        if self.levels[0].len() >= SKETCH_LEVEL_CAP {
+            self.compact(0);
+        }
+    }
+
+    /// Sorts level `i`, promotes alternating survivors to level `i+1`,
+    /// and cascades if that fills the next level.
+    fn compact(&mut self, i: usize) {
+        if self.levels.len() == i + 1 {
+            self.levels.push(Vec::new());
+            self.parity.push(false);
+        }
+        let mut buf = std::mem::take(&mut self.levels[i]);
+        buf.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in quantile sketch"));
+        let offset = usize::from(self.parity[i]);
+        self.parity[i] = !self.parity[i];
+        self.levels[i + 1].extend(buf.iter().skip(offset).step_by(2));
+        if self.levels[i + 1].len() >= SKETCH_LEVEL_CAP {
+            self.compact(i + 1);
+        }
+    }
+
+    /// Number of observations (exact).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the sketch has seen no observations.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest observation (exact), or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (exact), or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean (exact), or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`), or `None` if
+    /// empty. `q = 0` and `q = 1` return the exact min/max.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return Some(self.min);
+        }
+        if q == 1.0 {
+            return Some(self.max);
+        }
+        // Gather (value, weight) across levels; level i carries 2^i.
+        let mut weighted: Vec<(f64, u64)> = Vec::new();
+        for (i, level) in self.levels.iter().enumerate() {
+            let w = 1u64 << i;
+            weighted.extend(level.iter().map(|&v| (v, w)));
+        }
+        weighted.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN in quantile sketch"));
+        let total: u64 = weighted.iter().map(|&(_, w)| w).sum();
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut acc = 0u64;
+        for &(v, w) in &weighted {
+            acc += w;
+            if acc >= target {
+                return Some(v);
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another sketch into this one. Count/sum/min/max stay
+    /// exact; rank error stays within the documented bound.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (i, level) in other.levels.iter().enumerate() {
+            while self.levels.len() <= i {
+                self.levels.push(Vec::new());
+                self.parity.push(false);
+            }
+            self.levels[i].extend_from_slice(level);
+        }
+        // Re-establish level caps bottom-up.
+        let mut i = 0;
+        while i < self.levels.len() {
+            if self.levels[i].len() >= SKETCH_LEVEL_CAP {
+                self.compact(i);
+            }
+            i += 1;
+        }
+    }
+
+    /// Total retained samples across levels (for memory-bound tests).
+    pub fn retained(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
     }
 }
 
@@ -427,5 +649,156 @@ mod tests {
         assert_eq!(fraction_at_or_below(&xs, 2.5), 0.5);
         assert_eq!(fraction_at_or_below(&xs, 0.0), 0.0);
         assert_eq!(fraction_at_or_below(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn sorted_samples_match_percentiles() {
+        let mut p = Percentiles::new();
+        p.extend((1..=100).rev().map(|i| i as f64));
+        let mut q = p.clone();
+        let frozen = p.freeze();
+        for quant in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(frozen.quantile(quant), q.quantile(quant));
+        }
+        assert_eq!(frozen.p99(), q.p99());
+        assert_eq!(frozen.mean(), q.mean());
+        assert_eq!(frozen.len(), 100);
+        assert!(!frozen.is_empty());
+        assert!(SortedSamples::default().quantile(0.5).is_none());
+    }
+
+    /// Asserts every sketch quantile lands within `bound_frac · n` ranks
+    /// of the exact answer on `data`.
+    fn assert_sketch_close(data: &[f64], bound_frac: f64, label: &str) {
+        let mut sketch = QuantileSketch::new();
+        for &x in data {
+            sketch.push(x);
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = data.len() as f64;
+        assert_eq!(sketch.count(), data.len() as u64, "{label}: count");
+        assert_eq!(sketch.min(), sorted.first().copied(), "{label}: min");
+        assert_eq!(sketch.max(), sorted.last().copied(), "{label}: max");
+        let exact_mean = data.iter().sum::<f64>() / n;
+        assert!(
+            (sketch.mean().unwrap() - exact_mean).abs() <= 1e-6 * exact_mean.abs().max(1.0),
+            "{label}: mean"
+        );
+        for q in [0.01, 0.05, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let est = sketch.quantile(q).unwrap();
+            // Rank interval the estimate occupies in the exact data.
+            let rank_lo = sorted.partition_point(|&x| x < est) as f64;
+            let rank_hi = sorted.partition_point(|&x| x <= est) as f64;
+            let target = q * n;
+            let err = if target < rank_lo {
+                rank_lo - target
+            } else if target > rank_hi {
+                target - rank_hi
+            } else {
+                0.0
+            };
+            assert!(
+                err <= bound_frac * n + 2.0,
+                "{label}: q={q} estimate {est} off by {err:.0} ranks (bound {:.0})",
+                bound_frac * n
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_quantiles_within_bound_random() {
+        // splitmix64-driven uniform and heavy-tailed streams.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            crate::rng::splitmix64(state)
+        };
+        let uniform: Vec<f64> = (0..200_000)
+            .map(|_| next() as f64 / u64::MAX as f64)
+            .collect();
+        assert_sketch_close(&uniform, 0.02, "uniform");
+        let heavy: Vec<f64> = (0..200_000)
+            .map(|_| {
+                let u = (next() as f64 / u64::MAX as f64).max(1e-12);
+                1.0 / u.powf(0.7)
+            })
+            .collect();
+        assert_sketch_close(&heavy, 0.02, "heavy-tailed");
+    }
+
+    #[test]
+    fn sketch_quantiles_within_bound_adversarial() {
+        let n = 200_000usize;
+        let asc: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        assert_sketch_close(&asc, 0.02, "sorted ascending");
+        let desc: Vec<f64> = (0..n).map(|i| (n - i) as f64).collect();
+        assert_sketch_close(&desc, 0.02, "sorted descending");
+        let constant = vec![7.5; n];
+        assert_sketch_close(&constant, 0.02, "constant");
+        let organ_pipe: Vec<f64> = (0..n)
+            .map(|i| if i < n / 2 { i as f64 } else { (n - i) as f64 })
+            .collect();
+        assert_sketch_close(&organ_pipe, 0.02, "organ pipe");
+        let alternating: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { -1e9 } else { 1e9 })
+            .collect();
+        assert_sketch_close(&alternating, 0.02, "alternating extremes");
+    }
+
+    #[test]
+    fn sketch_memory_is_bounded() {
+        let mut s = QuantileSketch::new();
+        for i in 0..1_000_000u64 {
+            s.push(i as f64);
+        }
+        // log2(1e6 / 256) ≈ 12 levels of ≤ 256 slots each.
+        assert!(s.retained() < 16 * SKETCH_LEVEL_CAP, "{}", s.retained());
+        assert_eq!(s.count(), 1_000_000);
+    }
+
+    #[test]
+    fn sketch_merge_matches_single_stream() {
+        let data: Vec<f64> = (0..100_000).map(|i| ((i * 37) % 1_000) as f64).collect();
+        let mut whole = QuantileSketch::new();
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        for (i, &x) in data.iter().enumerate() {
+            whole.push(x);
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        let mut sorted = data.clone();
+        sorted.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap());
+        let n = data.len() as f64;
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let est = a.quantile(q).unwrap();
+            let rank = sorted.partition_point(|&x| x <= est) as f64;
+            assert!(
+                (rank - q * n).abs() <= 0.03 * n + 2.0,
+                "merged q={q}: rank {rank} vs target {:.0}",
+                q * n
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_empty_and_tiny() {
+        let s = QuantileSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.mean(), None);
+        let mut one = QuantileSketch::new();
+        one.push(3.0);
+        assert_eq!(one.quantile(0.5), Some(3.0));
+        assert_eq!(one.quantile(0.0), Some(3.0));
+        assert_eq!(one.quantile(1.0), Some(3.0));
     }
 }

@@ -1,0 +1,1118 @@
+//! Zero-cost-when-off observability: counters, gauges, histograms, and
+//! sim-time spans, with Chrome-trace and machine-readable exporters.
+//!
+//! Every engine in the workspace (fabric, disk pool, scheduler, DFS
+//! repair, the parallel harness) reports into a [`Recorder`]. The
+//! recorder is a facade over an `Option<Box<Inner>>`:
+//! [`Recorder::off`] is the default everywhere, and engines built
+//! without one behave exactly as before.
+//!
+//! # Cost model
+//!
+//! **Off** (the default): every record method starts with one branch on
+//! a niche-optimized `Option<Box<_>>` (a null-pointer check) and
+//! returns. No allocation, no formatting, no syscalls — the only cost
+//! an instrumented hot loop pays is that one predictable branch per
+//! site, plus engines short-circuit whole instrumentation blocks behind
+//! a single `Option<ObsIds>` check. `benches/obs.rs` pins the off-mode
+//! overhead on the scheduler tick workload at ≤ 5%.
+//!
+//! **On**, per event:
+//! * counter `add`/`counter_set` — one bounds-checked vector write;
+//! * gauge sample — min/max/count update plus (amortized) one point
+//!   appended to a bounded series: the series holds at most
+//!   [`SERIES_CAP`] points and decimates itself (keep-every-other,
+//!   recording stride doubles) when full, so month-scale horizons keep
+//!   bounded memory;
+//! * histogram `observe` — amortized O(1) into a fixed-size
+//!   [`QuantileSketch`] (bounded levels of 256 slots; an occasional
+//!   sort of one full level);
+//! * span — one fixed-size record (name pointer, two timestamps, up to
+//!   two inline key/value args; no per-span allocation), capped at
+//!   [`MAX_SPANS`] recorder-wide with drops counted in the exported
+//!   `obs/spans_dropped` counter — never silently truncated.
+//!
+//! # Determinism
+//!
+//! Recording is pure observation: no RNG, no reordering, no stdout.
+//! Every simulation trajectory is bitwise identical with recording on
+//! and off (`crates/core/tests/determinism.rs` pins `repro` stdout
+//! byte-for-byte across the two). Exporters write only to the strings
+//! they return; where they land on disk is the caller's business.
+//!
+//! # Composition
+//!
+//! Engines own a child recorder ([`Recorder::child`], on iff the
+//! parent is on) for the duration of a run and hand it back through
+//! [`Recorder::absorb`], which merges by metric name: counters sum,
+//! gauges merge, histogram sketches merge, span tracks concatenate.
+//! Subsystems namespace their metrics themselves
+//! (`"fabric/reshares"`, `"disk/parks"`, …).
+//!
+//! # Exporters
+//!
+//! * [`Recorder::chrome_trace_json`] — the Chrome Trace Event format
+//!   (loads in Perfetto / `chrome://tracing`): sim-time span tracks per
+//!   subsystem on pid 1 (sim milliseconds mapped to trace
+//!   microseconds), gauge series as counter tracks, and wall-time
+//!   worker/harness tracks on pid 2.
+//! * [`Recorder::metrics_json`] — a machine-readable run report
+//!   (counters, gauge envelopes, histogram quantiles), parseable with
+//!   the no-dependency [`json`] module below.
+
+use std::collections::HashMap;
+
+use crate::metrics::QuantileSketch;
+use crate::par::WorkerProfile;
+use crate::time::SimTime;
+
+/// Gauge series point budget; a full series decimates keep-every-other
+/// and doubles its recording stride.
+pub const SERIES_CAP: usize = 4_096;
+
+/// Recorder-wide span budget across all sim-time tracks; spans past it
+/// are counted in the exported `obs/spans_dropped` counter.
+pub const MAX_SPANS: usize = 1_000_000;
+
+/// Inline key/value slots per span (changed/occupied is the widest
+/// annotation any engine records).
+const SPAN_ARGS: usize = 2;
+
+/// Sentinel id handed out by an off recorder; every record method
+/// ignores it.
+const OFF: u32 = u32::MAX;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(u32);
+
+/// Handle to a registered histogram (quantile sketch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(u32);
+
+/// Handle to a registered sim-time span track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackId(u32);
+
+/// One sim-time span: `[start_ms, end_ms]` with up to two inline args.
+/// `end == start` exports as an instant event.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    name: &'static str,
+    start_ms: u64,
+    end_ms: u64,
+    args: [(&'static str, f64); SPAN_ARGS],
+    n_args: u8,
+}
+
+/// A named lane of sim-time spans (one Perfetto thread on pid 1).
+#[derive(Debug, Default)]
+struct Track {
+    spans: Vec<Span>,
+}
+
+/// A bounded gauge time series: stride-doubling decimation keeps at
+/// most [`SERIES_CAP`] points however long the run.
+#[derive(Debug, Clone)]
+struct Series {
+    points: Vec<(u64, f64)>,
+    stride: u64,
+    seen: u64,
+}
+
+impl Series {
+    fn new() -> Self {
+        Series {
+            points: Vec::new(),
+            stride: 1,
+            seen: 0,
+        }
+    }
+
+    fn push(&mut self, t_ms: u64, v: f64) {
+        let keep = self.seen.is_multiple_of(self.stride);
+        self.seen += 1;
+        if !keep {
+            return;
+        }
+        self.points.push((t_ms, v));
+        if self.points.len() >= SERIES_CAP {
+            self.decimate();
+        }
+    }
+
+    fn decimate(&mut self) {
+        let mut i = 0usize;
+        self.points.retain(|_| {
+            let keep = i.is_multiple_of(2);
+            i += 1;
+            keep
+        });
+        self.stride *= 2;
+    }
+}
+
+/// Last/min/max/count envelope plus the bounded series.
+#[derive(Debug, Clone)]
+struct Gauge {
+    last: f64,
+    min: f64,
+    max: f64,
+    count: u64,
+    series: Series,
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge {
+            last: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            count: 0,
+            series: Series::new(),
+        }
+    }
+
+    fn set(&mut self, t_ms: u64, v: f64) {
+        self.last = v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.count += 1;
+        self.series.push(t_ms, v);
+    }
+}
+
+/// One wall-time span (µs from an arbitrary per-run epoch).
+#[derive(Debug, Clone)]
+struct WallSpan {
+    label: String,
+    start_us: u64,
+    end_us: u64,
+}
+
+/// A named wall-time lane (one Perfetto thread on pid 2): a par_map
+/// worker, or the harness's per-experiment lane.
+#[derive(Debug)]
+struct WallTrack {
+    name: String,
+    spans: Vec<WallSpan>,
+}
+
+/// Name-interned storage shared by every metric kind.
+#[derive(Debug)]
+struct Registry<T> {
+    names: Vec<String>,
+    items: Vec<T>,
+    index: HashMap<String, u32>,
+}
+
+impl<T> Registry<T> {
+    fn new() -> Self {
+        Registry {
+            names: Vec::new(),
+            items: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    fn intern(&mut self, name: &str, make: impl FnOnce() -> T) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.items.len() as u32;
+        self.names.push(name.to_string());
+        self.items.push(make());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    fn get_mut(&mut self, id: u32) -> Option<&mut T> {
+        self.items.get_mut(id as usize)
+    }
+
+    /// `(name, item)` pairs in ascending name order (deterministic
+    /// export regardless of registration order).
+    fn sorted(&self) -> Vec<(&str, &T)> {
+        let mut v: Vec<(&str, &T)> = self
+            .names
+            .iter()
+            .map(String::as_str)
+            .zip(self.items.iter())
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
+        v
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    name: String,
+    counters: Registry<u64>,
+    gauges: Registry<Gauge>,
+    hists: Registry<QuantileSketch>,
+    tracks: Registry<Track>,
+    wall: Vec<WallTrack>,
+    spans_total: usize,
+    spans_dropped: u64,
+}
+
+impl Inner {
+    fn new(name: &str) -> Self {
+        Inner {
+            name: name.to_string(),
+            counters: Registry::new(),
+            gauges: Registry::new(),
+            hists: Registry::new(),
+            tracks: Registry::new(),
+            wall: Vec::new(),
+            spans_total: 0,
+            spans_dropped: 0,
+        }
+    }
+
+    fn wall_track_mut(&mut self, name: &str) -> &mut WallTrack {
+        if let Some(i) = self.wall.iter().position(|t| t.name == name) {
+            return &mut self.wall[i];
+        }
+        self.wall.push(WallTrack {
+            name: name.to_string(),
+            spans: Vec::new(),
+        });
+        self.wall.last_mut().expect("just pushed")
+    }
+}
+
+/// The observability facade. See the module docs for the cost model.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    inner: Option<Box<Inner>>,
+}
+
+impl Recorder {
+    /// The no-op recorder: every method is one branch and a return.
+    pub fn off() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// An active recorder named `name` (the name heads the metrics
+    /// report).
+    pub fn new(name: &str) -> Self {
+        Recorder {
+            inner: Some(Box::new(Inner::new(name))),
+        }
+    }
+
+    /// Whether this recorder is recording.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A child recorder for an engine to own during a run: on iff
+    /// `self` is on. Hand it back through [`Recorder::absorb`].
+    pub fn child(&self) -> Recorder {
+        if self.is_on() {
+            Recorder::new("")
+        } else {
+            Recorder::off()
+        }
+    }
+
+    /// Merges a child recorder's contents: counters add, gauges merge,
+    /// histogram sketches merge, tracks concatenate, all by name.
+    pub fn absorb(&mut self, child: Recorder) {
+        let Some(inner) = &mut self.inner else { return };
+        let Some(c) = child.inner else { return };
+        for (name, value) in c.counters.names.iter().zip(&c.counters.items) {
+            let id = inner.counters.intern(name, || 0);
+            *inner.counters.get_mut(id).expect("interned") += value;
+        }
+        for (name, g) in c.gauges.names.iter().zip(&c.gauges.items) {
+            let id = inner.gauges.intern(name, Gauge::new);
+            let dst = inner.gauges.get_mut(id).expect("interned");
+            if g.count > 0 {
+                dst.last = g.last;
+                dst.min = dst.min.min(g.min);
+                dst.max = dst.max.max(g.max);
+                dst.count += g.count;
+                dst.series.points.extend_from_slice(&g.series.points);
+                dst.series.points.sort_by_key(|&(t, _)| t);
+                while dst.series.points.len() >= SERIES_CAP {
+                    dst.series.decimate();
+                }
+            }
+        }
+        for (name, h) in c.hists.names.iter().zip(&c.hists.items) {
+            let id = inner.hists.intern(name, QuantileSketch::new);
+            inner.hists.get_mut(id).expect("interned").merge(h);
+        }
+        for (name, t) in c.tracks.names.iter().zip(&c.tracks.items) {
+            let id = inner.tracks.intern(name, Track::default);
+            inner
+                .tracks
+                .get_mut(id)
+                .expect("interned")
+                .spans
+                .extend_from_slice(&t.spans);
+        }
+        for t in c.wall {
+            inner.wall_track_mut(&t.name).spans.extend(t.spans);
+        }
+        inner.spans_total += c.spans_total;
+        inner.spans_dropped += c.spans_dropped;
+    }
+
+    /// Registers (or finds) a counter. Returns a dummy id when off.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        match &mut self.inner {
+            Some(i) => CounterId(i.counters.intern(name, || 0)),
+            None => CounterId(OFF),
+        }
+    }
+
+    /// Registers (or finds) a gauge. Returns a dummy id when off.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        match &mut self.inner {
+            Some(i) => GaugeId(i.gauges.intern(name, Gauge::new)),
+            None => GaugeId(OFF),
+        }
+    }
+
+    /// Registers (or finds) a histogram. Returns a dummy id when off.
+    pub fn histogram(&mut self, name: &str) -> HistogramId {
+        match &mut self.inner {
+            Some(i) => HistogramId(i.hists.intern(name, QuantileSketch::new)),
+            None => HistogramId(OFF),
+        }
+    }
+
+    /// Registers (or finds) a sim-time span track. Returns a dummy id
+    /// when off.
+    pub fn track(&mut self, name: &str) -> TrackId {
+        match &mut self.inner {
+            Some(i) => TrackId(i.tracks.intern(name, Track::default)),
+            None => TrackId(OFF),
+        }
+    }
+
+    /// Adds `delta` to a counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        let Some(inner) = &mut self.inner else { return };
+        if let Some(c) = inner.counters.get_mut(id.0) {
+            *c += delta;
+        }
+    }
+
+    /// Sets a counter to an absolute value (for mirroring an engine's
+    /// final totals).
+    #[inline]
+    pub fn counter_set(&mut self, id: CounterId, value: u64) {
+        let Some(inner) = &mut self.inner else { return };
+        if let Some(c) = inner.counters.get_mut(id.0) {
+            *c = value;
+        }
+    }
+
+    /// Samples a gauge at a sim-time instant.
+    #[inline]
+    pub fn gauge_at(&mut self, id: GaugeId, at: SimTime, value: f64) {
+        let Some(inner) = &mut self.inner else { return };
+        if let Some(g) = inner.gauges.get_mut(id.0) {
+            g.set(at.as_millis(), value);
+        }
+    }
+
+    /// Adds one observation to a histogram.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: f64) {
+        let Some(inner) = &mut self.inner else { return };
+        if let Some(h) = inner.hists.get_mut(id.0) {
+            h.push(value);
+        }
+    }
+
+    /// Records a sim-time span on a track.
+    #[inline]
+    pub fn span(&mut self, id: TrackId, name: &'static str, start: SimTime, end: SimTime) {
+        self.span_args(id, name, start, end, &[]);
+    }
+
+    /// Records a sim-time span with up to [`SPAN_ARGS`] inline
+    /// key/value annotations (extras are dropped).
+    #[inline]
+    pub fn span_args(
+        &mut self,
+        id: TrackId,
+        name: &'static str,
+        start: SimTime,
+        end: SimTime,
+        args: &[(&'static str, f64)],
+    ) {
+        let Some(inner) = &mut self.inner else { return };
+        if inner.spans_total >= MAX_SPANS {
+            inner.spans_dropped += 1;
+            return;
+        }
+        let Some(t) = inner.tracks.get_mut(id.0) else {
+            return;
+        };
+        let mut inline = [("", 0.0); SPAN_ARGS];
+        let n = args.len().min(SPAN_ARGS);
+        inline[..n].copy_from_slice(&args[..n]);
+        t.spans.push(Span {
+            name,
+            start_ms: start.as_millis(),
+            end_ms: end.as_millis(),
+            args: inline,
+            n_args: n as u8,
+        });
+        inner.spans_total += 1;
+    }
+
+    /// Records an instant event (a zero-length span) on a track.
+    #[inline]
+    pub fn instant(&mut self, id: TrackId, name: &'static str, at: SimTime) {
+        self.span_args(id, name, at, at, &[]);
+    }
+
+    /// Records one wall-time span on the named wall track (µs from any
+    /// fixed per-run epoch).
+    pub fn wall_span(&mut self, track: &str, label: &str, start_us: u64, end_us: u64) {
+        let Some(inner) = &mut self.inner else { return };
+        inner.wall_track_mut(track).spans.push(WallSpan {
+            label: label.to_string(),
+            start_us,
+            end_us,
+        });
+    }
+
+    /// Records [`crate::par::par_map_profiled`] worker profiles as one
+    /// wall track per worker (`{label}/w{worker}`), one span per task.
+    pub fn record_worker_profiles(&mut self, label: &str, profiles: &[WorkerProfile]) {
+        if self.inner.is_none() {
+            return;
+        }
+        for p in profiles {
+            let track = format!("{label}/w{}", p.worker);
+            for t in &p.tasks {
+                self.wall_span(&track, &format!("task {}", t.task), t.start_us, t.end_us);
+            }
+        }
+    }
+
+    /// The current value of a counter, if registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        let &id = inner.counters.index.get(name)?;
+        inner.counters.items.get(id as usize).copied()
+    }
+
+    /// Serializes everything as Chrome Trace Event JSON (see the
+    /// module docs for the track layout). Off recorders export an
+    /// empty-but-valid trace.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut ev: Vec<String> = Vec::new();
+        ev.push(meta_event(1, 0, "process_name", "sim-time"));
+        if let Some(inner) = &self.inner {
+            for (tid0, (name, track)) in inner.tracks.sorted().into_iter().enumerate() {
+                let tid = tid0 as u64 + 1;
+                ev.push(meta_event(1, tid, "thread_name", name));
+                for s in &track.spans {
+                    ev.push(span_event(1, tid, s));
+                }
+            }
+            // Gauge series as Perfetto counter tracks on the sim-time
+            // process.
+            for (name, g) in inner.gauges.sorted() {
+                for &(t_ms, v) in &g.series.points {
+                    ev.push(format!(
+                        "{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":{},\"ts\":{},\"args\":{{\"value\":{}}}}}",
+                        jstr(name),
+                        t_ms * 1_000,
+                        jnum(v)
+                    ));
+                }
+            }
+            ev.push(meta_event(2, 0, "process_name", "wall-time"));
+            for (tid0, track) in inner.wall.iter().enumerate() {
+                let tid = tid0 as u64 + 1;
+                ev.push(meta_event(2, tid, "thread_name", &track.name));
+                for s in &track.spans {
+                    ev.push(format!(
+                        "{{\"ph\":\"X\",\"pid\":2,\"tid\":{},\"name\":{},\"ts\":{},\"dur\":{}}}",
+                        tid,
+                        jstr(&s.label),
+                        s.start_us,
+                        s.end_us.saturating_sub(s.start_us).max(1)
+                    ));
+                }
+            }
+        }
+        format!("{{\"traceEvents\":[\n{}\n]}}\n", ev.join(",\n"))
+    }
+
+    /// Serializes counters, gauge envelopes, and histogram summaries as
+    /// a machine-readable JSON report (keys in sorted order), parseable
+    /// with [`json::parse`]. Off recorders export an empty report.
+    pub fn metrics_json(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return "{\"name\":\"off\",\"counters\":{},\"gauges\":{},\"histograms\":{}}\n"
+                .to_string();
+        };
+        let mut out = String::new();
+        out.push_str(&format!("{{\n  \"name\": {},\n", jstr(&inner.name)));
+        out.push_str(&format!(
+            "  \"spans_recorded\": {},\n  \"spans_dropped\": {},\n",
+            inner.spans_total, inner.spans_dropped
+        ));
+
+        let counters: Vec<String> = inner
+            .counters
+            .sorted()
+            .into_iter()
+            .map(|(n, v)| format!("    {}: {}", jstr(n), v))
+            .collect();
+        out.push_str(&format!(
+            "  \"counters\": {{\n{}\n  }},\n",
+            counters.join(",\n")
+        ));
+
+        let gauges: Vec<String> = inner
+            .gauges
+            .sorted()
+            .into_iter()
+            .map(|(n, g)| {
+                format!(
+                    "    {}: {{ \"last\": {}, \"min\": {}, \"max\": {}, \"count\": {} }}",
+                    jstr(n),
+                    jnum(g.last),
+                    jnum(if g.count == 0 { 0.0 } else { g.min }),
+                    jnum(if g.count == 0 { 0.0 } else { g.max }),
+                    g.count
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "  \"gauges\": {{\n{}\n  }},\n",
+            gauges.join(",\n")
+        ));
+
+        let hists: Vec<String> = inner
+            .hists
+            .sorted()
+            .into_iter()
+            .map(|(n, h)| {
+                format!(
+                    "    {}: {{ \"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
+                     \"p50\": {}, \"p90\": {}, \"p99\": {} }}",
+                    jstr(n),
+                    h.count(),
+                    jnum(h.min().unwrap_or(0.0)),
+                    jnum(h.max().unwrap_or(0.0)),
+                    jnum(h.mean().unwrap_or(0.0)),
+                    jnum(h.quantile(0.50).unwrap_or(0.0)),
+                    jnum(h.quantile(0.90).unwrap_or(0.0)),
+                    jnum(h.quantile(0.99).unwrap_or(0.0)),
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "  \"histograms\": {{\n{}\n  }},\n",
+            hists.join(",\n")
+        ));
+
+        let tracks: Vec<String> = inner
+            .tracks
+            .sorted()
+            .into_iter()
+            .map(|(n, t)| format!("    {}: {}", jstr(n), t.spans.len()))
+            .collect();
+        out.push_str(&format!(
+            "  \"tracks\": {{\n{}\n  }}\n}}\n",
+            tracks.join(",\n")
+        ));
+        out
+    }
+}
+
+fn meta_event(pid: u64, tid: u64, kind: &str, name: &str) -> String {
+    format!(
+        "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":{},\"args\":{{\"name\":{}}}}}",
+        jstr(kind),
+        jstr(name)
+    )
+}
+
+fn span_event(pid: u64, tid: u64, s: &Span) -> String {
+    let ts = s.start_ms * 1_000;
+    if s.end_ms == s.start_ms {
+        return format!(
+            "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"name\":{},\"ts\":{ts},\"s\":\"t\"}}",
+            jstr(s.name)
+        );
+    }
+    let dur = (s.end_ms - s.start_ms) * 1_000;
+    let mut args = String::new();
+    for (i, (k, v)) in s.args[..s.n_args as usize].iter().enumerate() {
+        if i > 0 {
+            args.push(',');
+        }
+        args.push_str(&format!("{}:{}", jstr(k), jnum(*v)));
+    }
+    format!(
+        "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"name\":{},\"ts\":{ts},\"dur\":{dur},\"args\":{{{args}}}}}",
+        jstr(s.name)
+    )
+}
+
+/// JSON string literal (quotes + escapes).
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number literal; non-finite values (which no engine should
+/// produce) serialize as 0 to keep the document valid.
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "0".to_string()
+    }
+}
+
+pub mod json {
+    //! A minimal JSON parser for validating the exporters' output in
+    //! tests, benches, and `examples/validate_obs.rs` — not a general
+    //! JSON library (no serde in this workspace).
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number (parsed as `f64`).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in document order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object member by key.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The number, if this is one.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The string, if this is one.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// The members, if this is an object.
+        pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(m) => Some(m),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".to_string()),
+            Some(b'{') => parse_obj(b, pos),
+            Some(b'[') => parse_arr(b, pos),
+            Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+            Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+            Some(_) => parse_num(b, pos),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {pos}"))
+        }
+    }
+
+    fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {pos}")),
+                    }
+                    *pos += 1;
+                }
+                Some(&c) => {
+                    // Multi-byte UTF-8 passes through unchanged.
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = b
+                        .get(*pos..*pos + len)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or_else(|| format!("bad utf-8 at byte {pos}"))?;
+                    out.push_str(chunk);
+                    *pos += len;
+                }
+            }
+        }
+    }
+
+    fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut members = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = parse_string(b, pos)?;
+            skip_ws(b, pos);
+            expect(b, pos, b':')?;
+            members.push((key, parse_value(b, pos)?));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::Value;
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn off_recorder_is_inert() {
+        let mut r = Recorder::off();
+        assert!(!r.is_on());
+        let c = r.counter("x");
+        let g = r.gauge("y");
+        let h = r.histogram("z");
+        let t = r.track("w");
+        r.add(c, 5);
+        r.gauge_at(g, SimTime::from_secs(1), 2.0);
+        r.observe(h, 3.0);
+        r.span(t, "s", SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(r.counter_value("x"), None);
+        assert!(!r.child().is_on());
+        // Exporters still emit valid documents.
+        json::parse(&r.chrome_trace_json()).expect("off trace parses");
+        json::parse(&r.metrics_json()).expect("off metrics parse");
+    }
+
+    #[test]
+    fn counters_gauges_histograms_record() {
+        let mut r = Recorder::new("t");
+        let c = r.counter("a/count");
+        r.add(c, 2);
+        r.add(c, 3);
+        assert_eq!(r.counter_value("a/count"), Some(5));
+        let c2 = r.counter("a/count");
+        assert_eq!(c, c2, "re-registration must return the same id");
+        let g = r.gauge("a/depth");
+        for i in 0..10 {
+            r.gauge_at(g, SimTime::from_secs(i), i as f64);
+        }
+        let h = r.histogram("a/lat");
+        for i in 1..=100 {
+            r.observe(h, i as f64);
+        }
+        let doc = json::parse(&r.metrics_json()).expect("parses");
+        let depth = doc.get("gauges").and_then(|g| g.get("a/depth")).unwrap();
+        assert_eq!(depth.get("min").unwrap().as_f64(), Some(0.0));
+        assert_eq!(depth.get("max").unwrap().as_f64(), Some(9.0));
+        assert_eq!(depth.get("last").unwrap().as_f64(), Some(9.0));
+        let lat = doc.get("histograms").and_then(|h| h.get("a/lat")).unwrap();
+        assert_eq!(lat.get("count").unwrap().as_f64(), Some(100.0));
+        let p50 = lat.get("p50").unwrap().as_f64().unwrap();
+        assert!((45.0..=55.0).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn absorb_merges_by_name() {
+        let mut parent = Recorder::new("p");
+        let pc = parent.counter("fabric/reshares");
+        parent.add(pc, 10);
+        let mut child = parent.child();
+        assert!(child.is_on());
+        let cc = child.counter("fabric/reshares");
+        child.add(cc, 7);
+        let ch = child.histogram("fabric/flow_secs");
+        child.observe(ch, 1.0);
+        let ct = child.track("fabric");
+        child.span(ct, "flow", SimTime::ZERO, SimTime::from_secs(1));
+        parent.absorb(child);
+        assert_eq!(parent.counter_value("fabric/reshares"), Some(17));
+        let doc = json::parse(&parent.metrics_json()).expect("parses");
+        let flows = doc.get("tracks").and_then(|t| t.get("fabric")).unwrap();
+        assert_eq!(flows.as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn gauge_series_memory_is_bounded() {
+        let mut r = Recorder::new("b");
+        let g = r.gauge("q");
+        // A month of two-minute samples is ~21 600 points; push far
+        // more and check the stored series stayed under the cap.
+        for i in 0..200_000u64 {
+            r.gauge_at(g, SimTime::from_secs(i), (i % 97) as f64);
+        }
+        let inner = r.inner.as_ref().unwrap();
+        let series = &inner.gauges.items[0].series;
+        assert!(series.points.len() < SERIES_CAP, "{}", series.points.len());
+        assert!(series.stride > 1, "never decimated");
+        assert_eq!(inner.gauges.items[0].count, 200_000);
+    }
+
+    #[test]
+    fn span_cap_drops_are_counted() {
+        let mut r = Recorder::new("cap");
+        let t = r.track("x");
+        for i in 0..(MAX_SPANS + 10) as u64 {
+            r.span(t, "s", SimTime::from_millis(i), SimTime::from_millis(i + 1));
+        }
+        let inner = r.inner.as_ref().unwrap();
+        assert_eq!(inner.spans_total, MAX_SPANS);
+        assert_eq!(inner.spans_dropped, 10);
+        let doc = json::parse(&r.metrics_json()).expect("parses");
+        assert_eq!(doc.get("spans_dropped").unwrap().as_f64(), Some(10.0));
+    }
+
+    #[test]
+    fn chrome_trace_round_trips() {
+        let mut r = Recorder::new("rt");
+        let t = r.track("fabric");
+        r.span_args(
+            t,
+            "flow",
+            SimTime::from_millis(5),
+            SimTime::from_millis(17),
+            &[("bytes", 1024.0)],
+        );
+        r.instant(t, "park", SimTime::from_millis(20));
+        let g = r.gauge("fabric/queue_len");
+        r.gauge_at(g, SimTime::from_millis(5), 3.0);
+        r.wall_span("workers/w0", "task 0", 100, 250);
+        let doc = json::parse(&r.chrome_trace_json()).expect("trace parses");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let find = |ph: &str, name: &str| -> &Value {
+            events
+                .iter()
+                .find(|e| {
+                    e.get("ph").and_then(Value::as_str) == Some(ph)
+                        && e.get("name").and_then(Value::as_str) == Some(name)
+                })
+                .unwrap_or_else(|| panic!("no {ph} event named {name}"))
+        };
+        let flow = find("X", "flow");
+        assert_eq!(flow.get("ts").unwrap().as_f64(), Some(5_000.0));
+        assert_eq!(flow.get("dur").unwrap().as_f64(), Some(12_000.0));
+        assert_eq!(flow.get("pid").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            flow.get("args")
+                .and_then(|a| a.get("bytes"))
+                .unwrap()
+                .as_f64(),
+            Some(1024.0)
+        );
+        find("i", "park");
+        let ctr = find("C", "fabric/queue_len");
+        assert_eq!(
+            ctr.get("args")
+                .and_then(|a| a.get("value"))
+                .unwrap()
+                .as_f64(),
+            Some(3.0)
+        );
+        let task = find("X", "task 0");
+        assert_eq!(task.get("pid").unwrap().as_f64(), Some(2.0));
+        assert_eq!(task.get("ts").unwrap().as_f64(), Some(100.0));
+        // Track naming metadata present for both processes.
+        find("M", "process_name");
+        find("M", "thread_name");
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let doc = json::parse("{\"a\\n\": [1, -2.5e3, true, null, \"x\\u0041\\\"\"], \"b\": {}}")
+            .expect("parses");
+        let arr = doc.get("a\n").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-2500.0));
+        assert_eq!(arr[2], Value::Bool(true));
+        assert_eq!(arr[3], Value::Null);
+        assert_eq!(arr[4].as_str(), Some("xA\""));
+        assert!(doc.get("b").unwrap().as_obj().unwrap().is_empty());
+        assert!(json::parse("{\"a\": }").is_err());
+        assert!(json::parse("[1, 2").is_err());
+        assert!(json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn span_times_survive_sim_durations() {
+        let mut r = Recorder::new("t");
+        let t = r.track("x");
+        let start = SimTime::ZERO + SimDuration::from_hours(3);
+        let end = start + SimDuration::from_mins(2);
+        r.span(t, "tick", start, end);
+        let doc = json::parse(&r.chrome_trace_json()).expect("parses");
+        let ev = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let tick = ev
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("tick"))
+            .unwrap();
+        assert_eq!(tick.get("dur").unwrap().as_f64(), Some(120_000_000.0));
+    }
+}

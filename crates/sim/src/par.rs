@@ -40,6 +40,7 @@
 //!   worker, not once per task.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// The default worker count for parallel sweeps: every core the OS
 /// grants us, or 1 if that cannot be determined.
@@ -116,6 +117,123 @@ where
     out.into_iter()
         .map(|r| r.expect("par_map left a slot unclaimed"))
         .collect()
+}
+
+/// Wall-clock timing of one claimed task, as offsets from the
+/// [`par_map_profiled`] call's entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskTiming {
+    /// Input index of the task.
+    pub task: usize,
+    /// Start offset in microseconds.
+    pub start_us: u64,
+    /// End offset in microseconds.
+    pub end_us: u64,
+}
+
+/// Everything one worker did during a [`par_map_profiled`] call: which
+/// tasks it claimed and when. Gaps between consecutive spans are idle
+/// time (waiting on the claim cursor or starved of work).
+#[derive(Debug, Clone, Default)]
+pub struct WorkerProfile {
+    /// Worker index in `0..jobs`.
+    pub worker: usize,
+    /// Claimed tasks in claim order.
+    pub tasks: Vec<TaskTiming>,
+}
+
+impl WorkerProfile {
+    /// Total microseconds this worker spent inside task closures.
+    pub fn busy_us(&self) -> u64 {
+        self.tasks.iter().map(|t| t.end_us - t.start_us).sum()
+    }
+}
+
+/// [`par_map`] plus per-worker profiling: returns the same results (the
+/// determinism contract is unchanged — profiling only *observes* the
+/// schedule) along with one [`WorkerProfile`] per worker, suitable for
+/// [`crate::obs::Recorder::record_worker_profiles`].
+///
+/// The profiling clock is wall time, not sim time; timings vary run to
+/// run even though results never do.
+pub fn par_map_profiled<T, R, F>(jobs: usize, tasks: &[T], f: F) -> (Vec<R>, Vec<WorkerProfile>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let epoch = Instant::now();
+    let stamp = |epoch: &Instant| epoch.elapsed().as_micros() as u64;
+    let jobs = jobs.max(1).min(tasks.len().max(1));
+    if jobs == 1 {
+        let mut profile = WorkerProfile {
+            worker: 0,
+            tasks: Vec::with_capacity(tasks.len()),
+        };
+        let out = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let start_us = stamp(&epoch);
+                let r = f(t);
+                profile.tasks.push(TaskTiming {
+                    task: i,
+                    start_us,
+                    end_us: stamp(&epoch),
+                });
+                r
+            })
+            .collect();
+        return (out, vec![profile]);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let buckets: Vec<(Vec<(usize, R)>, WorkerProfile)> = std::thread::scope(|scope| {
+        let (f, cursor, epoch) = (&f, &cursor, &epoch);
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut claimed = Vec::new();
+                    let mut profile = WorkerProfile {
+                        worker: w,
+                        tasks: Vec::new(),
+                    };
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = tasks.get(i) else { break };
+                        let start_us = stamp(epoch);
+                        claimed.push((i, f(task)));
+                        profile.tasks.push(TaskTiming {
+                            task: i,
+                            start_us,
+                            end_us: stamp(epoch),
+                        });
+                    }
+                    (claimed, profile)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+
+    let mut out: Vec<Option<R>> = Vec::with_capacity(tasks.len());
+    out.resize_with(tasks.len(), || None);
+    let mut profiles = Vec::with_capacity(jobs);
+    for (bucket, profile) in buckets {
+        for (i, r) in bucket {
+            debug_assert!(out[i].is_none(), "slot {i} claimed twice");
+            out[i] = Some(r);
+        }
+        profiles.push(profile);
+    }
+    let out = out
+        .into_iter()
+        .map(|r| r.expect("par_map left a slot unclaimed"))
+        .collect();
+    (out, profiles)
 }
 
 #[cfg(test)]
@@ -217,5 +335,43 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn profiled_matches_unprofiled_results() {
+        let tasks: Vec<f64> = (0..257).map(|i| i as f64 * 0.37).collect();
+        let f = |x: &f64| (x.sin() * 1e9).sqrt();
+        let plain = par_map(5, &tasks, f);
+        let (profiled, profiles) = par_map_profiled(5, &tasks, f);
+        for (a, b) in plain.iter().zip(&profiled) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(profiles.len(), 5);
+        // Every task timed exactly once, across all workers.
+        let mut seen: Vec<usize> = profiles
+            .iter()
+            .flat_map(|p| p.tasks.iter().map(|t| t.task))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..tasks.len()).collect::<Vec<_>>());
+        for p in &profiles {
+            for t in &p.tasks {
+                assert!(t.end_us >= t.start_us);
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_sequential_path_runs_on_caller() {
+        let caller = std::thread::current().id();
+        let tasks = [1, 2, 3];
+        let (out, profiles) = par_map_profiled(1, &tasks, |&x| {
+            assert_eq!(std::thread::current().id(), caller);
+            x * 2
+        });
+        assert_eq!(out, vec![2, 4, 6]);
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles[0].tasks.len(), 3);
+        assert!(profiles[0].busy_us() <= profiles[0].tasks.last().unwrap().end_us);
     }
 }

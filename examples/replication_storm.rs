@@ -9,11 +9,21 @@
 //! ```
 
 use harvest::cluster::Datacenter;
-use harvest::dfs::repair::{simulate_reimage_storm, StormConfig};
+use harvest::dfs::repair::{simulate_reimage_storm_recorded, StormConfig};
 use harvest::disk::DiskConfig;
 use harvest::net::NetworkConfig;
 use harvest::prelude::DatacenterProfile;
+use harvest::sim::obs::{json, Recorder};
 use harvest::sim::SimTime;
+
+/// Reads one counter out of a parsed metrics report.
+fn counter(report: &json::Value, name: &str) -> u64 {
+    report
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0) as u64
+}
 
 fn main() {
     let seed = 42;
@@ -64,27 +74,42 @@ fn main() {
             let mut cfg = base.clone();
             cfg.network = network;
             cfg.disk = disk;
-            let r = simulate_reimage_storm(&dc, &cfg);
+            // Record the run and read every fingerprint back out of the
+            // machine-readable metrics report — the same JSON
+            // `repro --metrics-out` writes — rather than the in-memory
+            // stats structs, demonstrating the report round-trip.
+            let mut rec = Recorder::new("replication-storm");
+            let r = simulate_reimage_storm_recorded(&dc, &cfg, &mut rec);
+            let report = json::parse(&rec.metrics_json()).expect("metrics report parses");
             println!(
                 "  {label}  {:>7} replicas lost, {:>7} repairs, full durability at {} \
                  (mean transfer {:.2}s)",
-                r.replicas_lost, r.repairs, r.recovered_at, r.mean_transfer_secs,
+                counter(&report, "dfs/replicas_lost"),
+                counter(&report, "dfs/repairs"),
+                r.recovered_at,
+                r.mean_transfer_secs,
             );
             // Storm churn, for tuning max_repair_streams: how hard the
             // fair-sharing engines worked and how concurrent the storm
             // actually ran.
-            if let Some(f) = r.fabric {
+            if r.fabric.is_some() {
                 println!(
                     "                fabric: {} reshares, peak {} active flows, \
                      {} stale events dropped, peak heap {}",
-                    f.reshares, f.peak_active, f.stale_events_dropped, f.peak_queue_len,
+                    counter(&report, "fabric/reshares"),
+                    counter(&report, "fabric/peak_active"),
+                    counter(&report, "fabric/stale_events_dropped"),
+                    counter(&report, "fabric/peak_queue_len"),
                 );
             }
-            if let Some(d) = r.disk {
+            if r.disk.is_some() {
                 println!(
                     "                disks:  {} reshares, peak {} active streams, \
                      {} stale events dropped, peak heap {}",
-                    d.reshares, d.peak_active, d.stale_events_dropped, d.peak_queue_len,
+                    counter(&report, "disk/reshares"),
+                    counter(&report, "disk/peak_active"),
+                    counter(&report, "disk/stale_events_dropped"),
+                    counter(&report, "disk/peak_queue_len"),
                 );
             }
             recovered.push(r.recovered_at);

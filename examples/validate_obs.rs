@@ -1,0 +1,83 @@
+//! Validate the files `repro --trace-out` / `--metrics-out` wrote.
+//!
+//! ```sh
+//! cargo run --release --bin repro -- micro --net --disk \
+//!     --trace-out /tmp/trace.json --metrics-out /tmp/metrics.json
+//! cargo run --release --example validate_obs /tmp/trace.json /tmp/metrics.json
+//! ```
+//!
+//! Parses both exports with the in-repo JSON parser and checks the
+//! shape the viewers rely on: the trace has events, at least one
+//! sim-time complete span (pid 1) and one wall-time event (pid 2), and
+//! the metrics report has a counters object. Exits non-zero (with the
+//! reason on stderr) on any failure, so CI can smoke the export path.
+
+use std::process::ExitCode;
+
+use harvest::sim::obs::json::{self, Value};
+
+fn check(trace_text: &str, metrics_text: &str) -> Result<(), String> {
+    let trace = json::parse(trace_text).map_err(|e| format!("trace does not parse: {e}"))?;
+    let events = trace
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("trace lacks a traceEvents array")?;
+    if events.is_empty() {
+        return Err("trace has no events".into());
+    }
+    let pid = |e: &Value| e.get("pid").and_then(Value::as_f64).unwrap_or(0.0) as i64;
+    let ph = |e: &Value| {
+        e.get("ph")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string()
+    };
+    let sim_spans = events
+        .iter()
+        .filter(|e| pid(e) == 1 && (ph(e) == "X" || ph(e) == "i"))
+        .count();
+    if sim_spans == 0 {
+        return Err("trace has no sim-time spans (pid 1, ph X/i)".into());
+    }
+    let wall_events = events.iter().filter(|e| pid(e) == 2).count();
+    if wall_events == 0 {
+        return Err("trace has no wall-time events (pid 2)".into());
+    }
+
+    let metrics = json::parse(metrics_text).map_err(|e| format!("metrics do not parse: {e}"))?;
+    let counters = metrics
+        .get("counters")
+        .and_then(Value::as_obj)
+        .ok_or("metrics report lacks a counters object")?;
+    if counters.is_empty() {
+        return Err("metrics report has no counters".into());
+    }
+    eprintln!(
+        "ok: {} trace events ({} sim-time spans, {} wall-time events), {} counters",
+        events.len(),
+        sim_spans,
+        wall_events,
+        counters.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [trace_path, metrics_path] = args.as_slice() else {
+        eprintln!("usage: validate_obs TRACE.json METRICS.json");
+        return ExitCode::FAILURE;
+    };
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let result = read(trace_path)
+        .and_then(|t| read(metrics_path).map(|m| (t, m)))
+        .and_then(|(t, m)| check(&t, &m));
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("validate_obs: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
