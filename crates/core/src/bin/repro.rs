@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--full] [--net] [--disk] [--full-sweep] [--jobs N] [--seed N]
-//!       [--trace-out FILE] [--metrics-out FILE] [EXPERIMENT...]
+//!       [--trace-out FILE] [--metrics-out FILE] [--explain] [EXPERIMENT...]
+//! repro analyze TRACE.json
 //!
 //!   EXPERIMENT    fig1..fig8, fig10..fig16, micro, or "all" (default)
 //!   --full        bigger clusters, the paper's five runs per data point
@@ -21,6 +22,8 @@
 //!   --seed N      master seed (default 42)
 //!   --trace-out FILE    write a Chrome-trace/Perfetto JSON of the run
 //!   --metrics-out FILE  write a machine-readable metrics report (JSON)
+//!   --explain     print a per-experiment blame table (wait-state and
+//!                 critical-path attribution) to stderr
 //! ```
 //!
 //! # Inspecting a run
@@ -33,6 +36,14 @@
 //! <https://ui.perfetto.dev>; the metrics file is plain JSON (see
 //! `harvest_sim::obs`). Recording never touches stdout — reports stay
 //! byte-identical with it on or off.
+//!
+//! `repro analyze TRACE.json` turns an exported trace into "where did
+//! the time go": per-track busy time and critical path, and — for the
+//! wait-state tracks — a per-state blame breakdown with an exact
+//! conservation check (every entity's states tile its lifetime; see
+//! `harvest_sim::obs::analyze`). `--explain` computes the same tables
+//! in-process per experiment and prints them to stderr, so stdout stays
+//! byte-comparable.
 //!
 //! Reports go to stdout; per-experiment wall-clock timings (which vary
 //! run to run) go to stderr as a closing table, so stdout stays
@@ -50,6 +61,7 @@ fn main() -> ExitCode {
     let mut net = false;
     let mut disk = false;
     let mut full_sweep = false;
+    let mut explain = false;
     let mut seed = None;
     let mut jobs = None;
     let mut trace_out: Option<String> = None;
@@ -62,6 +74,7 @@ fn main() -> ExitCode {
             "--net" => net = true,
             "--disk" => disk = true,
             "--full-sweep" => full_sweep = true,
+            "--explain" => explain = true,
             "--trace-out" => match args.next() {
                 Some(path) => trace_out = Some(path),
                 None => {
@@ -93,8 +106,10 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--full] [--net] [--disk] [--full-sweep] [--jobs N] \
-                     [--seed N] [--trace-out FILE] [--metrics-out FILE] [EXPERIMENT...]"
+                     [--seed N] [--trace-out FILE] [--metrics-out FILE] [--explain] \
+                     [EXPERIMENT...]"
                 );
+                println!("       repro analyze TRACE.json");
                 println!("experiments: {} all", ALL_EXPERIMENTS.join(" "));
                 println!(
                     "--full runs the paper's five runs per sweep point; --jobs N sets \
@@ -117,11 +132,50 @@ fn main() -> ExitCode {
                     "  either flag turns recording on (the `micro` experiment then replays \
                      instrumented runs); stdout stays byte-identical with recording on or off"
                 );
+                println!(
+                    "  analyze TRACE.json  turn an exported trace into blame tables: \
+                     per-track busy time, critical path, and per-state wait breakdowns \
+                     with an exact conservation check (states tile each entity's lifetime)"
+                );
+                println!(
+                    "  --explain           compute the same blame tables in-process for \
+                     each experiment and print them to stderr (stdout is untouched)"
+                );
                 return ExitCode::SUCCESS;
             }
             other => experiments.push(other.to_string()),
         }
     }
+    // `repro analyze TRACE.json` is a pure post-processing mode: no
+    // experiments run, the blame tables go to stdout.
+    if experiments.first().is_some_and(|e| e == "analyze") {
+        if experiments.len() != 2 {
+            eprintln!("usage: repro analyze TRACE.json");
+            return ExitCode::FAILURE;
+        }
+        let path = &experiments[1];
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match harvest_sim::obs::analyze::analyze_trace_text(&text) {
+            Ok(analysis) => {
+                print!("{}", analysis.render());
+                if !analysis.conserved() {
+                    eprintln!("warning: some entities failed the state-conservation check");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {path} is not an analyzable trace: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let mut scale = if full { Scale::full() } else { Scale::quick() };
     if net {
         scale.network = Some(harvest_net::NetworkConfig::datacenter());
@@ -138,7 +192,7 @@ fn main() -> ExitCode {
     if let Some(seed) = seed {
         scale.seed = seed;
     }
-    let mut rec = if trace_out.is_some() || metrics_out.is_some() {
+    let mut rec = if trace_out.is_some() || metrics_out.is_some() || explain {
         Recorder::new("repro")
     } else {
         Recorder::off()
@@ -180,7 +234,27 @@ fn main() -> ExitCode {
     for id in &experiments {
         let started = std::time::Instant::now();
         let t0_us = suite_started.elapsed().as_micros() as u64;
-        match run_experiment_recorded(id, &scale, &mut rec) {
+        // With --explain each experiment records into its own child so
+        // its blame tables cover exactly this experiment's runs; the
+        // child is absorbed back, so exports still see everything.
+        let result = if explain {
+            let mut erec = rec.child();
+            let r = run_experiment_recorded(id, &scale, &mut erec);
+            if r.is_ok() {
+                match harvest_sim::obs::analyze::analyze_recorder(&erec) {
+                    Ok(analysis) => {
+                        eprintln!("[{id} blame]");
+                        eprint!("{}", analysis.render());
+                    }
+                    Err(e) => eprintln!("[{id} blame unavailable: {e}]"),
+                }
+            }
+            rec.absorb(erec);
+            r
+        } else {
+            run_experiment_recorded(id, &scale, &mut rec)
+        };
+        match result {
             Ok(report) => {
                 println!("{report}");
                 let secs = started.elapsed().as_secs_f64();

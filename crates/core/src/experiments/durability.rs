@@ -82,6 +82,33 @@ pub fn run_loss(
     }
 }
 
+/// The `dfs/repair` blame line of one recorded reimage storm on `dc`
+/// (largest tenant, §7 storm settings): how much of the repairs' time
+/// was backpressure-queued, moving, or stuck behind one straggling
+/// component. Needs a transfer model — without one repairs are instant
+/// and there is nothing to attribute, so this returns `None`. Pure sim
+/// time, so the line is deterministic across `--jobs` and recording
+/// settings.
+fn repair_blame(dc: &Datacenter, scale: &Scale, seed: u64) -> Option<String> {
+    if scale.network.is_none() && scale.disk.is_none() {
+        return None;
+    }
+    let tenant = dc.tenants.iter().max_by_key(|t| t.n_servers())?.id;
+    let mut storm = harvest_dfs::repair::StormConfig::new(tenant, seed);
+    storm.fill_fraction = 0.15;
+    storm.network = scale.network;
+    storm.disk = scale.disk;
+    storm.max_repair_streams = Some(64);
+    let mut rec = harvest_sim::obs::Recorder::new("blame");
+    let _ = harvest_dfs::repair::simulate_reimage_storm_recorded(dc, &storm, &mut rec);
+    let analysis = harvest_sim::obs::analyze::analyze_recorder(&rec).ok()?;
+    analysis
+        .states
+        .iter()
+        .find(|s| s.name == "dfs/repair")
+        .map(|s| s.blame_line())
+}
+
 /// Folds per-run outcomes (in run order) into a [`LossSummary`].
 pub fn summarize(runs: &[RunLoss]) -> LossSummary {
     let n = runs.len() as f64;
@@ -233,6 +260,13 @@ pub fn fig15(scale: &Scale) -> String {
             "transfer-model churn: {stale_total} superseded completion events dropped, \
              peak event heap {peak_queue}"
         ));
+    }
+    // Where repair time goes under the transfer models, from one
+    // recorded reimage storm on DC-3 (the DC the paper singles out for
+    // losses) — deterministic, so the report stays byte-identical
+    // across --jobs and recording.
+    if let Some(line) = repair_blame(&dcs[3], scale, scale.run_seed("fig15", 3)) {
+        table.note(format!("repair blame (DC-3 reimage storm): {line}"));
     }
     table.render()
 }

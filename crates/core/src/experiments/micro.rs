@@ -137,10 +137,12 @@ pub fn micro(scale: &Scale, rec: &mut harvest_sim::obs::Recorder) -> String {
 
 /// Feeds the recorder one representative run of every instrumented
 /// subsystem: a scheduling simulation with the fabric and disks on
-/// (tick spans, flow and stream lifetimes, re-share sizes), a reimage
-/// storm (repair spans), and a profiled [`par_map_profiled`] sweep
-/// (wall-time worker tracks). Only runs when recording is on — the
-/// microbenchmark report never depends on it.
+/// (tick spans, flow and stream lifetimes, re-share sizes, per-stage
+/// wait states), a reimage storm (repair spans and wait states), a
+/// search-server run (per-request wait states), and a profiled
+/// [`par_map_profiled`] sweep (wall-time worker tracks). Only runs
+/// when recording is on — the microbenchmark report never depends on
+/// it.
 fn record_showcase(scale: &Scale, rec: &mut harvest_sim::obs::Recorder) {
     use harvest_jobs::tpcds::{scale_job, tpcds_suite};
     use harvest_jobs::workload::Workload;
@@ -191,6 +193,11 @@ fn record_showcase(scale: &Scale, rec: &mut harvest_sim::obs::Recorder) {
     storm.max_repair_streams = Some(64);
     let _ = harvest_dfs::repair::simulate_reimage_storm_recorded(&dc, &storm, rec);
 
+    // A recorded search-server run: per-request queued/running wait
+    // states on the `service/request` state track.
+    let server = harvest_service::lucene::SearchServer::lucene_like();
+    let _ = server.run_recorded(0.9, 2_000, scale.seed, rec);
+
     // A profiled parallel sweep: per-worker busy/idle wall-time tracks.
     let queries = tpcds_suite();
     let (_, profiles) = par_map_profiled(scale.jobs, &queries, |q| q.critical_path());
@@ -225,6 +232,15 @@ mod tests {
         let trace = rec.chrome_trace_json();
         for track in ["\"sched\"", "\"fabric\"", "\"disk\"", "\"dfs\"", "micro/w0"] {
             assert!(trace.contains(track), "trace lacks {track} track");
+        }
+        for states in [
+            "sched/stage",
+            "fabric/flow",
+            "disk/stream",
+            "dfs/repair",
+            "service/request",
+        ] {
+            assert!(trace.contains(states), "trace lacks {states} state track");
         }
         assert!(rec.counter_value("sched/tasks_started").is_some());
         assert!(rec.counter_value("dfs/repairs").is_some());

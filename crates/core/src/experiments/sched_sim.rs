@@ -59,18 +59,16 @@ impl SweepPoint {
     }
 }
 
-/// Runs one (datacenter, scaling, utilization, run) comparison point.
-#[allow(clippy::too_many_arguments)]
-pub fn sweep_point(
+/// Builds the (scaled utilization view, Poisson workload) pair one
+/// sweep point simulates over — shared by the comparison runs and the
+/// recorded blame run so they see bitwise-identical inputs.
+fn sweep_inputs(
     dc: &Datacenter,
     scaling: ScalingKind,
     utilization: f64,
     hours: u64,
     seed: u64,
-    network: Option<harvest_net::NetworkConfig>,
-    disk: Option<harvest_disk::DiskConfig>,
-    sweep: TickSweep,
-) -> SweepPoint {
+) -> (UtilizationView, Workload) {
     let traces: Vec<_> = dc.tenants.iter().map(|t| &t.trace).collect();
     let param = calibrate(&traces, scaling, utilization);
     let view = UtilizationView::scaled(dc, scaling, param);
@@ -92,6 +90,23 @@ pub fn sweep_point(
     let horizon = SimDuration::from_hours(hours);
     let mut wl_rng = stream_rng(seed, "sweep-wl");
     let workload = Workload::poisson(&mut wl_rng, suite, mean_gap, horizon);
+    (view, workload)
+}
+
+/// Runs one (datacenter, scaling, utilization, run) comparison point.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_point(
+    dc: &Datacenter,
+    scaling: ScalingKind,
+    utilization: f64,
+    hours: u64,
+    seed: u64,
+    network: Option<harvest_net::NetworkConfig>,
+    disk: Option<harvest_disk::DiskConfig>,
+    sweep: TickSweep,
+) -> SweepPoint {
+    let (view, workload) = sweep_inputs(dc, scaling, utilization, hours, seed);
+    let horizon = SimDuration::from_hours(hours);
 
     let run = |policy: SchedPolicy| -> (f64, u64, usize) {
         let mut cfg = SchedSimConfig::testbed(policy, seed);
@@ -120,6 +135,41 @@ pub fn sweep_point(
         stale_events_dropped: pt_stale + h_stale,
         peak_queue_len: pt_peak.max(h_peak),
     }
+}
+
+/// Replays one sweep point's YARN-PT run with a local recorder and
+/// distills the `sched/stage` wait-state track into its one-line blame
+/// split (e.g. `"74.2% running, 21.3% blocked_on_net, 4.5% queued"`).
+/// The split is pure sim time, so the line is identical at any `--jobs`
+/// setting and whether or not the caller records — figure notes can
+/// embed it without breaking stdout byte-comparability.
+#[allow(clippy::too_many_arguments)]
+pub fn stage_blame(
+    dc: &Datacenter,
+    scaling: ScalingKind,
+    utilization: f64,
+    hours: u64,
+    seed: u64,
+    network: Option<harvest_net::NetworkConfig>,
+    disk: Option<harvest_disk::DiskConfig>,
+    sweep: TickSweep,
+) -> Option<String> {
+    let (view, workload) = sweep_inputs(dc, scaling, utilization, hours, seed);
+    let horizon = SimDuration::from_hours(hours);
+    let mut cfg = SchedSimConfig::testbed(SchedPolicy::PrimaryAware, seed);
+    cfg.horizon = horizon;
+    cfg.drain = horizon;
+    cfg.network = network;
+    cfg.disk = disk;
+    cfg.sweep = sweep;
+    let mut rec = harvest_sim::obs::Recorder::new("blame");
+    let _ = SchedSim::new(dc, &view, &workload, cfg).run_recorded(&mut rec);
+    let analysis = harvest_sim::obs::analyze::analyze_recorder(&rec).ok()?;
+    analysis
+        .states
+        .iter()
+        .find(|s| s.name == "sched/stage")
+        .map(|s| s.blame_line())
 }
 
 /// Figure 13: DC-9's batch run times across the utilization spectrum.
@@ -208,6 +258,25 @@ pub fn fig13(scale: &Scale) -> String {
         table.note(format!(
             "transfer-model churn: {stale_total} superseded completion events dropped, \
              peak event heap {peak_queue}"
+        ));
+    }
+    // Where the stages' time went, from one recorded mid-utilization
+    // YARN-PT run (linear scaling, run 0's seed) — deterministic, so
+    // the report stays byte-identical across --jobs and recording.
+    let mid = scale.utilizations[scale.utilizations.len() / 2];
+    if let Some(line) = stage_blame(
+        &dc,
+        ScalingKind::Linear,
+        mid,
+        scale.sched_hours,
+        scale.run_seed("fig13", 0),
+        scale.network,
+        scale.disk,
+        scale.tick_sweep,
+    ) {
+        table.note(format!(
+            "stage blame (YARN-PT, linear @ {} utilization): {line}",
+            num(mid, 2)
         ));
     }
     table.render()

@@ -39,6 +39,18 @@ fn testbed(scale: &Scale) -> (Datacenter, UtilizationView) {
 const TESTBED_DURATION_FACTOR: f64 = 3.0;
 
 fn run_testbed(scale: &Scale, policy: SchedPolicy, record: bool) -> SimStats {
+    let mut rec = harvest_sim::obs::Recorder::off();
+    run_testbed_recorded(scale, policy, record, &mut rec)
+}
+
+/// [`run_testbed`] with an observability recorder (identical stats —
+/// recording never changes a trajectory).
+fn run_testbed_recorded(
+    scale: &Scale,
+    policy: SchedPolicy,
+    record: bool,
+    rec: &mut harvest_sim::obs::Recorder,
+) -> SimStats {
     let (dc, view) = testbed(scale);
     let horizon = SimDuration::from_hours(scale.sched_hours.min(5));
     let mut rng = stream_rng(scale.run_seed("testbed-wl", 0), "wl");
@@ -53,7 +65,22 @@ fn run_testbed(scale: &Scale, policy: SchedPolicy, record: bool) -> SimStats {
     cfg.record_server_load = record;
     cfg.network = scale.network;
     cfg.sweep = scale.tick_sweep;
-    SchedSim::new(&dc, &view, &workload, cfg).run()
+    SchedSim::new(&dc, &view, &workload, cfg).run_recorded(rec)
+}
+
+/// The `sched/stage` blame line of one recorded YARN-PT testbed run:
+/// where the batch stages' time went (running vs shuffle-blocked vs
+/// queued vs evicted). Pure sim time, so the line is deterministic
+/// across `--jobs` and recording settings.
+fn testbed_stage_blame(scale: &Scale) -> Option<String> {
+    let mut rec = harvest_sim::obs::Recorder::new("blame");
+    let _ = run_testbed_recorded(scale, SchedPolicy::PrimaryAware, false, &mut rec);
+    let analysis = harvest_sim::obs::analyze::analyze_recorder(&rec).ok()?;
+    analysis
+        .states
+        .iter()
+        .find(|s| s.name == "sched/stage")
+        .map(|s| s.blame_line())
 }
 
 /// Figure 10: the primary tenant's tail latency under each YARN variant.
@@ -149,6 +176,9 @@ pub fn fig11(scale: &Scale) -> String {
         ]);
     }
     table.note("paper: YARN-Stock is fastest (1181 s avg for YARN-PT vs 938 s for YARN-H) but ruins the primary; YARN-H/Tez-H beats YARN-PT by killing fewer tasks");
+    if let Some(line) = testbed_stage_blame(scale) {
+        table.note(format!("stage blame (YARN-PT): {line}"));
+    }
     table.render()
 }
 

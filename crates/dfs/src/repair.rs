@@ -20,7 +20,7 @@ use std::collections::{BinaryHeap, HashMap};
 use harvest_cluster::{Datacenter, ServerId, TenantId};
 use harvest_disk::{DiskConfig, DiskPool, IoDir};
 use harvest_net::NetworkConfig;
-use harvest_sim::obs::{HistogramId, Recorder, TrackId};
+use harvest_sim::obs::{HistogramId, Recorder, StateTrackId, TrackId};
 use harvest_sim::rng::stream_rng;
 use harvest_sim::{SimDuration, SimTime};
 use rand::RngExt;
@@ -271,6 +271,13 @@ pub fn simulate_reimage_storm(dc: &Datacenter, cfg: &StormConfig) -> StormResult
 struct StormObs {
     track: TrackId,
     repair_secs: HistogramId,
+    /// Wait-state track `dfs/repair` (entity = repair id): `queued`
+    /// from slot release to transfer start (backpressure wait),
+    /// `running` while several components are in flight, then — once a
+    /// single component remains — `blocked_on_net`,
+    /// `blocked_on_disk_read`, or `blocked_on_disk_write` naming the
+    /// straggler, exit when the last component lands.
+    states: StateTrackId,
 }
 
 /// [`simulate_reimage_storm`] with observability: each repair's
@@ -361,6 +368,7 @@ pub fn simulate_reimage_storm_recorded(
     let obs = rec.is_on().then(|| StormObs {
         track: rec.track("dfs"),
         repair_secs: rec.histogram("dfs/repair_secs"),
+        states: rec.state_track("dfs/repair"),
     });
     if rec.is_on() {
         if let Some(f) = fabric.as_mut() {
@@ -373,6 +381,9 @@ pub fn simulate_reimage_storm_recorded(
     let modeled = fabric.is_some() || disks.is_some();
     // In-flight repairs, by repair id.
     let mut in_flight: HashMap<u64, TransferParts> = HashMap::new();
+    // Obs-only: each in-flight repair's outstanding components, named
+    // by the wait state a lone straggler would put the repair in.
+    let mut tail: HashMap<u64, Vec<&'static str>> = HashMap::new();
     let mut next_rid = 0u64;
     let mut repairs = 0u64;
     let mut recovered_at = t0;
@@ -397,7 +408,8 @@ pub fn simulate_reimage_storm_recorded(
         // simultaneous slot release is processed.
         let rec = &mut *rec;
         let obs = obs.as_ref();
-        let mut finish_part = |rid: u64, at: SimTime| {
+        let tail = &mut tail;
+        let mut finish_part = |rid: u64, at: SimTime, kind: &'static str| {
             let e = in_flight.get_mut(&rid).expect("repair in flight");
             if let Some(landed_at) = e.component_done(at) {
                 let started = e.started;
@@ -409,17 +421,31 @@ pub fn simulate_reimage_storm_recorded(
                 if let Some(obs) = obs {
                     rec.observe(obs.repair_secs, landed_at.since(started).as_secs_f64());
                     rec.span(obs.track, "repair", started, landed_at);
+                    rec.state_exit(obs.states, rid, landed_at);
+                    tail.remove(&rid);
+                }
+            } else if let Some(obs) = obs {
+                // A component finished but the repair is still waiting;
+                // once exactly one remains, blame it by name.
+                let comps = tail.get_mut(&rid).expect("tracked while in flight");
+                comps.retain(|&k| k != kind);
+                if comps.len() == 1 {
+                    rec.state_enter(obs.states, rid, comps[0], at);
                 }
             }
         };
         if let Some(f) = fabric.as_mut() {
             for done in f.pump(now) {
-                finish_part(done.tag, done.at);
+                finish_part(done.tag, done.at, "blocked_on_net");
             }
         }
         if let Some(p) = disks.as_mut() {
             for done in p.pump(now) {
-                finish_part(done.tag, done.at);
+                let kind = match done.dir {
+                    IoDir::Read => "blocked_on_disk_read",
+                    IoDir::Write => "blocked_on_disk_write",
+                };
+                finish_part(done.tag, done.at, kind);
             }
         }
 
@@ -462,6 +488,19 @@ pub fn simulate_reimage_storm_recorded(
                     parts += 2;
                 }
                 in_flight.insert(rid, TransferParts::new(parts, start));
+                if let Some(obs) = obs {
+                    rec.state_enter(obs.states, rid, "queued", r.at);
+                    rec.state_enter(obs.states, rid, "running", start);
+                    let mut comps: Vec<&'static str> = Vec::new();
+                    if fabric.is_some() {
+                        comps.push("blocked_on_net");
+                    }
+                    if disks.is_some() {
+                        comps.push("blocked_on_disk_read");
+                        comps.push("blocked_on_disk_write");
+                    }
+                    tail.insert(rid, comps);
+                }
             } else {
                 repairs += 1;
                 recovered_at = recovered_at.max(r.at);
@@ -738,5 +777,56 @@ mod tests {
         assert_eq!(a.repairs, b.repairs);
         assert_eq!(a.recovered_at, b.recovered_at);
         assert_eq!(a.mean_transfer_secs, b.mean_transfer_secs);
+    }
+
+    #[test]
+    fn randomized_storms_conserve_state_time_and_ignore_recording() {
+        // Randomized DC-9 workloads: different seeds, fills, and
+        // transfer-model combinations. For each, (a) the run with a
+        // live recorder is bitwise identical to the recorder-off run,
+        // and (b) the recorded wait states tile every repair's lifetime
+        // exactly (integer sim time — no epsilon) with a critical path
+        // bounded by the makespan.
+        let dc = storm_dc();
+        let tenant = biggest_tenant(&dc);
+        let variants: [(u64, f64, bool, bool); 3] = [
+            (5, 0.10, true, false),
+            (23, 0.15, true, true),
+            (31, 0.12, false, true),
+        ];
+        for (seed, fill, net, disk) in variants {
+            let mut cfg = StormConfig::new(tenant, seed);
+            cfg.fill_fraction = fill;
+            cfg.network = net.then(NetworkConfig::datacenter);
+            cfg.disk = disk.then(DiskConfig::datacenter);
+            cfg.max_repair_streams = Some(64);
+            let plain = simulate_reimage_storm(&dc, &cfg);
+            let mut rec = Recorder::new("storm-props");
+            let recorded = simulate_reimage_storm_recorded(&dc, &cfg, &mut rec);
+            assert_eq!(plain.repairs, recorded.repairs, "seed {seed}");
+            assert_eq!(plain.recovered_at, recorded.recovered_at, "seed {seed}");
+            assert_eq!(
+                plain.mean_transfer_secs.to_bits(),
+                recorded.mean_transfer_secs.to_bits(),
+                "seed {seed}"
+            );
+
+            let analysis =
+                harvest_sim::obs::analyze::analyze_recorder(&rec).expect("trace analyzes");
+            let sb = analysis
+                .states
+                .iter()
+                .find(|s| s.name == "dfs/repair")
+                .expect("repair states recorded");
+            assert!(sb.entities > 0, "seed {seed}: no repairs tracked");
+            assert_eq!(
+                sb.conserved, sb.entities,
+                "seed {seed}: state breakdown must tile each repair's lifetime"
+            );
+            assert!(
+                sb.critical_us <= sb.makespan_us,
+                "seed {seed}: critical path exceeds makespan"
+            );
+        }
     }
 }

@@ -49,7 +49,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use harvest_cluster::ServerId;
 use harvest_signal::classify::UtilizationPattern;
 use harvest_sim::engine::{EventKey, EventQueue};
-use harvest_sim::obs::{CounterId, GaugeId, HistogramId, Recorder, TrackId};
+use harvest_sim::obs::{CounterId, GaugeId, HistogramId, Recorder, StateTrackId, TrackId};
 use harvest_sim::{SimDuration, SimTime};
 
 use crate::config::DiskConfig;
@@ -207,6 +207,10 @@ struct DiskObs {
     queue_len: GaugeId,
     tombstones: GaugeId,
     parks: CounterId,
+    /// Wait-state track `disk/stream`: a stream is `running` from
+    /// start to completion except while fully throttled, when it sits
+    /// in `throttle_parked` until a re-share rescues it.
+    states: StateTrackId,
 }
 
 impl DiskPool {
@@ -267,7 +271,9 @@ impl DiskPool {
     /// durations in `disk/stream_secs`, per-re-share channel occupancy
     /// in `disk/reshare_streams`, throttle parks as `disk/parks` (with
     /// an instant event per park), and event-heap depth/tombstone
-    /// gauges sampled at each re-share.
+    /// gauges sampled at each re-share. Wait states land on the
+    /// `disk/stream` state track: `running` from start to completion,
+    /// interrupted by `throttle_parked` while fully throttled.
     pub fn set_recorder(&mut self, mut rec: Recorder) {
         self.obs = rec.is_on().then(|| DiskObs {
             track: rec.track("disk"),
@@ -276,6 +282,7 @@ impl DiskPool {
             queue_len: rec.gauge("disk/queue_len"),
             tombstones: rec.gauge("disk/queue_tombstones"),
             parks: rec.counter("disk/parks"),
+            states: rec.state_track("disk/stream"),
         });
         self.rec = rec;
     }
@@ -542,6 +549,9 @@ impl DiskPool {
             self.active_servers.insert(p.server.0);
         }
         self.stats.peak_active = self.stats.peak_active.max(self.active.len());
+        if let Some(obs) = &self.obs {
+            self.rec.state_enter(obs.states, id.0, "running", now);
+        }
         self.reshare_scoped(c, now);
     }
 
@@ -572,6 +582,7 @@ impl DiskPool {
         if let Some(obs) = &self.obs {
             self.rec
                 .observe(obs.stream_secs, now.since(stream.started).as_secs_f64());
+            self.rec.state_exit(obs.states, id.0, now);
             self.rec.span_args(
                 obs.track,
                 "stream",
@@ -646,6 +657,10 @@ impl DiskPool {
             if s.version > 0 && rate == s.rate {
                 continue;
             }
+            // Captured before the assignment below: the guard above
+            // means reaching here with an old rate of zero is exactly
+            // the throttled→running rescue transition.
+            let was_parked = s.version > 0 && s.rate == 0.0;
             let dt = now.since(s.last_update).as_secs_f64();
             if dt > 0.0 {
                 s.remaining = (s.remaining - s.rate * dt).max(0.0);
@@ -659,6 +674,9 @@ impl DiskPool {
             s.rate = rate;
             s.version += 1;
             let eta = if s.rate > 0.0 {
+                if let (true, Some(obs)) = (was_parked, obs) {
+                    rec.state_enter(obs.states, *id, "running", now);
+                }
                 SimDuration::from_secs_f64(s.remaining / s.rate)
             } else {
                 // Fully throttled: park the completion; the re-share
@@ -666,6 +684,7 @@ impl DiskPool {
                 if let Some(obs) = obs {
                     rec.add(obs.parks, 1);
                     rec.instant(obs.track, "park", now);
+                    rec.state_enter(obs.states, *id, "throttle_parked", now);
                 }
                 PARKED
             };

@@ -55,7 +55,7 @@ use std::collections::BTreeMap;
 
 use harvest_cluster::ServerId;
 use harvest_sim::engine::{EventKey, EventQueue};
-use harvest_sim::obs::{GaugeId, HistogramId, Recorder, TrackId};
+use harvest_sim::obs::{GaugeId, HistogramId, Recorder, StateTrackId, TrackId};
 use harvest_sim::{SimDuration, SimTime};
 
 use crate::config::NetworkConfig;
@@ -196,6 +196,11 @@ struct FabricObs {
     component_flows: HistogramId,
     queue_len: GaugeId,
     tombstones: GaugeId,
+    /// Wait-state track keyed by flow id: `running` from wire start to
+    /// last byte. Flows start at their scheduled instant (the fabric
+    /// has no admission queue), so contention shows up as a longer
+    /// `running` state, never a queue wait.
+    states: StateTrackId,
 }
 
 impl Fabric {
@@ -234,6 +239,7 @@ impl Fabric {
             component_flows: rec.histogram("fabric/reshare_component_flows"),
             queue_len: rec.gauge("fabric/queue_len"),
             tombstones: rec.gauge("fabric/queue_tombstones"),
+            states: rec.state_track("fabric/flow"),
         });
         self.rec = rec;
     }
@@ -409,6 +415,9 @@ impl Fabric {
             return; // cancelled
         };
         let path = self.topo.path_links(p.src, p.dst);
+        if let Some(obs) = &self.obs {
+            self.rec.state_enter(obs.states, id.0, "running", now);
+        }
         // Per-hop switching latency: charge it up front by extending the
         // effective start; for the empty path (local copy) the flow
         // completes immediately.
@@ -477,6 +486,7 @@ impl Fabric {
                 .observe(obs.flow_secs, now.since(started).as_secs_f64());
             self.rec
                 .span_args(obs.track, "flow", started, now, &[("bytes", bytes as f64)]);
+            self.rec.state_exit(obs.states, id.0, now);
         }
         self.completions.push(FlowCompletion {
             flow: id,

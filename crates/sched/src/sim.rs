@@ -84,7 +84,7 @@ use harvest_jobs::shuffle::{stage_shuffle_bytes, DEFAULT_BYTES_PER_TASK};
 use harvest_jobs::workload::Workload;
 use harvest_net::{Fabric, NetworkConfig};
 use harvest_sim::engine::EventQueue;
-use harvest_sim::obs::{GaugeId, HistogramId, Recorder, TrackId};
+use harvest_sim::obs::{GaugeId, HistogramId, Recorder, StateTrackId, TrackId};
 use harvest_sim::rng::stream_rng;
 use harvest_sim::{SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -265,10 +265,11 @@ impl<'a> SchedSim<'a> {
 
     /// [`SchedSim::run`] with observability: tick spans (annotated with
     /// changed-disk and occupied-server counts) land on the `sched`
-    /// track, the event-queue depth is gauged each tick, and the fabric
-    /// and disk pool record into child recorders that are absorbed back
-    /// into `rec` at the end, along with `sched/*` counters mirroring
-    /// the run's totals. Recording never changes the trajectory: the
+    /// track, the event-queue depth is gauged each tick, per-stage
+    /// wait states land on the `sched/stage` state track (see
+    /// [`SchedObs::stages`]), and the fabric and disk pool record into
+    /// child recorders that are absorbed back into `rec` at the end,
+    /// along with `sched/*` counters mirroring the run's totals. Recording never changes the trajectory: the
     /// returned [`SimStats`] is bitwise identical to [`SchedSim::run`]'s
     /// (pinned by tests), and nothing is printed.
     pub fn run_recorded(&self, rec: &mut Recorder) -> SimStats {
@@ -285,6 +286,17 @@ struct SchedObs {
     queue_len: GaugeId,
     tick_changed: HistogramId,
     tick_occupied: HistogramId,
+    /// Wait-state track `sched/stage` (entity = `job << 32 | stage`):
+    /// `blocked_on_net`/`blocked_on_disk_read` while the shuffle gate
+    /// is closed, `queued` from gate-open to first placement, `running`
+    /// once a task is placed, `reserve_evicted` from a kill until the
+    /// replacement task lands, exit when the stage's last task
+    /// finishes. Without a data-movement model stages are never gated,
+    /// so they appear as pure `running` intervals.
+    stages: StateTrackId,
+    /// Stages currently marked `running`, so only the first placed task
+    /// (or the first after an eviction) records a transition.
+    stage_running: std::collections::HashSet<u64>,
 }
 
 struct Runner<'a> {
@@ -340,6 +352,8 @@ impl<'a> Runner<'a> {
             queue_len: rec.gauge("sched/queue_len"),
             tick_changed: rec.histogram("sched/tick_changed_disks"),
             tick_occupied: rec.histogram("sched/tick_occupied_servers"),
+            stages: rec.state_track("sched/stage"),
+            stage_running: std::collections::HashSet::new(),
         });
         let n_servers = sim.dc.n_servers();
         let svc = if sim.cfg.policy.uses_history() {
@@ -528,6 +542,9 @@ impl<'a> Runner<'a> {
                         self.in_runnable[job_id] = true;
                         self.runnable.push(job_id);
                     }
+                    if let Some(obs) = &self.obs {
+                        self.rec.state_enter(obs.stages, tag, "queued", now);
+                    }
                     ShuffleGate::Open
                 } else {
                     ShuffleGate::Waiting(left - 1)
@@ -659,6 +676,15 @@ impl<'a> Runner<'a> {
         self.release(server, start, now);
         let job = &mut self.jobs[job_id];
         job.exec.finish_task(stage, now);
+        if let Some(obs) = &mut self.obs {
+            let stage_done =
+                job.exec.pending_tasks(stage) == 0 && job.exec.running_tasks(stage) == 0;
+            if stage_done {
+                let entity = ((job_id as u64) << 32) | stage.0 as u64;
+                obs.stage_running.remove(&entity);
+                self.rec.state_exit(obs.stages, entity, now);
+            }
+        }
         if job.exec.is_complete() && !job.done {
             job.done = true;
             let name = job.exec.job().name.clone();
@@ -825,6 +851,12 @@ impl<'a> Runner<'a> {
         }
         self.total_kills += 1;
         self.kills_per_server[server.0 as usize] += 1;
+        if let Some(obs) = &mut self.obs {
+            let entity = ((job_id as u64) << 32) | stage.0 as u64;
+            obs.stage_running.remove(&entity);
+            self.rec
+                .state_enter(obs.stages, entity, "reserve_evicted", now);
+        }
         self.mark_runnable(job_id);
     }
 
@@ -909,6 +941,12 @@ impl<'a> Runner<'a> {
         self.alloc[server.0 as usize] += CONTAINER;
         self.roster.place(server, cid);
         self.tasks_started += 1;
+        if let Some(obs) = &mut self.obs {
+            let entity = ((j as u64) << 32) | stage.0 as u64;
+            if obs.stage_running.insert(entity) {
+                self.rec.state_enter(obs.stages, entity, "running", now);
+            }
+        }
         self.queue.push(now + duration, Ev::Finish(cid));
         true
     }
@@ -981,6 +1019,17 @@ impl<'a> Runner<'a> {
             }
             ShuffleGate::Waiting(parts)
         };
+        if let Some(obs) = &self.obs {
+            // A stage is born (state-wise) on first gate contact, which
+            // try_place_one guarantees happens before any placement.
+            let entity = ((j as u64) << 32) | stage.0 as u64;
+            let state = match gate {
+                ShuffleGate::Waiting(_) if self.fabric.is_some() => "blocked_on_net",
+                ShuffleGate::Waiting(_) => "blocked_on_disk_read",
+                _ => "queued",
+            };
+            self.rec.state_enter(obs.stages, entity, state, now);
+        }
         self.shuffle_gate[j][stage.0] = gate;
         self.arm_net_wake(now);
         gate

@@ -9,6 +9,7 @@ use std::collections::VecDeque;
 
 use harvest_sim::engine::EventQueue;
 use harvest_sim::metrics::{Percentiles, SortedSamples};
+use harvest_sim::obs::{HistogramId, Recorder, StateTrackId};
 use harvest_sim::{dist, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,7 +50,16 @@ impl ServiceStats {
 
 enum Ev {
     Arrival,
-    Departure { arrived: SimTime },
+    Departure { arrived: SimTime, req: u64 },
+}
+
+/// Metric ids registered when a run's recorder is on.
+struct ServiceObs {
+    /// Wait-state track `service/request` (entity = arrival index):
+    /// `queued` from arrival to dispatch — zero-length when a thread
+    /// is free — then `running` until departure.
+    states: StateTrackId,
+    sojourn_secs: HistogramId,
 }
 
 impl SearchServer {
@@ -68,16 +78,42 @@ impl SearchServer {
     ///
     /// Panics if `rho` is not positive or the server has no threads.
     pub fn run(&self, rho: f64, n_requests: u64, seed: u64) -> ServiceStats {
+        let mut rec = Recorder::off();
+        self.run_recorded(rho, n_requests, seed, &mut rec)
+    }
+
+    /// [`SearchServer::run`] with observability: each request's wait
+    /// states land on the `service/request` state track (see
+    /// [`ServiceObs::states`]) and sojourn times are sampled into
+    /// `service/sojourn_secs`. Recording never changes the run: the
+    /// returned stats are identical to [`SearchServer::run`]'s (pinned
+    /// by tests), and nothing is printed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is not positive or the server has no threads.
+    pub fn run_recorded(
+        &self,
+        rho: f64,
+        n_requests: u64,
+        seed: u64,
+        rec: &mut Recorder,
+    ) -> ServiceStats {
         assert!(rho > 0.0, "offered load must be positive");
         assert!(self.threads > 0, "server has no threads");
         let mut rng = StdRng::seed_from_u64(seed);
         let service_rate = 1.0 / self.mean_service.as_secs_f64();
         let arrival_rate = rho * self.threads as f64 * service_rate;
+        let obs = rec.is_on().then(|| ServiceObs {
+            states: rec.state_track("service/request"),
+            sojourn_secs: rec.histogram("service/sojourn_secs"),
+        });
 
         let mut queue: EventQueue<Ev> = EventQueue::new();
-        let mut waiting: VecDeque<SimTime> = VecDeque::new();
+        let mut waiting: VecDeque<(SimTime, u64)> = VecDeque::new();
         let mut busy = 0u32;
         let mut completed = 0u64;
+        let mut next_req = 0u64;
         let mut percentiles = Percentiles::new();
 
         let first = SimDuration::from_secs_f64(dist::exponential(&mut rng, arrival_rate));
@@ -93,20 +129,35 @@ impl SearchServer {
                             SimDuration::from_secs_f64(dist::exponential(&mut rng, arrival_rate));
                         queue.push(now + gap, Ev::Arrival);
                     }
+                    let req = next_req;
+                    next_req += 1;
+                    if let Some(obs) = &obs {
+                        rec.state_enter(obs.states, req, "queued", now);
+                    }
                     if busy < self.threads {
                         busy += 1;
+                        if let Some(obs) = &obs {
+                            rec.state_enter(obs.states, req, "running", now);
+                        }
                         let s =
                             SimDuration::from_secs_f64(dist::exponential(&mut rng, service_rate));
-                        queue.push(now + s, Ev::Departure { arrived: now });
+                        queue.push(now + s, Ev::Departure { arrived: now, req });
                     } else {
-                        waiting.push_back(now);
+                        waiting.push_back((now, req));
                     }
                 }
-                Ev::Departure { arrived } => {
+                Ev::Departure { arrived, req } => {
                     completed += 1;
                     percentiles.push(now.since(arrived).as_secs_f64());
+                    if let Some(obs) = &obs {
+                        rec.observe(obs.sojourn_secs, now.since(arrived).as_secs_f64());
+                        rec.state_exit(obs.states, req, now);
+                    }
                     match waiting.pop_front() {
-                        Some(arrived_next) => {
+                        Some((arrived_next, req_next)) => {
+                            if let Some(obs) = &obs {
+                                rec.state_enter(obs.states, req_next, "running", now);
+                            }
                             let s = SimDuration::from_secs_f64(dist::exponential(
                                 &mut rng,
                                 service_rate,
@@ -115,6 +166,7 @@ impl SearchServer {
                                 now + s,
                                 Ev::Departure {
                                     arrived: arrived_next,
+                                    req: req_next,
                                 },
                             );
                         }
@@ -209,6 +261,19 @@ mod tests {
             prev_sim = sim_p99;
             prev_model = model_p99;
         }
+    }
+
+    #[test]
+    fn recording_does_not_change_the_run() {
+        let s = SearchServer::lucene_like();
+        let plain = s.run(0.9, 5_000, 7);
+        let mut rec = Recorder::new("svc");
+        let recorded = s.run_recorded(0.9, 5_000, 7, &mut rec);
+        assert_eq!(plain.completed, recorded.completed);
+        assert_eq!(plain.p99_ms(), recorded.p99_ms());
+        assert_eq!(plain.mean_ms(), recorded.mean_ms());
+        let trace = rec.chrome_trace_json();
+        assert!(trace.contains("service/request"), "state track exported");
     }
 
     #[test]

@@ -30,7 +30,17 @@
 //! * span — one fixed-size record (name pointer, two timestamps, up to
 //!   two inline key/value args; no per-span allocation), capped at
 //!   [`MAX_SPANS`] recorder-wide with drops counted in the exported
-//!   `obs/spans_dropped` counter — never silently truncated.
+//!   `obs/spans_dropped` counter — never silently truncated;
+//! * state transition ([`Recorder::state_enter`] /
+//!   [`Recorder::state_exit`], the wait-state hooks behind the
+//!   [`analyze`] blame tables) — one fixed-size record (entity id,
+//!   timestamp, interned state index; state names are `&'static str`
+//!   interned by a short linear scan, no allocation per event), capped
+//!   at [`MAX_TRANSITIONS`] recorder-wide with drops counted in the
+//!   exported `transitions_dropped` field. Off-path a state hook is
+//!   the same single null branch as every other record method, and
+//!   engines keep whole wait-state blocks behind their one
+//!   `Option<ObsIds>` check.
 //!
 //! # Determinism
 //!
@@ -45,9 +55,13 @@
 //! Engines own a child recorder ([`Recorder::child`], on iff the
 //! parent is on) for the duration of a run and hand it back through
 //! [`Recorder::absorb`], which merges by metric name: counters sum,
-//! gauges merge, histogram sketches merge, span tracks concatenate.
-//! Subsystems namespace their metrics themselves
-//! (`"fabric/reshares"`, `"disk/parks"`, …).
+//! gauges merge, histogram sketches merge, span tracks concatenate, and
+//! state tracks concatenate with the child's entity namespaces shifted
+//! past the parent's (each [`Recorder::state_track`] registration —
+//! local or absorbed — owns a disjoint entity namespace, so engines can
+//! number entities from 0 without colliding in [`analyze`]). Subsystems
+//! namespace their metrics themselves (`"fabric/reshares"`,
+//! `"disk/parks"`, …).
 //!
 //! # Exporters
 //!
@@ -59,6 +73,15 @@
 //! * [`Recorder::metrics_json`] — a machine-readable run report
 //!   (counters, gauge envelopes, histogram quantiles), parseable with
 //!   the no-dependency [`json`] module below.
+//!
+//! State transitions export into the Chrome trace as balanced async
+//! begin/end pairs (`ph` `b`/`e`, `cat` `"state"`, the entity id as the
+//! async `id`), one Perfetto thread per state track; [`analyze`] folds
+//! them — from a live recorder or a written trace file — into
+//! per-entity per-state sim-time totals with an exact conservation
+//! check and a critical-path blame summary.
+
+pub mod analyze;
 
 use std::collections::HashMap;
 
@@ -73,6 +96,11 @@ pub const SERIES_CAP: usize = 4_096;
 /// Recorder-wide span budget across all sim-time tracks; spans past it
 /// are counted in the exported `obs/spans_dropped` counter.
 pub const MAX_SPANS: usize = 1_000_000;
+
+/// Recorder-wide state-transition budget across all state tracks;
+/// transitions past it are counted in the exported
+/// `transitions_dropped` field.
+pub const MAX_TRANSITIONS: usize = 1_000_000;
 
 /// Inline key/value slots per span (changed/occupied is the widest
 /// annotation any engine records).
@@ -97,6 +125,61 @@ pub struct HistogramId(u32);
 /// Handle to a registered sim-time span track.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrackId(u32);
+
+/// Handle to a registered wait-state track. Each registration of the
+/// same name gets the same track but a distinct entity namespace (see
+/// [`Recorder::state_track`]), so two engine instances whose local
+/// entity counters both start at 0 never collide on the shared track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateTrackId {
+    track: u32,
+    salt: u64,
+}
+
+/// Bits of an entity id below the instance salt. Engine-local entity
+/// ids (stream/flow/repair/request counters, `job << 32 | stage` tags)
+/// must fit in 48 bits; ids are masked to that width before salting.
+const ENTITY_SALT_SHIFT: u32 = 48;
+
+/// Mask keeping the engine-local bits of an entity id.
+const ENTITY_MASK: u64 = (1 << ENTITY_SALT_SHIFT) - 1;
+
+/// State index meaning "the entity left its last state" (lifetime end).
+const EXIT_STATE: u32 = u32::MAX;
+
+/// One wait-state transition: `entity` enters the state named
+/// `states[state]` at `at_ms` (implicitly leaving its previous state),
+/// or — with `state == EXIT_STATE` — ends its lifetime.
+#[derive(Debug, Clone, Copy)]
+struct Transition {
+    entity: u64,
+    at_ms: u64,
+    state: u32,
+}
+
+/// A named lane of per-entity wait-state transitions (one Perfetto
+/// async-event thread on pid 1). State names are interned per track —
+/// the vocabulary is small (`queued`, `running`, `blocked_on_net`, …)
+/// so a linear scan beats a map.
+#[derive(Debug, Default)]
+struct StateTrack {
+    states: Vec<&'static str>,
+    transitions: Vec<Transition>,
+    /// Registrations handed out for this track — the next instance's
+    /// entity-namespace salt. Bumped by [`Recorder::state_track`] and
+    /// by [`Recorder::absorb`] when merging a child's same-name track.
+    instances: u64,
+}
+
+impl StateTrack {
+    fn intern_state(&mut self, name: &'static str) -> u32 {
+        if let Some(i) = self.states.iter().position(|s| *s == name) {
+            return i as u32;
+        }
+        self.states.push(name);
+        (self.states.len() - 1) as u32
+    }
+}
 
 /// One sim-time span: `[start_ms, end_ms]` with up to two inline args.
 /// `end == start` exports as an instant event.
@@ -255,9 +338,12 @@ struct Inner {
     gauges: Registry<Gauge>,
     hists: Registry<QuantileSketch>,
     tracks: Registry<Track>,
+    states: Registry<StateTrack>,
     wall: Vec<WallTrack>,
     spans_total: usize,
     spans_dropped: u64,
+    transitions_total: usize,
+    transitions_dropped: u64,
 }
 
 impl Inner {
@@ -268,9 +354,12 @@ impl Inner {
             gauges: Registry::new(),
             hists: Registry::new(),
             tracks: Registry::new(),
+            states: Registry::new(),
             wall: Vec::new(),
             spans_total: 0,
             spans_dropped: 0,
+            transitions_total: 0,
+            transitions_dropped: 0,
         }
     }
 
@@ -359,11 +448,34 @@ impl Recorder {
                 .spans
                 .extend_from_slice(&t.spans);
         }
+        for (name, st) in c.states.names.iter().zip(&c.states.items) {
+            let id = inner.states.intern(name, StateTrack::default);
+            let dst = inner.states.get_mut(id).expect("interned");
+            let remap: Vec<u32> = st.states.iter().map(|s| dst.intern_state(s)).collect();
+            // Shift the child's entity namespaces above the parent's:
+            // the child salted from 0 too, and entity ids compose as
+            // `salt << SHIFT | local`, so one additive bump keeps every
+            // child instance disjoint from every parent instance.
+            let rebase = dst.instances << ENTITY_SALT_SHIFT;
+            dst.instances += st.instances;
+            dst.transitions
+                .extend(st.transitions.iter().map(|t| Transition {
+                    entity: t.entity.wrapping_add(rebase),
+                    state: if t.state == EXIT_STATE {
+                        EXIT_STATE
+                    } else {
+                        remap[t.state as usize]
+                    },
+                    ..*t
+                }));
+        }
         for t in c.wall {
             inner.wall_track_mut(&t.name).spans.extend(t.spans);
         }
         inner.spans_total += c.spans_total;
         inner.spans_dropped += c.spans_dropped;
+        inner.transitions_total += c.transitions_total;
+        inner.transitions_dropped += c.transitions_dropped;
     }
 
     /// Registers (or finds) a counter. Returns a dummy id when off.
@@ -397,6 +509,70 @@ impl Recorder {
             Some(i) => TrackId(i.tracks.intern(name, Track::default)),
             None => TrackId(OFF),
         }
+    }
+
+    /// Registers a wait-state track. Same-name registrations share one
+    /// exported track but each call claims a fresh entity namespace:
+    /// two engine instances (say, the showcase disk pool and the pool
+    /// inside a reimage storm) can both number their streams from 0
+    /// without their lifetimes merging in analysis. Returns a dummy id
+    /// when off.
+    pub fn state_track(&mut self, name: &str) -> StateTrackId {
+        match &mut self.inner {
+            Some(i) => {
+                let idx = i.states.intern(name, StateTrack::default);
+                let t = i.states.get_mut(idx).expect("interned");
+                let salt = t.instances;
+                t.instances += 1;
+                StateTrackId { track: idx, salt }
+            }
+            None => StateTrackId {
+                track: OFF,
+                salt: 0,
+            },
+        }
+    }
+
+    /// Records `entity` entering `state` at `at`, implicitly leaving
+    /// whatever state it was in. The first enter opens the entity's
+    /// lifetime.
+    #[inline]
+    pub fn state_enter(&mut self, id: StateTrackId, entity: u64, state: &'static str, at: SimTime) {
+        let Some(inner) = &mut self.inner else { return };
+        if inner.transitions_total >= MAX_TRANSITIONS {
+            inner.transitions_dropped += 1;
+            return;
+        }
+        let Some(t) = inner.states.get_mut(id.track) else {
+            return;
+        };
+        let state = t.intern_state(state);
+        t.transitions.push(Transition {
+            entity: (id.salt << ENTITY_SALT_SHIFT) | (entity & ENTITY_MASK),
+            at_ms: at.as_millis(),
+            state,
+        });
+        inner.transitions_total += 1;
+    }
+
+    /// Records `entity` leaving its current state at `at`, closing its
+    /// lifetime (until a later [`Recorder::state_enter`] reopens it).
+    #[inline]
+    pub fn state_exit(&mut self, id: StateTrackId, entity: u64, at: SimTime) {
+        let Some(inner) = &mut self.inner else { return };
+        if inner.transitions_total >= MAX_TRANSITIONS {
+            inner.transitions_dropped += 1;
+            return;
+        }
+        let Some(t) = inner.states.get_mut(id.track) else {
+            return;
+        };
+        t.transitions.push(Transition {
+            entity: (id.salt << ENTITY_SALT_SHIFT) | (entity & ENTITY_MASK),
+            at_ms: at.as_millis(),
+            state: EXIT_STATE,
+        });
+        inner.transitions_total += 1;
     }
 
     /// Adds `delta` to a counter.
@@ -526,6 +702,27 @@ impl Recorder {
                     ev.push(span_event(1, tid, s));
                 }
             }
+            // Wait-state tracks: one async-event thread per track after
+            // the span threads, each closed state interval a balanced
+            // `b`/`e` pair keyed by the entity id. Intervals still open
+            // at export (an entity never exited) are dropped — engines
+            // exit every entity they enter.
+            let n_span_tracks = inner.tracks.names.len() as u64;
+            for (sidx, (name, st)) in inner.states.sorted().into_iter().enumerate() {
+                let tid = n_span_tracks + 1 + sidx as u64;
+                ev.push(meta_event(1, tid, "thread_name", name));
+                let mut open: HashMap<u64, (u32, u64)> = HashMap::new();
+                for tr in &st.transitions {
+                    if let Some((state, since)) = open.remove(&tr.entity) {
+                        let sname = st.states[state as usize];
+                        ev.push(state_event("b", tid, tr.entity, sname, since));
+                        ev.push(state_event("e", tid, tr.entity, sname, tr.at_ms));
+                    }
+                    if tr.state != EXIT_STATE {
+                        open.insert(tr.entity, (tr.state, tr.at_ms));
+                    }
+                }
+            }
             // Gauge series as Perfetto counter tracks on the sim-time
             // process.
             for (name, g) in inner.gauges.sorted() {
@@ -569,6 +766,10 @@ impl Recorder {
         out.push_str(&format!(
             "  \"spans_recorded\": {},\n  \"spans_dropped\": {},\n",
             inner.spans_total, inner.spans_dropped
+        ));
+        out.push_str(&format!(
+            "  \"transitions_recorded\": {},\n  \"transitions_dropped\": {},\n",
+            inner.transitions_total, inner.transitions_dropped
         ));
 
         let counters: Vec<String> = inner
@@ -633,8 +834,19 @@ impl Recorder {
             .map(|(n, t)| format!("    {}: {}", jstr(n), t.spans.len()))
             .collect();
         out.push_str(&format!(
-            "  \"tracks\": {{\n{}\n  }}\n}}\n",
+            "  \"tracks\": {{\n{}\n  }},\n",
             tracks.join(",\n")
+        ));
+
+        let states: Vec<String> = inner
+            .states
+            .sorted()
+            .into_iter()
+            .map(|(n, t)| format!("    {}: {}", jstr(n), t.transitions.len()))
+            .collect();
+        out.push_str(&format!(
+            "  \"state_tracks\": {{\n{}\n  }}\n}}\n",
+            states.join(",\n")
         ));
         out
     }
@@ -645,6 +857,16 @@ fn meta_event(pid: u64, tid: u64, kind: &str, name: &str) -> String {
         "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":{},\"args\":{{\"name\":{}}}}}",
         jstr(kind),
         jstr(name)
+    )
+}
+
+/// One async state event (`ph` `b` or `e`): the entity id doubles as
+/// the async id so viewers and [`analyze`] pair begins with ends.
+fn state_event(ph: &str, tid: u64, entity: u64, state: &str, t_ms: u64) -> String {
+    format!(
+        "{{\"ph\":\"{ph}\",\"cat\":\"state\",\"pid\":1,\"tid\":{tid},\"id\":\"0x{entity:x}\",\"name\":{},\"ts\":{}}}",
+        jstr(state),
+        t_ms * 1_000
     )
 }
 
@@ -763,11 +985,17 @@ pub mod json {
         }
     }
 
+    /// Deepest container nesting [`parse`] accepts. Recursive descent
+    /// burns one stack frame per level, so an adversarially nested
+    /// document must error out long before the thread's stack does
+    /// (the exporters themselves never nest past ~4).
+    pub const MAX_DEPTH: usize = 512;
+
     /// Parses one JSON document (trailing whitespace allowed).
     pub fn parse(text: &str) -> Result<Value, String> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let v = parse_value(bytes, &mut pos)?;
+        let v = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing garbage at byte {pos}"));
@@ -790,12 +1018,15 @@ pub mod json {
         }
     }
 
-    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+        }
         skip_ws(b, pos);
         match b.get(*pos) {
             None => Err("unexpected end of input".to_string()),
-            Some(b'{') => parse_obj(b, pos),
-            Some(b'[') => parse_arr(b, pos),
+            Some(b'{') => parse_obj(b, pos, depth),
+            Some(b'[') => parse_arr(b, pos, depth),
             Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
             Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
             Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
@@ -847,13 +1078,31 @@ pub mod json {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = b
-                                .get(*pos + 1..*pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            let hex4 = |b: &[u8], at: usize| {
+                                b.get(at..at + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            };
+                            let mut code = hex4(b, *pos + 1)
                                 .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
-                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
                             *pos += 4;
+                            // A high surrogate followed by an escaped
+                            // low surrogate decodes as one supplementary
+                            // character (how JSON spells e.g. emoji);
+                            // unpaired surrogates fall through to the
+                            // replacement character below.
+                            if (0xD800..=0xDBFF).contains(&code)
+                                && b.get(*pos + 1) == Some(&b'\\')
+                                && b.get(*pos + 2) == Some(&b'u')
+                            {
+                                if let Some(lo) = hex4(b, *pos + 3) {
+                                    if (0xDC00..=0xDFFF).contains(&lo) {
+                                        code = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                        *pos += 6;
+                                    }
+                                }
+                            }
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         }
                         _ => return Err(format!("bad escape at byte {pos}")),
                     }
@@ -878,7 +1127,7 @@ pub mod json {
         }
     }
 
-    fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    fn parse_arr(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
         expect(b, pos, b'[')?;
         let mut items = Vec::new();
         skip_ws(b, pos);
@@ -887,7 +1136,7 @@ pub mod json {
             return Ok(Value::Arr(items));
         }
         loop {
-            items.push(parse_value(b, pos)?);
+            items.push(parse_value(b, pos, depth + 1)?);
             skip_ws(b, pos);
             match b.get(*pos) {
                 Some(b',') => *pos += 1,
@@ -900,7 +1149,7 @@ pub mod json {
         }
     }
 
-    fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    fn parse_obj(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
         expect(b, pos, b'{')?;
         let mut members = Vec::new();
         skip_ws(b, pos);
@@ -913,7 +1162,7 @@ pub mod json {
             let key = parse_string(b, pos)?;
             skip_ws(b, pos);
             expect(b, pos, b':')?;
-            members.push((key, parse_value(b, pos)?));
+            members.push((key, parse_value(b, pos, depth + 1)?));
             skip_ws(b, pos);
             match b.get(*pos) {
                 Some(b',') => *pos += 1,
@@ -1098,6 +1347,143 @@ mod tests {
         assert!(json::parse("{\"a\": }").is_err());
         assert!(json::parse("[1, 2").is_err());
         assert!(json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn state_tracks_export_balanced_pairs() {
+        let mut r = Recorder::new("st");
+        let st = r.state_track("fabric/flow");
+        r.state_enter(st, 7, "queued", SimTime::from_millis(10));
+        r.state_enter(st, 7, "running", SimTime::from_millis(25));
+        r.state_exit(st, 7, SimTime::from_millis(40));
+        let doc = json::parse(&r.chrome_trace_json()).expect("parses");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let state_events: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Value::as_str) == Some("state"))
+            .collect();
+        // Two closed intervals, each a b/e pair.
+        assert_eq!(state_events.len(), 4);
+        let phs: Vec<&str> = state_events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phs, ["b", "e", "b", "e"]);
+        let first = state_events[0];
+        assert_eq!(first.get("name").unwrap().as_str(), Some("queued"));
+        assert_eq!(first.get("id").unwrap().as_str(), Some("0x7"));
+        assert_eq!(first.get("ts").unwrap().as_f64(), Some(10_000.0));
+        assert_eq!(state_events[1].get("ts").unwrap().as_f64(), Some(25_000.0));
+        // The metrics report counts the transitions.
+        let m = json::parse(&r.metrics_json()).expect("parses");
+        assert_eq!(m.get("transitions_recorded").unwrap().as_f64(), Some(3.0));
+        let stt = m.get("state_tracks").unwrap().get("fabric/flow").unwrap();
+        assert_eq!(stt.as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn state_tracks_absorb_with_remapped_names() {
+        let mut parent = Recorder::new("p");
+        let ps = parent.state_track("disk/stream");
+        parent.state_enter(ps, 1, "running", SimTime::from_millis(0));
+        parent.state_exit(ps, 1, SimTime::from_millis(5));
+        let mut child = parent.child();
+        let cs = child.state_track("disk/stream");
+        // Child interns in a different order; absorb must remap.
+        child.state_enter(cs, 2, "throttle_parked", SimTime::from_millis(1));
+        child.state_enter(cs, 2, "running", SimTime::from_millis(3));
+        child.state_exit(cs, 2, SimTime::from_millis(9));
+        parent.absorb(child);
+        let a = analyze::analyze_recorder(&parent).expect("analyzes");
+        assert_eq!(a.states.len(), 1);
+        let sb = &a.states[0];
+        assert_eq!(sb.entities, 2);
+        assert_eq!(sb.conserved, 2);
+        let running = sb
+            .by_state
+            .iter()
+            .find(|(s, _)| s == "running")
+            .map(|(_, us)| *us);
+        assert_eq!(running, Some(11_000), "5 ms + 6 ms of running");
+    }
+
+    #[test]
+    fn state_track_registrations_get_disjoint_entity_namespaces() {
+        // Two engine instances both number their entities from 0 — one
+        // shared track, but the lifetimes must not merge: the second
+        // registration's entity 0 is a different entity. Same again for
+        // a child recorder (its own namespaces) after absorb.
+        let mut rec = Recorder::new("t");
+        let a = rec.state_track("disk/stream");
+        let b = rec.state_track("disk/stream");
+        rec.state_enter(a, 0, "running", SimTime::from_millis(0));
+        rec.state_exit(a, 0, SimTime::from_millis(10));
+        rec.state_enter(b, 0, "running", SimTime::from_millis(50));
+        rec.state_exit(b, 0, SimTime::from_millis(60));
+        let mut child = rec.child();
+        let c = child.state_track("disk/stream");
+        child.state_enter(c, 0, "running", SimTime::from_millis(100));
+        child.state_exit(c, 0, SimTime::from_millis(110));
+        rec.absorb(child);
+        let an = analyze::analyze_recorder(&rec).expect("analyzes");
+        let sb = &an.states[0];
+        assert_eq!(sb.entities, 3, "instances must not share entity ids");
+        assert_eq!(sb.conserved, 3, "a merged lifetime would have gaps");
+        assert_eq!(sb.lifetime_us, 30_000);
+    }
+
+    #[test]
+    fn off_state_hooks_are_inert() {
+        let mut r = Recorder::off();
+        let st = r.state_track("x");
+        r.state_enter(st, 1, "queued", SimTime::ZERO);
+        r.state_exit(st, 1, SimTime::from_secs(1));
+        json::parse(&r.chrome_trace_json()).expect("off trace parses");
+    }
+
+    #[test]
+    fn transition_cap_drops_are_counted() {
+        let mut r = Recorder::new("cap");
+        let st = r.state_track("x");
+        for i in 0..(MAX_TRANSITIONS + 6) as u64 {
+            r.state_enter(st, i, "running", SimTime::from_millis(i));
+        }
+        let inner = r.inner.as_ref().unwrap();
+        assert_eq!(inner.transitions_total, MAX_TRANSITIONS);
+        assert_eq!(inner.transitions_dropped, 6);
+        let doc = json::parse(&r.metrics_json()).expect("parses");
+        assert_eq!(doc.get("transitions_dropped").unwrap().as_f64(), Some(6.0));
+    }
+
+    #[test]
+    fn json_parser_decodes_surrogate_pairs() {
+        // U+1F600 as a JSON surrogate pair.
+        let doc = json::parse("{\"s\": \"\\uD83D\\uDE00!\"}").expect("parses");
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("😀!"));
+        // Unpaired surrogates degrade to the replacement character.
+        let doc = json::parse("{\"s\": \"\\uD83Dx\"}").expect("parses");
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("\u{fffd}x"));
+        // Raw multi-byte UTF-8 still round-trips through jstr.
+        let quoted = super::jstr("流量/фабрика");
+        let doc = json::parse(&quoted).expect("parses");
+        assert_eq!(doc.as_str(), Some("流量/фабрика"));
+    }
+
+    #[test]
+    fn json_parser_bounds_nesting_depth() {
+        let deep_ok = format!(
+            "{}1{}",
+            "[".repeat(json::MAX_DEPTH),
+            "]".repeat(json::MAX_DEPTH)
+        );
+        json::parse(&deep_ok).expect("at the limit parses");
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(json::MAX_DEPTH + 1),
+            "]".repeat(json::MAX_DEPTH + 1)
+        );
+        let err = json::parse(&too_deep).expect_err("past the limit errors");
+        assert!(err.contains("nesting"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,609 @@
+//! Blame attribution and critical-path analysis over recorded traces:
+//! "where did the time go".
+//!
+//! [`super::Recorder`] (PR 6) captures raw spans and wait-state
+//! transitions; this module folds them into the attribution the
+//! paper's §6–§7 analyses are made of — how much of a makespan or a
+//! storm recovery was compute, wire, platter, or queue wait. It works
+//! from either side of the export boundary:
+//!
+//! * [`analyze_trace_text`] — a written `--trace-out` file, via the
+//!   in-repo [`super::json`] parser (the `repro analyze` path);
+//! * [`analyze_recorder`] — a live recorder, by round-tripping through
+//!   [`super::Recorder::chrome_trace_json`] so both paths exercise the
+//!   same folding code and can never drift apart.
+//!
+//! # What it computes
+//!
+//! **Per span track** (pid 1 `X` events): the makespan (first start to
+//! last end), the total busy time per span name, and the **critical
+//! path** — walking backward from the latest-ending span, repeatedly
+//! prepending the latest-ending span that finishes at or before the
+//! current one starts. The chosen spans are pairwise disjoint and all
+//! inside the makespan window, so the critical-path length is ≤ the
+//! makespan *by construction*; the gap between them is time no span on
+//! the track covers (queue/idle wait).
+//!
+//! **Per state track** (`cat:"state"` async `b`/`e` pairs): per-entity
+//! per-state sim-time totals, with a **conservation check** — each
+//! entity's state durations must sum exactly to its lifetime (last
+//! exit minus first enter). Sim time is integer milliseconds (exported
+//! as integer microseconds), and [`super::Recorder::state_enter`]
+//! closes the previous state at the instant the next one opens, so the
+//! check is exact integer equality: no float epsilon, no ulp tolerance
+//! needed. The same backward walk over entity lifetimes yields the
+//! track's critical chain, and the chain's time is attributed by state
+//! — the "makespan = 44% compute, 31% shuffle wire, 17% disk fetch,
+//! 8% queue wait" summary.
+
+use std::collections::HashMap;
+
+use super::json::{self, Value};
+use super::Recorder;
+
+/// Blame summary of one sim-time span track.
+#[derive(Debug, Clone)]
+pub struct SpanTrackBlame {
+    /// Track (Perfetto thread) name.
+    pub name: String,
+    /// Number of complete spans on the track.
+    pub spans: usize,
+    /// First span start to last span end, in µs of sim time.
+    pub makespan_us: u64,
+    /// Summed duration of the critical chain (≤ `makespan_us` by
+    /// construction).
+    pub critical_us: u64,
+    /// Total span µs per span name, descending.
+    pub by_name: Vec<(String, u64)>,
+}
+
+/// Blame summary of one wait-state track.
+#[derive(Debug, Clone)]
+pub struct StateTrackBlame {
+    /// Track name.
+    pub name: String,
+    /// Distinct entities seen.
+    pub entities: usize,
+    /// Entities whose per-state durations sum *exactly* (integer µs)
+    /// to their lifetime.
+    pub conserved: usize,
+    /// Summed entity lifetimes, µs.
+    pub lifetime_us: u64,
+    /// Total µs per state across all entities, descending.
+    pub by_state: Vec<(String, u64)>,
+    /// Earliest entity birth to latest entity exit, µs.
+    pub makespan_us: u64,
+    /// Summed lifetime of the critical chain of entities
+    /// (≤ `makespan_us` by construction).
+    pub critical_us: u64,
+    /// The critical chain's µs attributed by state, descending.
+    pub critical_by_state: Vec<(String, u64)>,
+}
+
+impl StateTrackBlame {
+    /// One-line blame split over the track's total lifetime, e.g.
+    /// `"52.1% running, 31.0% blocked_on_net, 16.9% queued"` — the
+    /// compact form experiment notes embed.
+    pub fn blame_line(&self) -> String {
+        if self.lifetime_us == 0 {
+            return "no state time recorded".to_string();
+        }
+        self.by_state
+            .iter()
+            .map(|(s, us)| format!("{} {s}", pct(*us, self.lifetime_us)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Everything [`analyze_trace_text`] extracts from one trace.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Span-track summaries, in track-name order.
+    pub spans: Vec<SpanTrackBlame>,
+    /// State-track summaries, in track-name order.
+    pub states: Vec<StateTrackBlame>,
+}
+
+impl Analysis {
+    /// Whether every entity on every state track passed the exact
+    /// conservation check.
+    pub fn conserved(&self) -> bool {
+        self.states.iter().all(|s| s.conserved == s.entities)
+    }
+
+    /// Renders the blame tables as plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== blame ==\n");
+        for t in &self.spans {
+            out.push_str(&format!(
+                "track {}: {} spans, makespan {}, critical path {} ({})\n",
+                t.name,
+                t.spans,
+                secs(t.makespan_us),
+                secs(t.critical_us),
+                pct(t.critical_us, t.makespan_us),
+            ));
+            for (name, us) in &t.by_name {
+                out.push_str(&format!(
+                    "    {name:<24} {:>10} busy ({} of makespan)\n",
+                    secs(*us),
+                    pct(*us, t.makespan_us)
+                ));
+            }
+        }
+        for t in &self.states {
+            out.push_str(&format!(
+                "states {}: {} entities, lifetime {}, conservation {}/{} exact\n",
+                t.name,
+                t.entities,
+                secs(t.lifetime_us),
+                t.conserved,
+                t.entities,
+            ));
+            for (state, us) in &t.by_state {
+                out.push_str(&format!(
+                    "    {state:<24} {:>10} ({} of lifetime)\n",
+                    secs(*us),
+                    pct(*us, t.lifetime_us)
+                ));
+            }
+            let chain: Vec<String> = t
+                .critical_by_state
+                .iter()
+                .map(|(s, us)| format!("{} {s}", pct(*us, t.makespan_us)))
+                .collect();
+            out.push_str(&format!(
+                "    critical path {} of {} makespan = {}\n",
+                secs(t.critical_us),
+                secs(t.makespan_us),
+                if chain.is_empty() {
+                    "-".to_string()
+                } else {
+                    chain.join(", ")
+                }
+            ));
+        }
+        if self.spans.is_empty() && self.states.is_empty() {
+            out.push_str("(trace has no sim-time spans or state tracks)\n");
+        }
+        out
+    }
+}
+
+/// Parses a Chrome-trace JSON document and computes the blame tables.
+pub fn analyze_trace_text(text: &str) -> Result<Analysis, String> {
+    let doc = json::parse(text)?;
+    analyze_trace(&doc)
+}
+
+/// [`analyze_trace_text`] over a live recorder, by round-tripping its
+/// own Chrome-trace export (one folding code path for both the live
+/// and the file-based entry). Off recorders yield an empty analysis.
+pub fn analyze_recorder(rec: &Recorder) -> Result<Analysis, String> {
+    analyze_trace_text(&rec.chrome_trace_json())
+}
+
+/// One complete span pulled off a pid-1 track.
+#[derive(Debug, Clone)]
+struct RawSpan {
+    name: String,
+    start_us: u64,
+    end_us: u64,
+}
+
+/// One closed state interval of one entity.
+#[derive(Debug, Clone)]
+struct RawInterval {
+    state: String,
+    start_us: u64,
+    end_us: u64,
+}
+
+fn analyze_trace(doc: &Value) -> Result<Analysis, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("trace lacks a traceEvents array")?;
+
+    let fstr = |e: &Value, k: &str| e.get(k).and_then(Value::as_str).map(str::to_string);
+    let fnum = |e: &Value, k: &str| e.get(k).and_then(Value::as_f64);
+
+    // tid → thread name (pid 1 only; wall-time tracks are wall clock,
+    // not sim time, and get no blame rows).
+    let mut names: HashMap<u64, String> = HashMap::new();
+    let mut spans: HashMap<u64, Vec<RawSpan>> = HashMap::new();
+    // (tid, entity) → open (state, start); closed intervals per tid.
+    let mut open: HashMap<(u64, u64), (String, u64)> = HashMap::new();
+    let mut intervals: HashMap<u64, Vec<(u64, RawInterval)>> = HashMap::new();
+
+    for e in events {
+        if fnum(e, "pid") != Some(1.0) {
+            continue;
+        }
+        let tid = fnum(e, "tid").unwrap_or(0.0) as u64;
+        match fstr(e, "ph").as_deref() {
+            Some("M") if fstr(e, "name").as_deref() == Some("thread_name") => {
+                if let Some(n) = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                {
+                    names.insert(tid, n.to_string());
+                }
+            }
+            Some("X") => {
+                let (Some(name), Some(ts), Some(dur)) =
+                    (fstr(e, "name"), fnum(e, "ts"), fnum(e, "dur"))
+                else {
+                    return Err("X event lacks name/ts/dur".to_string());
+                };
+                spans.entry(tid).or_default().push(RawSpan {
+                    name,
+                    start_us: ts as u64,
+                    end_us: (ts + dur) as u64,
+                });
+            }
+            Some(ph @ ("b" | "e")) if fstr(e, "cat").as_deref() == Some("state") => {
+                let (Some(state), Some(ts), Some(id)) =
+                    (fstr(e, "name"), fnum(e, "ts"), fstr(e, "id"))
+                else {
+                    return Err("state event lacks name/ts/id".to_string());
+                };
+                let entity = u64::from_str_radix(id.trim_start_matches("0x"), 16)
+                    .map_err(|_| format!("bad state entity id {id:?}"))?;
+                if ph == "b" {
+                    if open.insert((tid, entity), (state, ts as u64)).is_some() {
+                        return Err(format!(
+                            "unbalanced state events: entity {entity} re-entered \
+                             without leaving (track tid {tid})"
+                        ));
+                    }
+                } else {
+                    let Some((opened, start)) = open.remove(&(tid, entity)) else {
+                        return Err(format!(
+                            "unbalanced state events: entity {entity} exited \
+                             {state:?} it never entered (track tid {tid})"
+                        ));
+                    };
+                    if opened != state {
+                        return Err(format!(
+                            "state mismatch for entity {entity}: entered {opened:?}, \
+                             exited {state:?}"
+                        ));
+                    }
+                    intervals.entry(tid).or_default().push((
+                        entity,
+                        RawInterval {
+                            state,
+                            start_us: start,
+                            end_us: ts as u64,
+                        },
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some((&(tid, entity), _)) = open.iter().next() {
+        return Err(format!(
+            "unbalanced state events: entity {entity} never exited (track tid {tid})"
+        ));
+    }
+
+    let track_name = |tid: u64, names: &HashMap<u64, String>| {
+        names
+            .get(&tid)
+            .cloned()
+            .unwrap_or_else(|| format!("tid {tid}"))
+    };
+
+    let mut span_blames: Vec<SpanTrackBlame> = Vec::new();
+    for (tid, list) in spans {
+        span_blames.push(span_track_blame(track_name(tid, &names), list));
+    }
+    span_blames.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let mut state_blames: Vec<StateTrackBlame> = Vec::new();
+    for (tid, list) in intervals {
+        state_blames.push(state_track_blame(track_name(tid, &names), list)?);
+    }
+    state_blames.sort_by(|a, b| a.name.cmp(&b.name));
+
+    Ok(Analysis {
+        spans: span_blames,
+        states: state_blames,
+    })
+}
+
+/// The backward critical-path walk over `(start, end)` intervals:
+/// starting from the latest-ending interval, repeatedly prepend the
+/// latest-ending interval that ends at or before the current one
+/// starts. Returns the indices of the chain (in `sorted`, which must
+/// be ascending by end). The chosen intervals are pairwise disjoint,
+/// so their summed length can never exceed the enclosing makespan.
+fn critical_chain(sorted: &[(u64, u64)]) -> Vec<usize> {
+    let mut chain = Vec::new();
+    let Some(mut i) = sorted.len().checked_sub(1) else {
+        return chain;
+    };
+    chain.push(i);
+    loop {
+        let cur_start = sorted[i].0;
+        // Rightmost interval BELOW i with end <= cur_start. Searching
+        // only `..i` guarantees the index strictly decreases — a
+        // zero-length interval sitting exactly at `cur_start` would
+        // otherwise re-select itself forever — and skips only same-
+        // instant zero-length ties, which add nothing to the chain.
+        let k = sorted[..i].partition_point(|&(_, end)| end <= cur_start);
+        if k == 0 {
+            break;
+        }
+        i = k - 1;
+        chain.push(i);
+    }
+    chain
+}
+
+fn span_track_blame(name: String, mut list: Vec<RawSpan>) -> SpanTrackBlame {
+    // Deterministic chain selection regardless of recording order.
+    list.sort_by(|a, b| {
+        (a.end_us, a.start_us, a.name.as_str()).cmp(&(b.end_us, b.start_us, b.name.as_str()))
+    });
+    let t0 = list.iter().map(|s| s.start_us).min().unwrap_or(0);
+    let t1 = list.iter().map(|s| s.end_us).max().unwrap_or(0);
+    let ends: Vec<(u64, u64)> = list.iter().map(|s| (s.start_us, s.end_us)).collect();
+    let critical_us: u64 = critical_chain(&ends)
+        .iter()
+        .map(|&i| list[i].end_us - list[i].start_us)
+        .sum();
+    let mut by_name: HashMap<String, u64> = HashMap::new();
+    for s in &list {
+        *by_name.entry(s.name.clone()).or_default() += s.end_us - s.start_us;
+    }
+    SpanTrackBlame {
+        name,
+        spans: list.len(),
+        makespan_us: t1 - t0,
+        critical_us,
+        by_name: sorted_desc(by_name),
+    }
+}
+
+fn state_track_blame(
+    name: String,
+    list: Vec<(u64, RawInterval)>,
+) -> Result<StateTrackBlame, String> {
+    // Fold intervals per entity, preserving time order (intervals are
+    // recorded in completion order, monotone per entity).
+    let mut per_entity: HashMap<u64, Vec<RawInterval>> = HashMap::new();
+    for (entity, iv) in list {
+        per_entity.entry(entity).or_default().push(iv);
+    }
+
+    let mut by_state: HashMap<String, u64> = HashMap::new();
+    let mut lifetime_us = 0u64;
+    let mut conserved = 0usize;
+    let mut lifetimes: Vec<(u64, u64, u64, HashMap<String, u64>)> = Vec::new();
+    for (&entity, ivs) in &per_entity {
+        let birth = ivs.iter().map(|i| i.start_us).min().expect("non-empty");
+        let death = ivs.iter().map(|i| i.end_us).max().expect("non-empty");
+        let mut mine: HashMap<String, u64> = HashMap::new();
+        let mut total = 0u64;
+        for iv in ivs {
+            if iv.end_us < iv.start_us {
+                return Err(format!(
+                    "state interval ends before it starts ({} < {})",
+                    iv.end_us, iv.start_us
+                ));
+            }
+            let dur = iv.end_us - iv.start_us;
+            total += dur;
+            *mine.entry(iv.state.clone()).or_default() += dur;
+        }
+        // Exact integer conservation: enter closes the previous state
+        // at the same instant the next opens, so an entity's state time
+        // tiles its lifetime with no gap and no overlap.
+        if total == death - birth {
+            conserved += 1;
+        }
+        lifetime_us += death - birth;
+        for (s, us) in &mine {
+            *by_state.entry(s.clone()).or_default() += us;
+        }
+        lifetimes.push((birth, death, entity, mine));
+    }
+
+    let t0 = lifetimes.iter().map(|l| l.0).min().unwrap_or(0);
+    let t1 = lifetimes.iter().map(|l| l.1).max().unwrap_or(0);
+    // Deterministic chain selection: ties on (end, start) break by
+    // entity id, never by map iteration order.
+    lifetimes.sort_by_key(|a| (a.1, a.0, a.2));
+    let ends: Vec<(u64, u64)> = lifetimes.iter().map(|l| (l.0, l.1)).collect();
+    let chain = critical_chain(&ends);
+    let critical_us: u64 = chain.iter().map(|&i| lifetimes[i].1 - lifetimes[i].0).sum();
+    let mut critical_by_state: HashMap<String, u64> = HashMap::new();
+    for &i in &chain {
+        for (s, us) in &lifetimes[i].3 {
+            *critical_by_state.entry(s.clone()).or_default() += us;
+        }
+    }
+
+    Ok(StateTrackBlame {
+        name,
+        entities: per_entity.len(),
+        conserved,
+        lifetime_us,
+        by_state: sorted_desc(by_state),
+        makespan_us: t1 - t0,
+        critical_us,
+        critical_by_state: sorted_desc(critical_by_state),
+    })
+}
+
+/// `(name, µs)` pairs, largest first (name ascending on ties, for
+/// deterministic rendering).
+fn sorted_desc(m: HashMap<String, u64>) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = m.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+fn secs(us: u64) -> String {
+    format!("{:.1}s", us as f64 / 1e6)
+}
+
+fn pct(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        return "0.0%".to_string();
+    }
+    format!("{:.1}%", part as f64 * 100.0 / whole as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn critical_path_over_spans_is_bounded_by_makespan() {
+        let mut r = Recorder::new("t");
+        let track = r.track("work");
+        // Two overlapping spans plus a later one with a gap before it.
+        r.span(track, "a", t(0), t(100));
+        r.span(track, "b", t(50), t(140));
+        r.span(track, "c", t(200), t(260));
+        let a = analyze_recorder(&r).expect("analyzes");
+        assert_eq!(a.spans.len(), 1);
+        let tb = &a.spans[0];
+        assert_eq!(tb.name, "work");
+        assert_eq!(tb.spans, 3);
+        assert_eq!(tb.makespan_us, 260_000);
+        // Backward walk: c (200..260), then the latest end <= 200 is b
+        // (50..140); nothing ends by b's start, so the chain is c + b
+        // = 60 + 90 ms. a overlaps b and is off the path.
+        assert_eq!(tb.critical_us, 150_000);
+        assert!(tb.critical_us <= tb.makespan_us);
+        let busy: u64 = tb.by_name.iter().map(|(_, us)| *us).sum();
+        assert_eq!(busy, 250_000);
+    }
+
+    #[test]
+    fn state_conservation_is_exact() {
+        let mut r = Recorder::new("t");
+        let st = r.state_track("flows");
+        for e in 0..5u64 {
+            r.state_enter(st, e, "queued", t(e * 10));
+            r.state_enter(st, e, "running", t(e * 10 + 7));
+            r.state_exit(st, e, t(e * 10 + 20));
+        }
+        let a = analyze_recorder(&r).expect("analyzes");
+        assert_eq!(a.states.len(), 1);
+        let sb = &a.states[0];
+        assert_eq!(sb.entities, 5);
+        assert_eq!(sb.conserved, 5, "conservation must be exact");
+        assert!(a.conserved());
+        // 5 × 20 ms lifetimes: 7 queued + 13 running each.
+        assert_eq!(sb.lifetime_us, 100_000);
+        assert_eq!(sb.by_state[0], ("running".to_string(), 65_000));
+        assert_eq!(sb.by_state[1], ("queued".to_string(), 35_000));
+        assert!(sb.critical_us <= sb.makespan_us);
+        let line = sb.blame_line();
+        assert!(line.contains("% running"), "{line}");
+    }
+
+    #[test]
+    fn critical_chain_over_entities_attributes_by_state() {
+        let mut r = Recorder::new("t");
+        let st = r.state_track("stages");
+        // Entity 0: 0..50 (30 queued, 20 running); entity 1 starts
+        // after 0 ends: 60..100 (all running). Chain covers both.
+        r.state_enter(st, 0, "queued", t(0));
+        r.state_enter(st, 0, "running", t(30));
+        r.state_exit(st, 0, t(50));
+        r.state_enter(st, 1, "running", t(60));
+        r.state_exit(st, 1, t(100));
+        let a = analyze_recorder(&r).expect("analyzes");
+        let sb = &a.states[0];
+        assert_eq!(sb.makespan_us, 100_000);
+        assert_eq!(sb.critical_us, 90_000);
+        assert_eq!(sb.critical_by_state[0], ("running".to_string(), 60_000));
+        assert_eq!(sb.critical_by_state[1], ("queued".to_string(), 30_000));
+    }
+
+    #[test]
+    fn zero_length_intervals_do_not_stall_the_critical_chain() {
+        // Regression: a zero-length interval sitting exactly at the
+        // chain cursor used to re-select itself forever. Zero-length
+        // intervals are routine — a request dispatched the instant it
+        // arrives leaves a 0-µs `queued` state.
+        let mut r = Recorder::new("t");
+        let track = r.track("work");
+        r.span(track, "z0", t(0), t(0));
+        r.span(track, "a", t(0), t(100));
+        r.span(track, "z1", t(100), t(100));
+        r.span(track, "b", t(100), t(200));
+        let st = r.state_track("req");
+        for e in 0..3u64 {
+            r.state_enter(st, e, "queued", t(e * 50));
+            r.state_enter(st, e, "running", t(e * 50)); // 0-µs queued
+            r.state_exit(st, e, t(e * 50 + 50));
+        }
+        let a = analyze_recorder(&r).expect("analyzes");
+        let tb = &a.spans[0];
+        assert_eq!(tb.makespan_us, 200_000);
+        // Chain: b (100..200) then a (0..100); the zero-length spans
+        // add nothing either way.
+        assert_eq!(tb.critical_us, 200_000);
+        assert!(tb.critical_us <= tb.makespan_us);
+        let sb = &a.states[0];
+        assert_eq!(sb.conserved, 3);
+        assert_eq!(sb.critical_us, 150_000);
+        assert!(sb.critical_us <= sb.makespan_us);
+    }
+
+    #[test]
+    fn unbalanced_traces_are_rejected() {
+        // A hand-built trace with an exit that was never entered.
+        let bad = r#"{"traceEvents":[
+            {"ph":"e","cat":"state","pid":1,"tid":1,"id":"0x1","name":"running","ts":5}
+        ]}"#;
+        assert!(analyze_trace_text(bad).is_err());
+        // And one with an enter that never exits.
+        let mut r = Recorder::new("t");
+        let st = r.state_track("s");
+        r.state_enter(st, 1, "queued", t(0));
+        // Unclosed intervals are dropped at export, so this analyzes
+        // to an empty state set rather than erroring.
+        let a = analyze_recorder(&r).expect("analyzes");
+        assert!(a.states.is_empty());
+    }
+
+    #[test]
+    fn empty_and_off_recorders_analyze_cleanly() {
+        let a = analyze_recorder(&Recorder::off()).expect("analyzes");
+        assert!(a.spans.is_empty() && a.states.is_empty());
+        assert!(a.conserved());
+        assert!(a.render().contains("no sim-time spans"));
+    }
+
+    #[test]
+    fn render_mentions_every_track() {
+        let mut r = Recorder::new("t");
+        let track = r.track("fabric");
+        r.span(track, "flow", t(0), t(10));
+        let st = r.state_track("fabric/flow");
+        r.state_enter(st, 9, "queued", t(0));
+        r.state_exit(st, 9, t(10));
+        let a = analyze_recorder(&r).expect("analyzes");
+        let text = a.render();
+        assert!(text.contains("track fabric:"), "{text}");
+        assert!(text.contains("states fabric/flow:"), "{text}");
+        assert!(text.contains("conservation 1/1 exact"), "{text}");
+    }
+}

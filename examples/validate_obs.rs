@@ -9,8 +9,12 @@
 //! Parses both exports with the in-repo JSON parser and checks the
 //! shape the viewers rely on: the trace has events, at least one
 //! sim-time complete span (pid 1) and one wall-time event (pid 2), and
-//! the metrics report has a counters object. Exits non-zero (with the
-//! reason on stderr) on any failure, so CI can smoke the export path.
+//! the metrics report has a counters object. Wait-state events (`cat`
+//! `"state"`) are validated structurally: every state name comes from
+//! the known vocabulary, every entity's `b`/`e` pairs balance with
+//! monotone non-decreasing timestamps, and at least one state event is
+//! present. Exits non-zero (with the reason on stderr) on any failure,
+//! so CI can smoke the export path.
 
 use std::process::ExitCode;
 
@@ -44,6 +48,93 @@ fn check(trace_text: &str, metrics_text: &str) -> Result<(), String> {
         return Err("trace has no wall-time events (pid 2)".into());
     }
 
+    // Wait-state events: known vocabulary, balanced begin/end pairs per
+    // (track, entity), monotone non-decreasing timestamps per entity.
+    const STATES: [&str; 7] = [
+        "queued",
+        "running",
+        "blocked_on_net",
+        "blocked_on_disk_read",
+        "blocked_on_disk_write",
+        "throttle_parked",
+        "reserve_evicted",
+    ];
+    let mut state_events = 0usize;
+    // (tid, entity id) -> (open state name, last timestamp).
+    let mut open: std::collections::HashMap<(i64, String), (String, f64)> =
+        std::collections::HashMap::new();
+    // (tid, entity id) -> timestamp of the last event seen, to check
+    // that each entity's event stream is monotone non-decreasing.
+    let mut last_ts: std::collections::HashMap<(i64, String), f64> =
+        std::collections::HashMap::new();
+    for e in events {
+        if e.get("cat").and_then(Value::as_str) != Some("state") {
+            continue;
+        }
+        state_events += 1;
+        let name = e
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("state event lacks a name")?;
+        if !STATES.contains(&name) {
+            return Err(format!("unknown state name {name:?}"));
+        }
+        let tid = e.get("tid").and_then(Value::as_f64).unwrap_or(-1.0) as i64;
+        let id = e
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or("state event lacks an entity id")?
+            .to_string();
+        let ts = e
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or("state event lacks a timestamp")?;
+        let key = (tid, id);
+        let prev_ts = last_ts.entry(key.clone()).or_insert(ts);
+        if ts < *prev_ts {
+            return Err(format!(
+                "entity {:?} timestamps go backwards ({ts} after {prev_ts})",
+                key.1
+            ));
+        }
+        *prev_ts = ts;
+        match ph(e).as_str() {
+            "b" => {
+                if let Some((prev, _)) = &open.get(&key) {
+                    return Err(format!(
+                        "entity {:?} begins {name:?} while {prev:?} is open",
+                        key.1
+                    ));
+                }
+                open.insert(key, (name.to_string(), ts));
+            }
+            "e" => {
+                let Some((entered, since)) = open.remove(&key) else {
+                    return Err(format!("entity {:?} ends {name:?} it never began", key.1));
+                };
+                if entered != name {
+                    return Err(format!(
+                        "entity {:?} began {entered:?} but ended {name:?}",
+                        key.1
+                    ));
+                }
+                if ts < since {
+                    return Err(format!(
+                        "entity {:?} state {name:?} ends at {ts} before it begins at {since}",
+                        key.1
+                    ));
+                }
+            }
+            other => return Err(format!("state event with unexpected ph {other:?}")),
+        }
+    }
+    if state_events == 0 {
+        return Err("trace has no wait-state events (cat \"state\")".into());
+    }
+    if let Some(((_, id), (name, _))) = open.iter().next() {
+        return Err(format!("entity {id:?} never ends its {name:?} interval"));
+    }
+
     let metrics = json::parse(metrics_text).map_err(|e| format!("metrics do not parse: {e}"))?;
     let counters = metrics
         .get("counters")
@@ -53,10 +144,12 @@ fn check(trace_text: &str, metrics_text: &str) -> Result<(), String> {
         return Err("metrics report has no counters".into());
     }
     eprintln!(
-        "ok: {} trace events ({} sim-time spans, {} wall-time events), {} counters",
+        "ok: {} trace events ({} sim-time spans, {} wall-time events, \
+         {} balanced state events), {} counters",
         events.len(),
         sim_spans,
         wall_events,
+        state_events,
         counters.len()
     );
     Ok(())

@@ -665,3 +665,95 @@ proptest! {
         }
     }
 }
+
+// --- observability: export → parse round trips -------------------------
+
+/// Characters chosen to stress the JSON escaper: quotes, backslashes,
+/// control characters, multibyte unicode (including an astral-plane
+/// glyph), structural punctuation, and plain ASCII.
+const HOSTILE: &[char] = &[
+    '"', '\\', '\n', '\r', '\t', '\u{0}', '\u{1b}', '{', '}', '[', ']', ',', ':', 'é', '→', '日',
+    '𝕏', 'a', 'Z', ' ',
+];
+
+fn hostile_string(picks: &[usize]) -> String {
+    picks.iter().map(|&i| HOSTILE[i % HOSTILE.len()]).collect()
+}
+
+proptest! {
+    /// Arbitrary hostile names — used as counter, gauge, sim-track, and
+    /// wall-track names — survive both exporters and come back intact
+    /// through `obs::json::parse`.
+    #[test]
+    fn obs_exports_round_trip_hostile_names(
+        names in prop::collection::vec(prop::collection::vec(0usize..1000, 0..12), 1..5),
+    ) {
+        use harvest::sim::obs::{json, Recorder};
+        let names: Vec<String> = names.iter().map(|p| hostile_string(p)).collect();
+        let mut rec = Recorder::new("props");
+        for (i, n) in names.iter().enumerate() {
+            let c = rec.counter(n);
+            rec.add(c, i as u64 + 1);
+            let g = rec.gauge(n);
+            rec.gauge_at(g, SimTime::from_millis(1), i as f64);
+            rec.track(n);
+            rec.wall_span(n, n, 0, 5);
+        }
+        let metrics = json::parse(&rec.metrics_json()).map_err(|e| format!("metrics: {e}"))?;
+        let counters = metrics.get("counters").ok_or("no counters")?;
+        for n in &names {
+            // Interned by name: the last add under a duplicate name wins
+            // the id, but every name must be present and parse back to
+            // the exact same string.
+            prop_assert!(
+                counters.get(n).is_some(),
+                "counter {n:?} lost in metrics round trip"
+            );
+        }
+        let trace = json::parse(&rec.chrome_trace_json()).map_err(|e| format!("trace: {e}"))?;
+        let events = trace.get("traceEvents").and_then(|v| v.as_arr()).ok_or("no events")?;
+        let thread_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        for n in &names {
+            prop_assert!(
+                thread_names.iter().filter(|t| *t == n).count() >= 2,
+                "track name {n:?} lost in trace round trip (sim + wall)"
+            );
+        }
+    }
+
+    /// Randomized wait-state histories round-trip through the Chrome
+    /// trace into `obs::analyze` with exact conservation, and the
+    /// critical path never exceeds the makespan.
+    #[test]
+    fn obs_state_round_trip_conserves(
+        entities in prop::collection::vec(prop::collection::vec((0usize..5, 1u64..100), 1..6), 1..20),
+    ) {
+        use harvest::sim::obs::{analyze, Recorder};
+        const VOCAB: [&str; 5] =
+            ["queued", "running", "blocked_on_net", "blocked_on_disk_read", "throttle_parked"];
+        let mut rec = Recorder::new("props");
+        let st = rec.state_track("props/entity");
+        let mut lifetime_ms = 0u64;
+        for (e, segs) in entities.iter().enumerate() {
+            let mut at = (e as u64) * 13;
+            let birth = at;
+            for &(s, dur) in segs {
+                rec.state_enter(st, e as u64, VOCAB[s], SimTime::from_millis(at));
+                at += dur;
+            }
+            rec.state_exit(st, e as u64, SimTime::from_millis(at));
+            lifetime_ms += at - birth;
+        }
+        let a = analyze::analyze_recorder(&rec).map_err(|e| e.to_string())?;
+        prop_assert_eq!(a.states.len(), 1);
+        let sb = &a.states[0];
+        prop_assert_eq!(sb.entities, entities.len());
+        prop_assert_eq!(sb.conserved, entities.len(), "conservation must be exact");
+        prop_assert_eq!(sb.lifetime_us, lifetime_ms * 1_000);
+        prop_assert!(sb.critical_us <= sb.makespan_us);
+    }
+}
