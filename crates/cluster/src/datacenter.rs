@@ -121,6 +121,16 @@ impl Datacenter {
         &self.servers[id.0 as usize]
     }
 
+    /// The server-id range of one rack. Racks fill contiguously in id
+    /// order ([`RACK_SIZE`] servers each, the last possibly partial),
+    /// so the range is computable without scanning — fault injection
+    /// expands rack-level events (power loss, uplink death) with this.
+    pub fn servers_in_rack(&self, rack: u32) -> std::ops::Range<u32> {
+        let lo = (rack * RACK_SIZE).min(self.servers.len() as u32);
+        let hi = (lo + RACK_SIZE).min(self.servers.len() as u32);
+        lo..hi
+    }
+
     /// The tenant with the given id.
     ///
     /// # Panics
@@ -200,6 +210,22 @@ mod tests {
         for t in &dc.tenants {
             assert_eq!(t.trace.len(), SAMPLES_PER_MONTH);
         }
+    }
+
+    #[test]
+    fn servers_in_rack_matches_the_assignment() {
+        let dc = small_dc();
+        for rack in 0..dc.n_racks() as u32 {
+            for sid in dc.servers_in_rack(rack) {
+                assert_eq!(dc.server(ServerId(sid)).rack.0, rack);
+            }
+        }
+        let total: usize = (0..dc.n_racks() as u32)
+            .map(|r| dc.servers_in_rack(r).len())
+            .sum();
+        assert_eq!(total, dc.n_servers());
+        // Out-of-range racks yield an empty range, not a panic.
+        assert!(dc.servers_in_rack(10_000).is_empty());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--full] [--net] [--disk] [--full-sweep] [--jobs N] [--seed N]
-//!       [--trace-out FILE] [--metrics-out FILE] [--explain] [EXPERIMENT...]
+//! repro [--full] [--net] [--disk] [--full-sweep] [--faults PROFILE]
+//!       [--jobs N] [--seed N] [--trace-out FILE] [--metrics-out FILE]
+//!       [--explain] [EXPERIMENT...]
 //! repro analyze TRACE.json
 //!
 //!   EXPERIMENT    fig1..fig8, fig10..fig16, micro, or "all" (default)
@@ -16,6 +17,13 @@
 //!                 sweeps instead of the change-driven default — the
 //!                 bitwise-identical reference mode (slower; for
 //!                 validation)
+//!   --faults PROFILE  arm a deterministic fault plan (rack power loss,
+//!                 uplink flaps, disk failures and brown-outs) in the
+//!                 experiments that take one — fig15 (durability) and
+//!                 fig16 (availability). Profiles: rack-loss,
+//!                 link-flap, disk-rot, correlated-storm. Without the
+//!                 flag every report is byte-identical to a build
+//!                 without the fault machinery
 //!   --jobs N      worker threads for the sweep matrices (default: all
 //!                 available cores; 1 = the sequential reference path;
 //!                 reports are byte-identical for any N)
@@ -52,7 +60,17 @@
 use std::process::ExitCode;
 
 use harvest_core::{run_experiment_recorded, Scale, ALL_EXPERIMENTS};
+use harvest_sim::fault::FaultProfile;
 use harvest_sim::obs::Recorder;
+
+/// The valid `--faults` names, space-separated, for error messages.
+fn profile_names() -> String {
+    FaultProfile::ALL
+        .iter()
+        .map(|p| p.name())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
 
 fn main() -> ExitCode {
     // Collect flags first, apply them to the scale afterwards, so flag
@@ -62,6 +80,7 @@ fn main() -> ExitCode {
     let mut disk = false;
     let mut full_sweep = false;
     let mut explain = false;
+    let mut faults = None;
     let mut seed = None;
     let mut jobs = None;
     let mut trace_out: Option<String> = None;
@@ -75,6 +94,20 @@ fn main() -> ExitCode {
             "--disk" => disk = true,
             "--full-sweep" => full_sweep = true,
             "--explain" => explain = true,
+            "--faults" => match args.next() {
+                Some(name) => match FaultProfile::parse(&name) {
+                    Some(p) => faults = Some(p),
+                    None => {
+                        eprintln!("error: unknown fault profile '{name}'");
+                        eprintln!("valid profiles: {}", profile_names());
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("--faults requires a profile name ({})", profile_names());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--trace-out" => match args.next() {
                 Some(path) => trace_out = Some(path),
                 None => {
@@ -105,9 +138,9 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--full] [--net] [--disk] [--full-sweep] [--jobs N] \
-                     [--seed N] [--trace-out FILE] [--metrics-out FILE] [--explain] \
-                     [EXPERIMENT...]"
+                    "usage: repro [--full] [--net] [--disk] [--full-sweep] \
+                     [--faults PROFILE] [--jobs N] [--seed N] [--trace-out FILE] \
+                     [--metrics-out FILE] [--explain] [EXPERIMENT...]"
                 );
                 println!("       repro analyze TRACE.json");
                 println!("experiments: {} all", ALL_EXPERIMENTS.join(" "));
@@ -141,6 +174,20 @@ fn main() -> ExitCode {
                     "  --explain           compute the same blame tables in-process for \
                      each experiment and print them to stderr (stdout is untouched)"
                 );
+                println!();
+                println!("injecting faults:");
+                println!(
+                    "  --faults PROFILE    arm a deterministic fault plan — rack power \
+                     loss, uplink flaps, disk failures and brown-outs — drawn from the \
+                     seed on a dedicated RNG stream and injected through the shared \
+                     event queue. fig15 (durability) and fig16 (availability) react: \
+                     heartbeat failure detection, repair retry with exponential \
+                     backoff, and bounded retry budgets whose exhaustion is counted \
+                     as permanent loss. Each armed report gains a fault-accounting \
+                     note; without the flag every report is byte-identical to a \
+                     build without the fault machinery"
+                );
+                println!("  profiles: {}", profile_names());
                 return ExitCode::SUCCESS;
             }
             other => experiments.push(other.to_string()),
@@ -186,6 +233,7 @@ fn main() -> ExitCode {
     if full_sweep {
         scale.tick_sweep = harvest_sched::TickSweep::Full;
     }
+    scale.faults = faults;
     if let Some(jobs) = jobs {
         scale.jobs = jobs;
     }

@@ -70,6 +70,14 @@ pub fn fig16(scale: &Scale) -> String {
         cfg.span = SimDuration::from_days(scale.availability_days);
         cfg.network = scale.network;
         cfg.disk = scale.disk;
+        // Every cell of a run index sees the same storm, so the policy
+        // comparison is under identical fault pressure. Empty plan
+        // (bitwise no-op) without `--faults PROFILE`.
+        cfg.faults = scale.fault_plan(
+            dc.n_servers(),
+            scale.run_seed("fig16-faults", t.r),
+            cfg.span,
+        );
         simulate_availability(&dc, &views[t.util], &cfg)
     });
 
@@ -111,6 +119,17 @@ pub fn fig16(scale: &Scale) -> String {
                  {disk_note}"
             ));
         }
+    }
+    // Fault accounting only when a profile is armed — the default
+    // report stays byte-identical to a build without fault injection.
+    if let Some(profile) = scale.faults {
+        let down: u64 = results.iter().map(|r| r.fault_down_ticks).sum();
+        table.note(format!(
+            "fault profile '{}': {} server-ticks spent fault-down across {} simulations",
+            profile.name(),
+            down,
+            results.len()
+        ));
     }
     table.note("paper: HDFS-H shows no unavailability up to ~40% utilization (50% under root scaling) and low unavailability at 50%; HDFS-H at R=3 beats Stock at R=4 below ~75%; failures climb steeply past the 66% busy threshold");
     table.render()

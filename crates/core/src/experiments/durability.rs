@@ -5,7 +5,9 @@ use harvest_dfs::durability::{simulate_durability, DurabilityConfig};
 use harvest_dfs::placement::PlacementPolicy;
 use harvest_disk::DiskConfig;
 use harvest_net::NetworkConfig;
+use harvest_sim::fault::FaultPlan;
 use harvest_sim::par::par_map;
+use harvest_sim::SimDuration;
 use harvest_trace::datacenter::DatacenterProfile;
 
 use super::STORAGE_CELLS as CELLS;
@@ -29,6 +31,15 @@ pub struct LossSummary {
     pub stale_events_dropped: u64,
     /// Largest event-heap high-water mark any run reached.
     pub peak_queue_len: usize,
+    /// Injected fault events fired across runs (0 unless a
+    /// [`FaultPlan`] was armed).
+    pub faults_injected: u64,
+    /// In-flight repairs torn down by faults across runs.
+    pub repairs_aborted: u64,
+    /// Fault-aborted repairs re-queued with backoff across runs.
+    pub fault_retries: u64,
+    /// Repairs abandoned after exhausting the retry budget across runs.
+    pub retries_exhausted: u64,
 }
 
 /// One durability simulation's outcome — the unit of the parallel
@@ -43,6 +54,14 @@ pub struct RunLoss {
     pub stale_events_dropped: u64,
     /// Event-heap high-water mark.
     pub peak_queue_len: usize,
+    /// Injected fault events that fired (0 without an armed plan).
+    pub faults_injected: u64,
+    /// In-flight repairs torn down by a fault before finishing.
+    pub repairs_aborted: u64,
+    /// Fault-aborted repairs re-queued with backoff.
+    pub fault_retries: u64,
+    /// Repairs abandoned after exhausting the fault retry budget.
+    pub retries_exhausted: u64,
 }
 
 /// Runs one durability simulation: run `r` of a (DC, policy,
@@ -58,11 +77,13 @@ pub fn run_loss(
     r: usize,
     network: Option<NetworkConfig>,
     disk: Option<DiskConfig>,
+    faults: &FaultPlan,
 ) -> RunLoss {
     let mut cfg = DurabilityConfig::paper(policy, replication, base_seed ^ (r as u64) << 32);
     cfg.months = months;
     cfg.network = network;
     cfg.disk = disk;
+    cfg.faults = faults.clone();
     let result = simulate_durability(dc, &cfg);
     let mut stale = 0u64;
     let mut peak = 0usize;
@@ -79,6 +100,10 @@ pub fn run_loss(
         blocks: result.lost_blocks,
         stale_events_dropped: stale,
         peak_queue_len: peak,
+        faults_injected: result.faults_injected,
+        repairs_aborted: result.repairs_aborted,
+        fault_retries: result.fault_retries,
+        retries_exhausted: result.retries_exhausted,
     }
 }
 
@@ -119,6 +144,10 @@ pub fn summarize(runs: &[RunLoss]) -> LossSummary {
         avg_blocks: runs.iter().map(|r| r.blocks as f64).sum::<f64>() / n,
         stale_events_dropped: runs.iter().map(|r| r.stale_events_dropped).sum(),
         peak_queue_len: runs.iter().map(|r| r.peak_queue_len).max().unwrap_or(0),
+        faults_injected: runs.iter().map(|r| r.faults_injected).sum(),
+        repairs_aborted: runs.iter().map(|r| r.repairs_aborted).sum(),
+        fault_retries: runs.iter().map(|r| r.fault_retries).sum(),
+        retries_exhausted: runs.iter().map(|r| r.retries_exhausted).sum(),
     }
 }
 
@@ -133,9 +162,22 @@ pub fn loss_summary(
     base_seed: u64,
     network: Option<NetworkConfig>,
     disk: Option<DiskConfig>,
+    faults: &FaultPlan,
 ) -> LossSummary {
     let outcomes: Vec<RunLoss> = (0..runs)
-        .map(|r| run_loss(dc, policy, replication, months, base_seed, r, network, disk))
+        .map(|r| {
+            run_loss(
+                dc,
+                policy,
+                replication,
+                months,
+                base_seed,
+                r,
+                network,
+                disk,
+                faults,
+            )
+        })
         .collect();
     summarize(&outcomes)
 }
@@ -170,6 +212,21 @@ pub fn fig15(scale: &Scale) -> String {
         let profile = DatacenterProfile::dc(dc_id).scaled(scale.dc_scale);
         Datacenter::generate(&profile, scale.seed)
     });
+    // One fault plan per DC, shared by that DC's whole cell block (all
+    // policies see the same storm — the comparison stays apples to
+    // apples). Empty plans without `--faults PROFILE`.
+    let horizon = SimDuration::from_days(30 * scale.durability_months as u64);
+    let plans: Vec<FaultPlan> = dcs
+        .iter()
+        .enumerate()
+        .map(|(dc_id, dc)| {
+            scale.fault_plan(
+                dc.n_servers(),
+                scale.run_seed("fig15-faults", dc_id),
+                horizon,
+            )
+        })
+        .collect();
 
     // The task matrix, dc-major then cell then run, so each (dc, cell)
     // owns a contiguous chunk of `runs` results.
@@ -197,6 +254,7 @@ pub fn fig15(scale: &Scale) -> String {
             t.r,
             scale.network,
             scale.disk,
+            &plans[t.dc_id],
         )
     });
 
@@ -205,6 +263,7 @@ pub fn fig15(scale: &Scale) -> String {
     let mut h4_blocks = 0.0;
     let mut stale_total = 0u64;
     let mut peak_queue = 0usize;
+    let mut fault_totals = [0u64; 4]; // injected, aborted, retried, exhausted
     for dc_id in 0..10 {
         let cell = |c: usize| -> LossSummary {
             let start = (dc_id * CELLS.len() + c) * scale.runs;
@@ -220,6 +279,10 @@ pub fn fig15(scale: &Scale) -> String {
         for cell in [&stock3, &h3, &stock4, &h4] {
             stale_total += cell.stale_events_dropped;
             peak_queue = peak_queue.max(cell.peak_queue_len);
+            fault_totals[0] += cell.faults_injected;
+            fault_totals[1] += cell.repairs_aborted;
+            fault_totals[2] += cell.fault_retries;
+            fault_totals[3] += cell.retries_exhausted;
         }
         table.row(&[
             format!("DC-{dc_id}"),
@@ -261,6 +324,19 @@ pub fn fig15(scale: &Scale) -> String {
              peak event heap {peak_queue}"
         ));
     }
+    // Fault accounting only when a profile is armed, so the default
+    // report stays byte-identical to a build without fault injection.
+    if let Some(profile) = scale.faults {
+        table.note(format!(
+            "fault profile '{}': {} faults injected, {} in-flight repairs aborted, \
+             {} retried with backoff, {} retry budgets exhausted",
+            profile.name(),
+            fault_totals[0],
+            fault_totals[1],
+            fault_totals[2],
+            fault_totals[3]
+        ));
+    }
     // Where repair time goes under the transfer models, from one
     // recorded reimage storm on DC-3 (the DC the paper singles out for
     // losses) — deterministic, so the report stays byte-identical
@@ -279,7 +355,17 @@ mod tests {
     fn summary_statistics_are_consistent() {
         let profile = DatacenterProfile::dc(3).scaled(0.02);
         let dc = Datacenter::generate(&profile, 42);
-        let s = loss_summary(&dc, PlacementPolicy::Stock, 3, 3, 2, 7, None, None);
+        let s = loss_summary(
+            &dc,
+            PlacementPolicy::Stock,
+            3,
+            3,
+            2,
+            7,
+            None,
+            None,
+            &FaultPlan::none(),
+        );
         assert!(s.min_percent <= s.avg_percent);
         assert!(s.avg_percent <= s.max_percent);
         assert!(s.avg_blocks >= 0.0);
@@ -289,8 +375,9 @@ mod tests {
     fn history_beats_stock_in_high_reimage_dc() {
         let profile = DatacenterProfile::dc(3).scaled(0.02);
         let dc = Datacenter::generate(&profile, 42);
-        let stock = loss_summary(&dc, PlacementPolicy::Stock, 3, 4, 1, 7, None, None);
-        let hist = loss_summary(&dc, PlacementPolicy::History, 3, 4, 1, 7, None, None);
+        let none = FaultPlan::none();
+        let stock = loss_summary(&dc, PlacementPolicy::Stock, 3, 4, 1, 7, None, None, &none);
+        let hist = loss_summary(&dc, PlacementPolicy::History, 3, 4, 1, 7, None, None, &none);
         assert!(
             hist.avg_percent < stock.avg_percent,
             "H {} vs Stock {}",
@@ -303,12 +390,31 @@ mod tests {
     fn summarize_matches_loss_summary() {
         let profile = DatacenterProfile::dc(3).scaled(0.02);
         let dc = Datacenter::generate(&profile, 42);
+        let none = FaultPlan::none();
         let runs: Vec<RunLoss> = (0..3)
-            .map(|r| run_loss(&dc, PlacementPolicy::Stock, 3, 3, 7, r, None, None))
+            .map(|r| run_loss(&dc, PlacementPolicy::Stock, 3, 3, 7, r, None, None, &none))
             .collect();
         let a = summarize(&runs);
-        let b = loss_summary(&dc, PlacementPolicy::Stock, 3, 3, 3, 7, None, None);
+        let b = loss_summary(&dc, PlacementPolicy::Stock, 3, 3, 3, 7, None, None, &none);
         assert_eq!(a.avg_percent.to_bits(), b.avg_percent.to_bits());
         assert_eq!(a.avg_blocks.to_bits(), b.avg_blocks.to_bits());
+    }
+
+    #[test]
+    fn armed_profile_reports_fault_churn() {
+        use harvest_sim::fault::{ClusterShape, FaultProfile};
+        let profile = DatacenterProfile::dc(3).scaled(0.02);
+        let dc = Datacenter::generate(&profile, 42);
+        let shape = ClusterShape {
+            n_servers: dc.n_servers(),
+            rack_size: harvest_cluster::datacenter::RACK_SIZE as usize,
+        };
+        let plan = FaultProfile::RackLoss.plan(7, shape, SimDuration::from_days(90));
+        let r = run_loss(&dc, PlacementPolicy::Stock, 3, 3, 7, 0, None, None, &plan);
+        assert!(r.faults_injected > 0, "rack-loss plan never fired");
+        // Determinism: the same plan and seed reproduce the run bitwise.
+        let r2 = run_loss(&dc, PlacementPolicy::Stock, 3, 3, 7, 0, None, None, &plan);
+        assert_eq!(r.percent.to_bits(), r2.percent.to_bits());
+        assert_eq!(r.faults_injected, r2.faults_injected);
     }
 }

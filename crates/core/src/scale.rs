@@ -10,6 +10,8 @@
 use harvest_disk::DiskConfig;
 use harvest_net::NetworkConfig;
 use harvest_sched::TickSweep;
+use harvest_sim::fault::{ClusterShape, FaultPlan, FaultProfile};
+use harvest_sim::SimDuration;
 
 /// Scale parameters shared by the experiments.
 #[derive(Debug, Clone)]
@@ -46,6 +48,12 @@ pub struct Scale {
     /// experiments fan out over [`harvest_sim::par::par_map`], whose
     /// order-preserving writes make thread count unobservable.
     pub jobs: usize,
+    /// Fault profile to arm (`repro --faults PROFILE`): experiments
+    /// that take a [`FaultPlan`] draw one per run via
+    /// [`Scale::fault_plan`]. `None` hands them [`FaultPlan::none`],
+    /// which keeps every report byte-identical to a build without the
+    /// fault machinery.
+    pub faults: Option<FaultProfile>,
     /// Whether the harness is collecting an observability trace
     /// (`repro --trace-out` / `--metrics-out`). Recording never
     /// changes an experiment's report — stdout is byte-identical with
@@ -71,6 +79,7 @@ impl Scale {
             utilizations: vec![0.30, 0.45, 0.60],
             tick_sweep: TickSweep::Incremental,
             jobs: harvest_sim::par::default_jobs(),
+            faults: None,
             record: false,
             seed: 42,
         }
@@ -93,6 +102,7 @@ impl Scale {
             utilizations: vec![0.25, 0.35, 0.45, 0.55, 0.65],
             tick_sweep: TickSweep::Incremental,
             jobs: harvest_sim::par::default_jobs(),
+            faults: None,
             record: false,
             seed: 42,
         }
@@ -101,6 +111,24 @@ impl Scale {
     /// The seed for run `r` of an experiment.
     pub fn run_seed(&self, experiment: &str, r: usize) -> u64 {
         harvest_sim::rng::derive_seed_indexed(self.seed, experiment, r as u64)
+    }
+
+    /// The fault plan one run should inject into a cluster of
+    /// `n_servers` servers over `horizon`: the armed profile's draw
+    /// (deterministic in `(profile, seed, shape, horizon)`), or
+    /// [`FaultPlan::none`] when no profile is armed.
+    pub fn fault_plan(&self, n_servers: usize, seed: u64, horizon: SimDuration) -> FaultPlan {
+        match self.faults {
+            None => FaultPlan::none(),
+            Some(profile) => profile.plan(
+                seed,
+                ClusterShape {
+                    n_servers,
+                    rack_size: harvest_cluster::datacenter::RACK_SIZE as usize,
+                },
+                horizon,
+            ),
+        }
     }
 }
 
@@ -128,5 +156,17 @@ mod tests {
         let s = Scale::quick();
         assert_ne!(s.run_seed("fig13", 0), s.run_seed("fig13", 1));
         assert_ne!(s.run_seed("fig13", 0), s.run_seed("fig15", 0));
+    }
+
+    #[test]
+    fn fault_plan_follows_the_armed_profile() {
+        let mut s = Scale::quick();
+        let horizon = SimDuration::from_days(30);
+        assert!(s.fault_plan(100, 7, horizon).is_none());
+        s.faults = Some(FaultProfile::RackLoss);
+        let plan = s.fault_plan(100, 7, horizon);
+        assert!(!plan.is_none());
+        // Deterministic: the same scale draws the same plan.
+        assert_eq!(plan, s.fault_plan(100, 7, horizon));
     }
 }

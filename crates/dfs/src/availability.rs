@@ -24,6 +24,7 @@ use harvest_cluster::{Datacenter, ServerId, UtilizationView};
 use harvest_disk::{DiskConfig, MIN_SERVE_FRACTION};
 use harvest_net::{NetworkConfig, Topology};
 use harvest_signal::classify::UtilizationPattern;
+use harvest_sim::fault::{FaultKind, FaultPlan};
 use harvest_sim::metrics::Histogram;
 use harvest_sim::rng::stream_rng;
 use harvest_sim::{dist, SimDuration, SimTime};
@@ -56,6 +57,15 @@ pub struct AvailabilityConfig {
     /// primary is doing substantial I/O) cannot serve at all. `None`
     /// keeps disks free and infinitely fast.
     pub disk: Option<DiskConfig>,
+    /// Injected faults. A crashed or powered-off server cannot serve
+    /// any replica until it restarts, and a failed disk takes its
+    /// replicas offline for the rest of the span (the availability
+    /// model has no repair process). Uplink and disk-brown-out events
+    /// are ignored here: this simulation samples a tick grid rather
+    /// than routing individual transfers, so only whole-server
+    /// reachability matters. [`FaultPlan::none`] leaves every result
+    /// bitwise identical to a build without the fault machinery.
+    pub faults: FaultPlan,
 }
 
 impl AvailabilityConfig {
@@ -70,6 +80,7 @@ impl AvailabilityConfig {
             seed,
             network: None,
             disk: None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -101,6 +112,9 @@ pub struct AvailabilityResult {
     /// sat behind a throttled disk (0 with the disk model off) — the
     /// unavailability the seed model could not see.
     pub disk_only_failures: u64,
+    /// Server-ticks spent fault-down (crashed, powered off, or past a
+    /// disk failure) — 0 without an armed fault plan.
+    pub fault_down_ticks: u64,
 }
 
 /// Runs the availability simulation.
@@ -115,9 +129,29 @@ pub fn simulate_availability(
     let mut rng = stream_rng(cfg.seed, "availability");
     let n_servers = dc.n_servers();
 
+    // Per-server fault-down intervals, empty without an armed plan —
+    // the mask merge below is then a no-op and the trajectory matches
+    // the fault-free build bit for bit.
+    let down = if cfg.faults.is_none() {
+        Vec::new()
+    } else {
+        fault_down_intervals(dc, &cfg.faults, SimTime::ZERO + cfg.span)
+    };
+    let down_at = |now: SimTime, busy: &mut [bool]| -> u64 {
+        let mut n = 0u64;
+        for &(start, end, server) in &down {
+            if start <= now && now < end {
+                busy[server as usize] = true;
+                n += 1;
+            }
+        }
+        n
+    };
+
     // Place blocks with the busy mask of time zero (creation-time
     // awareness for PT/H; Stock ignores the mask internally).
-    let busy0 = busy_mask(dc, view, SimTime::ZERO);
+    let mut busy0 = busy_mask(dc, view, SimTime::ZERO);
+    down_at(SimTime::ZERO, &mut busy0);
     let capacity = dc.total_harvest_blocks();
     let target = ((capacity as f64 * cfg.fill_fraction) / cfg.replication as f64) as u64;
     let mut n_blocks = 0u64;
@@ -154,6 +188,7 @@ pub fn simulate_availability(
     let mut failed = 0u64;
     let mut forced_remote = 0u64;
     let mut disk_only = 0u64;
+    let mut fault_down_ticks = 0u64;
     // A month of accesses is tens of millions of samples; a fixed-bin
     // histogram gives the mean and p99 the result reports in O(bins)
     // memory instead of storing every latency. Its ceiling is the
@@ -179,7 +214,9 @@ pub fn simulate_availability(
         let utils: Vec<f64> = (0..dc.n_servers())
             .map(|s| view.server_util(ServerId(s as u32), now))
             .collect();
-        let busy: Vec<bool> = utils.iter().map(|&u| is_busy(u)).collect();
+        let mut busy: Vec<bool> = utils.iter().map(|&u| is_busy(u)).collect();
+        fault_down_ticks += down_at(now, &mut busy);
+        let busy = busy;
         // A replica's disk service time for a block read, or `None` when
         // the isolation manager has its secondary I/O throttled below a
         // usable share (the replica cannot serve).
@@ -194,6 +231,14 @@ pub fn simulate_availability(
             }
         };
         let n_acc = dist::poisson(&mut rng, accesses_per_tick);
+        // Degenerate but reachable on tiny clusters under a hostile
+        // creation-time busy mask: not a single block could be placed.
+        // Every access then fails instead of panicking on an empty draw.
+        if n_blocks == 0 {
+            accesses += n_acc;
+            failed += n_acc;
+            continue;
+        }
         for _ in 0..n_acc {
             let block = BlockId(rng.random_range(0..n_blocks));
             accesses += 1;
@@ -262,7 +307,62 @@ pub fn simulate_availability(
         },
         p99_read_ms: latencies.quantile(0.99).unwrap_or(0.0),
         disk_only_failures: disk_only,
+        fault_down_ticks,
     }
+}
+
+/// Expands a fault plan into `(start, end, server)` down intervals: a
+/// crash (or rack power loss) opens an interval that the matching
+/// restart closes, and a disk failure keeps the server's replicas
+/// offline through the end of the span. Uplink and brown-out events do
+/// not produce intervals (see [`AvailabilityConfig::faults`]).
+fn fault_down_intervals(
+    dc: &Datacenter,
+    plan: &FaultPlan,
+    span_end: SimTime,
+) -> Vec<(SimTime, SimTime, u32)> {
+    let n = dc.n_servers() as u32;
+    // Per-server (time, down?) edges, in plan order (already sorted).
+    let mut edges: Vec<(SimTime, bool, u32)> = Vec::new();
+    for ev in plan.events.iter().filter(|e| e.at < span_end) {
+        match ev.kind {
+            FaultKind::ServerCrash { server } if server < n => {
+                edges.push((ev.at, true, server));
+            }
+            FaultKind::ServerRestart { server } if server < n => {
+                edges.push((ev.at, false, server));
+            }
+            FaultKind::RackPowerLoss { rack } => {
+                for s in dc.servers_in_rack(rack) {
+                    edges.push((ev.at, true, s));
+                }
+            }
+            FaultKind::RackPowerRestore { rack } => {
+                for s in dc.servers_in_rack(rack) {
+                    edges.push((ev.at, false, s));
+                }
+            }
+            FaultKind::DiskFail { server } if server < n => {
+                edges.push((ev.at, true, server));
+            }
+            _ => {}
+        }
+    }
+    let mut open: std::collections::HashMap<u32, SimTime> = std::collections::HashMap::new();
+    let mut intervals = Vec::new();
+    for (at, goes_down, server) in edges {
+        if goes_down {
+            open.entry(server).or_insert(at);
+        } else if let Some(start) = open.remove(&server) {
+            intervals.push((start, at, server));
+        }
+    }
+    let mut dangling: Vec<(u32, SimTime)> = open.into_iter().collect();
+    dangling.sort_unstable();
+    for (server, start) in dangling {
+        intervals.push((start, span_end, server));
+    }
+    intervals
 }
 
 /// The busy mask at an instant: true for servers denying accesses.
@@ -308,6 +408,21 @@ mod tests {
                 r.failed_percent
             );
         }
+    }
+
+    #[test]
+    fn zero_placed_blocks_fails_every_access_without_panicking() {
+        // fill_fraction 0 forces the degenerate no-blocks store; the
+        // access replay must count failures, not panic on an empty draw.
+        let (dc, view) = setup(0.3);
+        let mut cfg = AvailabilityConfig::paper(PlacementPolicy::Stock, 3, 7);
+        cfg.span = SimDuration::from_hours(6);
+        cfg.fill_fraction = 0.0;
+        let r = simulate_availability(&dc, &view, &cfg);
+        assert_eq!(r.n_blocks, 0);
+        assert!(r.accesses > 0);
+        assert_eq!(r.failed, r.accesses);
+        assert_eq!(r.failed_percent, 100.0);
     }
 
     #[test]
@@ -457,6 +572,77 @@ mod tests {
         let fair = run_with_disk(0.6, DiskConfig::fair_share(), true);
         assert!(fair.disk_only_failures <= throttled.disk_only_failures);
         assert!(fair.mean_read_ms > 0.0);
+    }
+
+    #[test]
+    fn armed_plan_with_no_reachable_events_matches_fault_free() {
+        // Oracle: an armed plan whose only event is past the span must
+        // not perturb a single counter.
+        let (dc, view) = setup(0.5);
+        let mut base = AvailabilityConfig::paper(PlacementPolicy::History, 3, 7);
+        base.span = SimDuration::from_days(2);
+        base.accesses_per_second = 5.0;
+        base.network = Some(NetworkConfig::datacenter());
+        let mut armed = base.clone();
+        armed.faults = FaultPlan::with_events(vec![harvest_sim::fault::FaultEvent {
+            at: SimTime::ZERO + SimDuration::from_days(365),
+            kind: FaultKind::ServerCrash { server: 0 },
+        }]);
+        let a = simulate_availability(&dc, &view, &base);
+        let b = simulate_availability(&dc, &view, &armed);
+        assert_eq!(a.failed, b.failed);
+        assert_eq!(a.accesses, b.accesses);
+        assert_eq!(a.forced_remote_reads, b.forced_remote_reads);
+        assert_eq!(a.mean_read_ms, b.mean_read_ms);
+        assert_eq!(a.p99_read_ms, b.p99_read_ms);
+        assert_eq!(b.fault_down_ticks, 0);
+    }
+
+    #[test]
+    fn rack_loss_degrades_availability() {
+        // Powering a rack off for half the span makes every access to a
+        // block fully resident there fail — strictly more failures than
+        // the fault-free run, visible as fault-down server-ticks.
+        let (dc, view) = setup(0.5);
+        let mut cfg = AvailabilityConfig::paper(PlacementPolicy::Stock, 3, 7);
+        cfg.span = SimDuration::from_days(2);
+        cfg.accesses_per_second = 5.0;
+        let clean = simulate_availability(&dc, &view, &cfg);
+        let mut faulted = cfg.clone();
+        faulted.faults = FaultPlan::with_events(vec![
+            harvest_sim::fault::FaultEvent {
+                at: SimTime::ZERO + SimDuration::from_hours(2),
+                kind: FaultKind::RackPowerLoss { rack: 0 },
+            },
+            harvest_sim::fault::FaultEvent {
+                at: SimTime::ZERO + SimDuration::from_hours(26),
+                kind: FaultKind::RackPowerRestore { rack: 0 },
+            },
+        ]);
+        let f = simulate_availability(&dc, &view, &faulted);
+        assert!(f.fault_down_ticks > 0, "no fault-down ticks recorded");
+        assert!(
+            f.failed > clean.failed,
+            "rack loss did not degrade availability: {} vs {}",
+            f.failed,
+            clean.failed
+        );
+    }
+
+    #[test]
+    fn faulted_availability_is_deterministic() {
+        let (dc, view) = setup(0.5);
+        let mut cfg = AvailabilityConfig::paper(PlacementPolicy::Stock, 3, 7);
+        cfg.span = SimDuration::from_days(2);
+        cfg.accesses_per_second = 5.0;
+        cfg.faults = FaultPlan::with_events(vec![harvest_sim::fault::FaultEvent {
+            at: SimTime::ZERO + SimDuration::from_hours(2),
+            kind: FaultKind::DiskFail { server: 3 },
+        }]);
+        let a = simulate_availability(&dc, &view, &cfg);
+        let b = simulate_availability(&dc, &view, &cfg);
+        assert_eq!(a.failed, b.failed);
+        assert_eq!(a.fault_down_ticks, b.fault_down_ticks);
     }
 
     #[test]

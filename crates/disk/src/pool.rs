@@ -154,8 +154,12 @@ pub struct DiskStats {
     pub reshares: u64,
     /// Superseded completion events dropped — cancelled in the queue
     /// when a re-share re-predicted the stream, or (defensively)
-    /// recognized stale by version at fire time.
+    /// recognized stale by version at fire time, plus cancels that
+    /// found nothing to cancel (fault-driven mass cancellation).
     pub stale_events_dropped: u64,
+    /// Streams aborted by fault injection (disk death or a caller
+    /// tearing down a doomed transfer) before completion.
+    pub streams_aborted: u64,
     /// High-water mark of the event heap (including not-yet-collected
     /// tombstones).
     pub peak_queue_len: usize,
@@ -177,6 +181,12 @@ pub struct DiskPool {
     /// until the first update), so a bitwise-unchanged utilization
     /// replay costs one compare instead of a demand-model evaluation.
     primary_util: Vec<f64>,
+    /// Fault state: a brown-out multiplier on each disk's secondary
+    /// bandwidth (1.0 = healthy; 0.0 parks every stream). Multiplying
+    /// by 1.0 is bitwise-exact, so fault-free runs are unaffected.
+    degrade: Vec<f64>,
+    /// Dead cancels already folded into `stats.stale_events_dropped`.
+    dead_cancels_seen: u64,
     /// Active secondary streams per server, across both channels.
     streams_per_server: Vec<u32>,
     /// Servers with at least one active stream, ascending — the set a
@@ -250,6 +260,8 @@ impl DiskPool {
             patterns,
             primary_fraction: vec![0.0; n],
             primary_util: vec![f64::NAN; n],
+            degrade: vec![1.0; n],
+            dead_cancels_seen: 0,
             streams_per_server: vec![0; n],
             active_servers: BTreeSet::new(),
             channels: vec![Channel::default(); 2 * n],
@@ -299,6 +311,7 @@ impl DiskPool {
                 ("disk/peak_active", s.peak_active as u64),
                 ("disk/reshares", s.reshares),
                 ("disk/stale_events_dropped", s.stale_events_dropped),
+                ("disk/streams_aborted", s.streams_aborted),
                 ("disk/peak_queue_len", s.peak_queue_len as u64),
             ] {
                 let id = self.rec.counter(name);
@@ -378,13 +391,14 @@ impl DiskPool {
     }
 
     /// The bandwidth currently available to secondary streams on a
-    /// channel, after the primary's demand and the throttle policy.
+    /// channel, after the primary's demand, the throttle policy, and
+    /// any fault-injected brown-out factor.
     pub fn secondary_capacity(&self, server: ServerId, dir: IoDir) -> f64 {
         let share = self
             .config
             .throttle
             .secondary_fraction(self.primary_fraction[server.0 as usize]);
-        self.capacity(dir) * share
+        self.capacity(dir) * share * self.degrade[server.0 as usize]
     }
 
     /// Sum of active secondary stream rates on a channel, in bytes/s.
@@ -508,7 +522,141 @@ impl DiskPool {
                 DiskEvent::Complete(id, version) => self.on_complete(id, version, now),
             }
         }
+        self.sync_dead_cancels();
         std::mem::take(&mut self.completions)
+    }
+
+    /// Folds the queue's dead-cancel count (cancels of already-fired
+    /// keys — only fault-driven mass cancellation produces them) into
+    /// `stale_events_dropped`. A no-op in fault-free runs.
+    fn sync_dead_cancels(&mut self) {
+        let d = self.queue.n_dead_cancels();
+        self.stats.stale_events_dropped += d - self.dead_cancels_seen;
+        self.dead_cancels_seen = d;
+    }
+
+    /// The fault-injected brown-out factor on a disk (1.0 = healthy).
+    pub fn degrade_factor(&self, server: ServerId) -> f64 {
+        self.degrade[server.0 as usize]
+    }
+
+    /// Sets a disk's brown-out factor and re-shares both its channels.
+    /// `factor` multiplies the secondary bandwidth: 0.7 models a
+    /// degraded replacement disk, 0.0 parks every stream until a later
+    /// call restores it. Same pumped-to-`now` contract as
+    /// [`DiskPool::set_primary_util`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn set_degrade(&mut self, now: SimTime, server: ServerId, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "degrade factor must be finite and non-negative, got {factor}"
+        );
+        if factor == self.degrade[server.0 as usize] {
+            return;
+        }
+        self.degrade[server.0 as usize] = factor;
+        for dir in [IoDir::Read, IoDir::Write] {
+            self.reshare_scoped(chan(server, dir), now);
+        }
+    }
+
+    /// Kills a disk: every stream on either channel — active, or
+    /// scheduled but unstarted — aborts. Returns the aborted streams'
+    /// tags. The disk itself stays usable for *new* streams (the
+    /// replaced-disk model); combine with [`DiskPool::set_degrade`] to
+    /// model a dead-until-restored disk.
+    pub fn fail_server(&mut self, now: SimTime, server: ServerId) -> Vec<u64> {
+        let mut ids: Vec<u64> = Vec::new();
+        for dir in [IoDir::Read, IoDir::Write] {
+            ids.extend(&self.channels[chan(server, dir) as usize].streams);
+        }
+        let mut tags = Vec::new();
+        for id in ids {
+            if let Some((tag, c)) = self.abort_active(StreamId(id), now) {
+                tags.push(tag);
+                self.reshare_scoped(c, now);
+            }
+        }
+        let pend: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.server == server)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in pend {
+            let p = self.pending.remove(&id).expect("collected above");
+            self.stats.streams_aborted += 1;
+            tags.push(p.tag);
+        }
+        self.sync_dead_cancels();
+        tags
+    }
+
+    /// Aborts every stream (active or scheduled) whose tag is in `tags`
+    /// — the fault path for "this transfer's purpose just died".
+    /// Returns the number aborted.
+    pub fn abort_streams_with_tags(
+        &mut self,
+        now: SimTime,
+        tags: &std::collections::HashSet<u64>,
+    ) -> usize {
+        let ids: Vec<u64> = self
+            .active
+            .iter()
+            .filter(|(_, s)| tags.contains(&s.tag))
+            .map(|(&id, _)| id)
+            .collect();
+        let mut n = 0;
+        for id in ids {
+            if let Some((_, c)) = self.abort_active(StreamId(id), now) {
+                n += 1;
+                self.reshare_scoped(c, now);
+            }
+        }
+        let pend: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| tags.contains(&p.tag))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in pend {
+            self.pending.remove(&id);
+            self.stats.streams_aborted += 1;
+            n += 1;
+        }
+        self.sync_dead_cancels();
+        n
+    }
+
+    /// Removes an active stream without completing it, mirroring
+    /// `on_complete`'s bookkeeping (channel list, per-server counts,
+    /// pending event, obs state). Returns the stream's tag and channel
+    /// so the caller can re-share it.
+    fn abort_active(&mut self, id: StreamId, now: SimTime) -> Option<(u64, u32)> {
+        let stream = self.active.remove(&id.0)?;
+        let c = stream.chan;
+        let list = &mut self.channels[c as usize].streams;
+        let pos = list.iter().position(|&s| s == id.0).expect("on channel");
+        list.remove(pos);
+        let (server, _) = unchan(c);
+        let per_server = &mut self.streams_per_server[server.0 as usize];
+        *per_server -= 1;
+        if *per_server == 0 {
+            self.active_servers.remove(&server.0);
+        }
+        if let Some(key) = stream.pending {
+            if self.queue.cancel(key) {
+                self.stats.stale_events_dropped += 1;
+            }
+        }
+        self.stats.streams_aborted += 1;
+        if let Some(obs) = &self.obs {
+            self.rec.state_exit(obs.states, id.0, now);
+        }
+        Some((stream.tag, c))
     }
 
     /// Drains the pool to quiescence, returning all remaining
@@ -999,6 +1147,65 @@ mod tests {
             rec.counter_value("disk/parks").unwrap_or(0) >= 1,
             "the throttled stream should have parked at least once"
         );
+    }
+
+    #[test]
+    fn degrade_slows_and_restores_streams() {
+        let mut p = pool();
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 160 * MB, 1);
+        p.pump(SimTime::ZERO);
+        let healthy = p.stream_rate(StreamId(0)).unwrap();
+        assert_eq!(p.degrade_factor(S0), 1.0);
+        p.set_degrade(SimTime::from_millis(100), S0, 0.5);
+        let r = p.stream_rate(StreamId(0)).unwrap();
+        assert!(
+            (r - healthy * 0.5).abs() / healthy < 1e-9,
+            "browned-out rate {r} vs healthy {healthy}"
+        );
+        // Full brown-out parks; restore rescues.
+        p.set_degrade(SimTime::from_millis(200), S0, 0.0);
+        assert_eq!(p.stream_rate(StreamId(0)), Some(0.0));
+        assert!(p.pump(SimTime::from_secs(3_600)).is_empty());
+        p.set_degrade(SimTime::from_secs(3_600), S0, 1.0);
+        let done = p.drain();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].at >= SimTime::from_secs(3_600));
+    }
+
+    #[test]
+    fn fail_server_aborts_both_channels_and_pending() {
+        let mut p = pool();
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 160 * MB, 1);
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Write, 160 * MB, 2);
+        p.schedule_stream(SimTime::from_secs(9), S0, IoDir::Read, MB, 3);
+        p.schedule_stream(SimTime::ZERO, S1, IoDir::Read, 16 * MB, 4);
+        p.pump(SimTime::ZERO);
+        let mut tags = p.fail_server(SimTime::from_millis(50), S0);
+        tags.sort_unstable();
+        assert_eq!(tags, vec![1, 2, 3]);
+        assert_eq!(p.stats().streams_aborted, 3);
+        assert_eq!(p.n_active(), 1, "the bystander on S1 survives");
+        // The replaced disk accepts new streams.
+        p.schedule_stream(SimTime::from_secs(10), S0, IoDir::Read, MB, 5);
+        let done: Vec<u64> = p.drain().into_iter().map(|c| c.tag).collect();
+        assert_eq!(done, vec![4, 5]);
+    }
+
+    #[test]
+    fn abort_by_tag_leaves_other_streams_alone() {
+        let mut p = pool();
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 80 * MB, 9);
+        p.schedule_stream(SimTime::ZERO, S1, IoDir::Write, 80 * MB, 9);
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 8 * MB, 2);
+        p.pump(SimTime::ZERO);
+        let dead: std::collections::HashSet<u64> = [9].into_iter().collect();
+        assert_eq!(p.abort_streams_with_tags(SimTime::from_millis(1), &dead), 2);
+        let done = p.drain();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 2);
+        // The survivor sped up once its channel-mate aborted.
+        let secs = done[0].at.as_secs_f64();
+        assert!(secs < 0.2, "survivor took {secs}s — bandwidth not released");
     }
 
     /// Channel scoping and the global reference recompute must agree

@@ -148,9 +148,14 @@ pub struct FabricStats {
     pub reshares: u64,
     /// Superseded completion events dropped — cancelled in the queue
     /// when a re-share re-predicted the flow, or (defensively)
-    /// recognized stale by version at fire time. High churn relative to
-    /// `completed` means heavy rate turbulence.
+    /// recognized stale by version at fire time, plus cancels that
+    /// found nothing to cancel (the key had already fired — counted so
+    /// fault-driven mass cancellation stays observable). High churn
+    /// relative to `completed` means heavy rate turbulence.
     pub stale_events_dropped: u64,
+    /// Flows aborted by fault injection (link or endpoint death) before
+    /// their last byte arrived — scheduled-but-unstarted flows included.
+    pub flows_aborted: u64,
     /// High-water mark of the event heap (including not-yet-collected
     /// tombstones) — the memory the fabric's future-event list peaked
     /// at.
@@ -176,6 +181,13 @@ pub struct Fabric {
     /// Running sum of active flows' `remaining` (as of each flow's own
     /// `last_update`), serving `in_flight_bytes` in O(1).
     in_flight_remaining: f64,
+    /// Fault state: a down link contributes zero capacity to the
+    /// filling, so flows crossing it starve (rate 0, parked completion)
+    /// until the link comes back. All-true outside fault runs.
+    link_up: Vec<bool>,
+    /// Dead cancels already folded into `stats.stale_events_dropped`
+    /// (see `sync_dead_cancels`).
+    dead_cancels_seen: u64,
     scope: ReshareScope,
     next_id: u64,
     hop_latency: SimDuration,
@@ -216,6 +228,8 @@ impl Fabric {
             link_seen: vec![0; n_links],
             epoch: 0,
             in_flight_remaining: 0.0,
+            link_up: vec![true; n_links],
+            dead_cancels_seen: 0,
             scope: ReshareScope::Component,
             next_id: 0,
             hop_latency: SimDuration::from_secs_f64(config.hop_latency_ms / 1_000.0),
@@ -256,6 +270,7 @@ impl Fabric {
                 ("fabric/peak_active", s.peak_active as u64),
                 ("fabric/reshares", s.reshares),
                 ("fabric/stale_events_dropped", s.stale_events_dropped),
+                ("fabric/flows_aborted", s.flows_aborted),
                 ("fabric/peak_queue_len", s.peak_queue_len as u64),
             ] {
                 let id = self.rec.counter(name);
@@ -401,13 +416,181 @@ impl Fabric {
                 NetEvent::Complete(id, version) => self.on_complete(id, version, now),
             }
         }
+        self.sync_dead_cancels();
         std::mem::take(&mut self.completions)
+    }
+
+    /// Folds the queue's dead-cancel count (cancels of already-fired
+    /// keys — only fault-driven mass cancellation produces them) into
+    /// `stale_events_dropped`. A no-op in fault-free runs.
+    fn sync_dead_cancels(&mut self) {
+        let d = self.queue.n_dead_cancels();
+        self.stats.stale_events_dropped += d - self.dead_cancels_seen;
+        self.dead_cancels_seen = d;
     }
 
     /// Drains the fabric to quiescence, returning all remaining
     /// completions. Useful at the end of a simulation.
     pub fn drain(&mut self) -> Vec<FlowCompletion> {
         self.pump(SimTime::MAX)
+    }
+
+    /// Whether a link is currently up (fault injection downs links).
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.link_up[link.0 as usize]
+    }
+
+    /// Whether every link on the `src → dst` path is up. The empty path
+    /// (a local copy) is trivially up; endpoint death is visible here
+    /// only through the NIC links, so callers tracking dead *servers*
+    /// must check those separately.
+    pub fn path_up(&self, src: ServerId, dst: ServerId) -> bool {
+        self.topo
+            .path_links(src, dst)
+            .as_slice()
+            .iter()
+            .all(|l| self.link_up[l.0 as usize])
+    }
+
+    /// Takes a link down: active flows crossing it abort (their tags
+    /// are returned so the caller can retry elsewhere), scheduled but
+    /// unstarted flows whose path crosses it abort too, and until
+    /// [`Fabric::set_link_up`] the link contributes zero capacity — a
+    /// new flow routed over it starves at rate 0 (parked completion)
+    /// rather than erroring. Idempotent; a second down returns nothing.
+    pub fn set_link_down(&mut self, now: SimTime, link: LinkId) -> Vec<u64> {
+        if !self.link_up[link.0 as usize] {
+            return Vec::new();
+        }
+        self.link_up[link.0 as usize] = false;
+        let ids: Vec<u64> = self.flows_on[link.0 as usize].clone();
+        let mut tags = Vec::new();
+        let mut seeds: Vec<LinkId> = vec![link];
+        for id in ids {
+            if let Some(tag) = self.abort_active(FlowId(id), now, &mut seeds) {
+                tags.push(tag);
+            }
+        }
+        let crossing: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| {
+                self.topo
+                    .path_links(p.src, p.dst)
+                    .as_slice()
+                    .contains(&link)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in crossing {
+            let p = self.pending.remove(&id).expect("collected above");
+            self.stats.flows_aborted += 1;
+            tags.push(p.tag);
+        }
+        self.reshare(now, &seeds);
+        self.sync_dead_cancels();
+        tags
+    }
+
+    /// Brings a link back up and re-shares over it, rescuing any flows
+    /// parked at rate 0 on its account. Idempotent.
+    pub fn set_link_up(&mut self, now: SimTime, link: LinkId) {
+        if self.link_up[link.0 as usize] {
+            return;
+        }
+        self.link_up[link.0 as usize] = true;
+        self.reshare(now, &[link]);
+    }
+
+    /// Kills a server as a network endpoint: both its NIC links go
+    /// down, and every flow touching it — active, or scheduled but
+    /// unstarted (including instant local copies) — aborts. Returns the
+    /// aborted flows' tags.
+    pub fn fail_endpoint(&mut self, now: SimTime, server: ServerId) -> Vec<u64> {
+        let mut tags = self.set_link_down(now, self.topo.server_tx(server));
+        tags.extend(self.set_link_down(now, self.topo.server_rx(server)));
+        let touching: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.src == server || p.dst == server)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in touching {
+            let p = self.pending.remove(&id).expect("collected above");
+            self.stats.flows_aborted += 1;
+            tags.push(p.tag);
+        }
+        tags
+    }
+
+    /// Brings a dead endpoint's NIC links back up.
+    pub fn restore_endpoint(&mut self, now: SimTime, server: ServerId) {
+        self.set_link_up(now, self.topo.server_tx(server));
+        self.set_link_up(now, self.topo.server_rx(server));
+    }
+
+    /// Aborts every flow (active or scheduled) whose tag is in `tags` —
+    /// the fault path for "this transfer's purpose just died" (e.g. a
+    /// repair whose destination crashed). Returns the number aborted.
+    pub fn abort_flows_with_tags(
+        &mut self,
+        now: SimTime,
+        tags: &std::collections::HashSet<u64>,
+    ) -> usize {
+        let ids: Vec<u64> = self
+            .active
+            .iter()
+            .filter(|(_, f)| tags.contains(&f.tag))
+            .map(|(&id, _)| id)
+            .collect();
+        let mut n = 0;
+        let mut seeds: Vec<LinkId> = Vec::new();
+        for id in ids {
+            if self.abort_active(FlowId(id), now, &mut seeds).is_some() {
+                n += 1;
+            }
+        }
+        let pend: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| tags.contains(&p.tag))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in pend {
+            self.pending.remove(&id);
+            self.stats.flows_aborted += 1;
+            n += 1;
+        }
+        if !seeds.is_empty() {
+            self.reshare(now, &seeds);
+        }
+        self.sync_dead_cancels();
+        n
+    }
+
+    /// Removes an active flow without completing it, mirroring
+    /// `on_complete`'s bookkeeping (index, running totals, pending
+    /// event, obs state). Pushes the flow's links onto `seeds` so the
+    /// caller can re-share once over everything it aborted.
+    fn abort_active(&mut self, id: FlowId, now: SimTime, seeds: &mut Vec<LinkId>) -> Option<u64> {
+        let flow = self.active.remove(&id.0)?;
+        self.in_flight_remaining -= flow.remaining;
+        for l in &flow.path {
+            let list = &mut self.flows_on[l.0 as usize];
+            let pos = list.binary_search(&id.0).expect("flow indexed on link");
+            list.remove(pos);
+            seeds.push(*l);
+        }
+        if let Some(key) = flow.pending {
+            if self.queue.cancel(key) {
+                self.stats.stale_events_dropped += 1;
+            }
+        }
+        self.stats.flows_aborted += 1;
+        if let Some(obs) = &self.obs {
+            self.rec.state_exit(obs.states, id.0, now);
+        }
+        Some(flow.tag)
     }
 
     fn on_start(&mut self, id: FlowId, now: SimTime) {
@@ -497,9 +680,21 @@ impl Fabric {
         });
     }
 
+    /// A link's capacity as the filling sees it: zero while the link is
+    /// down (fault injection), the physical capacity otherwise. The
+    /// all-up multiply-by-nothing path is the exact `topo.capacity`
+    /// value, so fault-free runs are bitwise unaffected.
+    fn effective_capacity(&self, link: LinkId) -> f64 {
+        if self.link_up[link.0 as usize] {
+            self.topo.capacity(link)
+        } else {
+            0.0
+        }
+    }
+
     fn path_bottleneck(&self, path: &[LinkId]) -> f64 {
         path.iter()
-            .map(|&l| self.topo.capacity(l))
+            .map(|&l| self.effective_capacity(l))
             .fold(f64::INFINITY, f64::min)
     }
 
@@ -598,7 +793,7 @@ impl Fabric {
             |link: LinkId| -> usize { used.binary_search(&link.0).expect("link in used set") };
         let mut spare: Vec<f64> = used
             .iter()
-            .map(|&l| self.topo.capacity(LinkId(l)))
+            .map(|&l| self.effective_capacity(LinkId(l)))
             .collect();
         let mut unfrozen_on: Vec<u32> = vec![0; used.len()];
         for id in &ids {
@@ -1021,6 +1216,87 @@ mod tests {
             rec_on.counter_value("fabric/peak_queue_len"),
             Some(stats_on.peak_queue_len as u64)
         );
+    }
+
+    #[test]
+    fn link_down_aborts_crossing_flows() {
+        let (dc, mut f) = fabric();
+        let (a, b) = cross_rack_pair(&dc);
+        f.schedule_flow(SimTime::ZERO, a, b, 1_250 * MB, 7);
+        f.pump(SimTime::ZERO);
+        assert_eq!(f.n_active(), 1);
+        let tx = f.topology().server_tx(a);
+        assert!(f.path_up(a, b));
+        let tags = f.set_link_down(SimTime::from_millis(100), tx);
+        assert_eq!(tags, vec![7]);
+        assert_eq!(f.n_active(), 0);
+        assert_eq!(f.stats().flows_aborted, 1);
+        assert!(!f.link_is_up(tx));
+        assert!(!f.path_up(a, b));
+        // Idempotent: a second down aborts nothing.
+        assert!(f.set_link_down(SimTime::from_millis(100), tx).is_empty());
+        // The aborted flow never completes.
+        assert!(f.drain().is_empty());
+        assert_eq!(f.stats().completed, 0);
+    }
+
+    #[test]
+    fn flow_over_a_dead_link_parks_until_link_up() {
+        let (dc, mut f) = fabric();
+        let (a, b) = cross_rack_pair(&dc);
+        let tx = f.topology().server_tx(a);
+        f.set_link_down(SimTime::ZERO, tx);
+        // Scheduled after the outage: it starts, starves at rate 0.
+        let id = f.schedule_flow(SimTime::from_millis(10), a, b, 10 * MB, 1);
+        f.pump(SimTime::from_millis(10));
+        assert_eq!(f.n_active(), 1);
+        assert_eq!(f.flow_rate(id), Some(0.0));
+        // No completion while the link is down...
+        assert!(f.pump(SimTime::from_secs(3_600)).is_empty());
+        // ...and the link coming back rescues it.
+        f.set_link_up(SimTime::from_secs(3_600), tx);
+        let done = f.drain();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 1);
+        assert!(done[0].at >= SimTime::from_secs(3_600));
+    }
+
+    #[test]
+    fn endpoint_death_aborts_everything_touching_the_server() {
+        let (dc, mut f) = fabric();
+        let (a, b) = cross_rack_pair(&dc);
+        f.schedule_flow(SimTime::ZERO, a, b, 500 * MB, 1); // outbound, active
+        f.schedule_flow(SimTime::ZERO, b, a, 500 * MB, 2); // inbound, active
+        f.schedule_flow(SimTime::from_secs(5), a, a, MB, 3); // pending local copy
+        f.pump(SimTime::ZERO);
+        let mut tags = f.fail_endpoint(SimTime::from_millis(50), a);
+        tags.sort_unstable();
+        assert_eq!(tags, vec![1, 2, 3]);
+        assert_eq!(f.n_active(), 0);
+        assert_eq!(f.n_pending(), 0);
+        assert_eq!(f.stats().flows_aborted, 3);
+        // After restore, new transfers to the server work again.
+        f.restore_endpoint(SimTime::from_secs(10), a);
+        f.schedule_flow(SimTime::from_secs(10), b, a, 10 * MB, 4);
+        let done = f.drain();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 4);
+    }
+
+    #[test]
+    fn abort_by_tag_takes_out_all_parts() {
+        let (dc, mut f) = fabric();
+        let (a, b) = cross_rack_pair(&dc);
+        f.schedule_flow(SimTime::ZERO, a, b, 500 * MB, 9);
+        f.schedule_flow(SimTime::ZERO, b, a, 500 * MB, 9);
+        f.schedule_flow(SimTime::ZERO, a, b, 10 * MB, 2);
+        f.pump(SimTime::ZERO);
+        let dead: std::collections::HashSet<u64> = [9].into_iter().collect();
+        assert_eq!(f.abort_flows_with_tags(SimTime::from_millis(1), &dead), 2);
+        assert_eq!(f.n_active(), 1);
+        let done = f.drain();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 2);
     }
 
     /// link_load served from the inverted index agrees with a direct

@@ -84,6 +84,7 @@ use harvest_jobs::shuffle::{stage_shuffle_bytes, DEFAULT_BYTES_PER_TASK};
 use harvest_jobs::workload::Workload;
 use harvest_net::{Fabric, NetworkConfig};
 use harvest_sim::engine::EventQueue;
+use harvest_sim::fault::{FaultKind, FaultPlan};
 use harvest_sim::obs::{GaugeId, HistogramId, Recorder, StateTrackId, TrackId};
 use harvest_sim::rng::stream_rng;
 use harvest_sim::{SimDuration, SimTime};
@@ -156,6 +157,18 @@ pub struct SchedSimConfig {
     /// full-sweep reference. The two are bitwise identical in outcome;
     /// `Full` exists for validation and benchmarking.
     pub sweep: TickSweep,
+    /// Deterministic fault injection. A crashed (or rack-power-lost)
+    /// server loses every container it hosts — the interrupted stages
+    /// re-dispatch after exponential backoff, up to the plan's retry
+    /// budget, after which the job is abandoned — and drops out of
+    /// placement until its restart. With a data-movement model on,
+    /// in-flight shuffle parts touching the fault abort and the gate
+    /// restarts from scratch; disk faults (`DiskFail`/`DiskDegrade`)
+    /// only matter when `disk` is set, uplink faults only when
+    /// `network` is. [`FaultPlan::none`] (the default) keeps every
+    /// fault branch unarmed: the trajectory is bitwise identical to the
+    /// pre-fault simulator (pinned by tests).
+    pub faults: FaultPlan,
 }
 
 impl SchedSimConfig {
@@ -173,6 +186,7 @@ impl SchedSimConfig {
             disk: None,
             shuffle_bytes_per_task: DEFAULT_BYTES_PER_TASK,
             sweep: TickSweep::Incremental,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -191,6 +205,89 @@ enum Ev {
     /// Wake-up so in-flight shuffle completions are observed promptly
     /// rather than at the next two-minute tick.
     NetWake,
+    /// An injected fault fires (index into the expanded action list).
+    /// Only queued when the fault plan is non-empty, so the fault-free
+    /// event stream is untouched.
+    Fault(usize),
+    /// A fault-interrupted stage's backoff delay elapsed (payload is
+    /// the stage entity `job << 32 | stage`): the stage becomes
+    /// placeable again.
+    Retry(u64),
+}
+
+/// A server-granular fault consequence, expanded from the plan's rack-
+/// and server-level events (rack power events fan out to every server
+/// in the rack). Unlike the durability engine there is no heartbeat
+/// grace here: the RM sees a dead node manager at crash time.
+#[derive(Debug, Clone, Copy)]
+enum SchedFaultAction {
+    /// The node manager dies: its containers are lost, in-flight
+    /// shuffle parts touching it abort, and placement skips it.
+    Crash(ServerId),
+    /// The server rejoins the cluster (empty — tasks do not survive).
+    Restore(ServerId),
+    /// Both rack↔agg links die (shuffles crossing them abort).
+    UplinkDown(u32),
+    /// Both rack↔agg links recover.
+    UplinkUp(u32),
+    /// The disk dies and is replaced: streams on it abort once.
+    DiskFail(ServerId),
+    /// Brown-out: the disk's secondary bandwidth scales by a factor.
+    DiskDegrade(ServerId, f64),
+}
+
+/// Expands a [`FaultPlan`] into the server-granular actions the event
+/// loop consumes. Events past `horizon` are dropped, so an armed plan
+/// whose events never fire is exactly a no-op; out-of-range targets (a
+/// plan drawn for a different cluster shape) are skipped.
+fn expand_sched_fault_plan(
+    dc: &Datacenter,
+    plan: &FaultPlan,
+    horizon: SimTime,
+) -> Vec<(SimTime, SchedFaultAction)> {
+    let n = dc.n_servers() as u32;
+    let n_racks = dc.n_racks() as u32;
+    let mut out: Vec<(SimTime, SchedFaultAction)> = Vec::new();
+    for ev in plan.events.iter().filter(|e| e.at <= horizon) {
+        let mut add = |action: SchedFaultAction| out.push((ev.at, action));
+        match ev.kind {
+            FaultKind::ServerCrash { server } if server < n => {
+                add(SchedFaultAction::Crash(ServerId(server)));
+            }
+            FaultKind::ServerRestart { server } if server < n => {
+                add(SchedFaultAction::Restore(ServerId(server)));
+            }
+            FaultKind::RackPowerLoss { rack } if rack < n_racks => {
+                for s in dc.servers_in_rack(rack) {
+                    add(SchedFaultAction::Crash(ServerId(s)));
+                }
+            }
+            FaultKind::RackPowerRestore { rack } if rack < n_racks => {
+                for s in dc.servers_in_rack(rack) {
+                    add(SchedFaultAction::Restore(ServerId(s)));
+                }
+            }
+            FaultKind::RackUplinkDown { rack } if rack < n_racks => {
+                add(SchedFaultAction::UplinkDown(rack));
+            }
+            FaultKind::RackUplinkUp { rack } if rack < n_racks => {
+                add(SchedFaultAction::UplinkUp(rack));
+            }
+            FaultKind::DiskFail { server } if server < n => {
+                add(SchedFaultAction::DiskFail(ServerId(server)));
+            }
+            FaultKind::DiskDegrade { server, factor }
+                if server < n && factor.is_finite() && factor >= 0.0 =>
+            {
+                add(SchedFaultAction::DiskDegrade(ServerId(server), factor));
+            }
+            _ => {}
+        }
+    }
+    // The plan is already time-sorted and the expansion preserves
+    // order, so same-time actions keep their plan order via the event
+    // queue's FIFO tie-break.
+    out
 }
 
 /// How many aggregate flows one stage's shuffle is split into (one per
@@ -343,6 +440,21 @@ struct Runner<'a> {
     /// on, so the tick pays one `Option` check when off.
     rec: Recorder,
     obs: Option<SchedObs>,
+    /// Expanded fault actions, indexed by `Ev::Fault`.
+    fault_actions: Vec<(SimTime, SchedFaultAction)>,
+    /// Whether the fault plan is non-empty. Every branch that could
+    /// perturb the fault-free trajectory checks this first.
+    fault_armed: bool,
+    /// Servers currently crashed / powered off.
+    down: Vec<bool>,
+    /// Fault-retry budget spent per stage entity (`job << 32 | stage`).
+    fault_attempts: std::collections::HashMap<u64, u32>,
+    /// Stage entities currently in the `retrying` wait state, so open
+    /// states can be closed at end-of-run (conservation).
+    fault_retrying: std::collections::HashSet<u64>,
+    fault_kills: u64,
+    fault_retries: u64,
+    jobs_abandoned: u64,
 }
 
 impl<'a> Runner<'a> {
@@ -389,6 +501,13 @@ impl<'a> Runner<'a> {
                 d.set_recorder(rec.child());
             }
         }
+        let end_of_time = SimTime::ZERO + sim.cfg.horizon + sim.cfg.drain;
+        let fault_armed = !sim.cfg.faults.is_none();
+        let fault_actions = if fault_armed {
+            expand_sched_fault_plan(sim.dc, &sim.cfg.faults, end_of_time)
+        } else {
+            Vec::new()
+        };
         Runner {
             sim,
             rng: stream_rng(sim.cfg.seed, "sched-sim"),
@@ -418,7 +537,7 @@ impl<'a> Runner<'a> {
                 }
             ],
             kills_per_server: vec![0u64; n_servers],
-            end_of_time: SimTime::ZERO + sim.cfg.horizon + sim.cfg.drain,
+            end_of_time,
             fabric,
             disks,
             shuffle_gate: Vec::new(),
@@ -427,6 +546,14 @@ impl<'a> Runner<'a> {
             last_tick: None,
             rec,
             obs,
+            fault_actions,
+            fault_armed,
+            down: vec![false; n_servers],
+            fault_attempts: std::collections::HashMap::new(),
+            fault_retrying: std::collections::HashSet::new(),
+            fault_kills: 0,
+            fault_retries: 0,
+            jobs_abandoned: 0,
         }
     }
 
@@ -444,11 +571,21 @@ impl<'a> Runner<'a> {
             self.queue.push(t, Ev::Tick);
             t += TICK;
         }
+        // Fault actions enter the queue last, so a fault coinciding
+        // with a tick or arrival fires after it (FIFO tie-break). With
+        // an empty plan nothing is pushed and the event stream is
+        // byte-for-byte the fault-free one.
+        for i in 0..self.fault_actions.len() {
+            let at = self.fault_actions[i].0;
+            self.queue.push(at, Ev::Fault(i));
+        }
 
+        let mut last_now = SimTime::ZERO;
         while let Some((now, ev)) = self.queue.pop() {
             if now > self.end_of_time {
                 break;
             }
+            last_now = now;
             self.pump_fabric(now);
             match ev {
                 Ev::Arrival(idx) => self.on_arrival(idx, now),
@@ -460,8 +597,21 @@ impl<'a> Runner<'a> {
                     }
                     self.schedule_pass(now);
                 }
+                Ev::Fault(i) => self.on_fault(i, now),
+                Ev::Retry(entity) => self.on_retry(entity, now),
             }
             self.arm_net_wake(now);
+        }
+
+        // Stages still waiting out a backoff when the clock ran out
+        // close their `retrying` state here, so faulted traces keep the
+        // tiling invariant (every enter has a matching exit).
+        if let Some(obs) = &self.obs {
+            let mut open: Vec<u64> = self.fault_retrying.iter().copied().collect();
+            open.sort_unstable();
+            for entity in open {
+                self.rec.state_exit(obs.stages, entity, last_now);
+            }
         }
 
         let jobs = self
@@ -501,6 +651,14 @@ impl<'a> Runner<'a> {
             self.rec.counter_set(id, self.tasks_started);
             let id = self.rec.counter("sched/kills");
             self.rec.counter_set(id, self.total_kills);
+            if self.fault_armed {
+                let id = self.rec.counter("sched/fault_kills");
+                self.rec.counter_set(id, self.fault_kills);
+                let id = self.rec.counter("sched/fault_retries");
+                self.rec.counter_set(id, self.fault_retries);
+                let id = self.rec.counter("sched/jobs_abandoned");
+                self.rec.counter_set(id, self.jobs_abandoned);
+            }
         }
 
         let denom = 12.0 * self.sim.dc.n_servers() as f64 * self.observed_ms.max(1.0);
@@ -514,6 +672,9 @@ impl<'a> Runner<'a> {
             kills_per_server: self.kills_per_server,
             fabric: self.fabric.as_ref().map(|f| *f.stats()),
             disks: self.disks.as_ref().map(|p| *p.stats()),
+            fault_kills: self.fault_kills,
+            fault_retries: self.fault_retries,
+            jobs_abandoned: self.jobs_abandoned,
         };
         (stats, self.rec)
     }
@@ -830,11 +991,17 @@ impl<'a> Runner<'a> {
             let Some(cid) = roster.youngest(sid, |c| containers[c].alive) else {
                 break;
             };
-            self.kill_container(cid, now);
+            self.kill_container(cid, now, false);
         }
     }
 
-    fn kill_container(&mut self, cid: usize, now: SimTime) {
+    /// Kills one container: a reserve eviction (`fault == false`, the
+    /// pre-fault path — re-dispatch is immediate) or a fault kill
+    /// (`fault == true` — accounting goes to `fault_kills`, and the
+    /// caller re-dispatches with backoff). Returns the stage entity.
+    /// Either way the task returns to pending, so per-job `kills` (via
+    /// [`JobExecution::kill_task`]) counts both under an armed plan.
+    fn kill_container(&mut self, cid: usize, now: SimTime, fault: bool) -> u64 {
         let (job_id, stage, server, start, source_slot) = {
             let c = &mut self.containers[cid];
             debug_assert!(c.alive, "killing a dead container");
@@ -849,15 +1016,196 @@ impl<'a> Runner<'a> {
         if self.models_io() {
             self.stage_servers[job_id][stage.0].invalidate(source_slot);
         }
-        self.total_kills += 1;
-        self.kills_per_server[server.0 as usize] += 1;
-        if let Some(obs) = &mut self.obs {
-            let entity = ((job_id as u64) << 32) | stage.0 as u64;
-            obs.stage_running.remove(&entity);
-            self.rec
-                .state_enter(obs.stages, entity, "reserve_evicted", now);
+        if fault {
+            self.fault_kills += 1;
+        } else {
+            self.total_kills += 1;
         }
-        self.mark_runnable(job_id);
+        self.kills_per_server[server.0 as usize] += 1;
+        let entity = ((job_id as u64) << 32) | stage.0 as u64;
+        if let Some(obs) = &mut self.obs {
+            obs.stage_running.remove(&entity);
+            if !fault {
+                self.rec
+                    .state_enter(obs.stages, entity, "reserve_evicted", now);
+            }
+        }
+        if !fault {
+            self.mark_runnable(job_id);
+        }
+        entity
+    }
+
+    /// Applies one expanded fault action. Ordering within the event:
+    /// containers on the faulted server die first, then the fabric and
+    /// disk models abort in-flight shuffle parts touching it, then
+    /// every stage whose shuffle lost a part tears the rest of its
+    /// parts down and restarts from scratch — all interrupted stages
+    /// re-dispatch with backoff (or their job is abandoned past the
+    /// retry budget).
+    fn on_fault(&mut self, i: usize, now: SimTime) {
+        let (_, action) = self.fault_actions[i];
+        if let Some(obs) = &self.obs {
+            let name = match action {
+                SchedFaultAction::Crash(_) => "fault/crash",
+                SchedFaultAction::Restore(_) => "fault/restart",
+                SchedFaultAction::UplinkDown(_) => "fault/uplink-down",
+                SchedFaultAction::UplinkUp(_) => "fault/uplink-up",
+                SchedFaultAction::DiskFail(_) => "fault/disk-fail",
+                SchedFaultAction::DiskDegrade(..) => "fault/disk-degrade",
+            };
+            self.rec.instant(obs.track, name, now);
+        }
+        // Stage entities interrupted by this action (container kills
+        // and gate teardowns), deduplicated and in deterministic order.
+        let mut hit: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        let mut tags: Vec<u64> = Vec::new();
+        match action {
+            SchedFaultAction::Crash(s) => {
+                if !self.down[s.0 as usize] {
+                    self.down[s.0 as usize] = true;
+                    loop {
+                        let (roster, containers) = (&mut self.roster, &self.containers);
+                        let Some(cid) = roster.youngest(s, |c| containers[c].alive) else {
+                            break;
+                        };
+                        hit.insert(self.kill_container(cid, now, true));
+                    }
+                    if let Some(f) = self.fabric.as_mut() {
+                        tags.extend(f.fail_endpoint(now, s));
+                    }
+                    if let Some(d) = self.disks.as_mut() {
+                        tags.extend(d.fail_server(now, s));
+                    }
+                }
+            }
+            SchedFaultAction::Restore(s) => {
+                if self.down[s.0 as usize] {
+                    self.down[s.0 as usize] = false;
+                    if let Some(f) = self.fabric.as_mut() {
+                        f.restore_endpoint(now, s);
+                    }
+                }
+            }
+            SchedFaultAction::UplinkDown(rack) => {
+                if let Some(f) = self.fabric.as_mut() {
+                    let (up, dn) = {
+                        let t = f.topology();
+                        (t.rack_up(rack), t.rack_down(rack))
+                    };
+                    tags.extend(f.set_link_down(now, up));
+                    tags.extend(f.set_link_down(now, dn));
+                }
+            }
+            SchedFaultAction::UplinkUp(rack) => {
+                if let Some(f) = self.fabric.as_mut() {
+                    let (up, dn) = {
+                        let t = f.topology();
+                        (t.rack_up(rack), t.rack_down(rack))
+                    };
+                    f.set_link_up(now, up);
+                    f.set_link_up(now, dn);
+                }
+            }
+            SchedFaultAction::DiskFail(s) => {
+                if let Some(d) = self.disks.as_mut() {
+                    tags.extend(d.fail_server(now, s));
+                }
+            }
+            SchedFaultAction::DiskDegrade(s, factor) => {
+                if let Some(d) = self.disks.as_mut() {
+                    d.set_degrade(now, s, factor);
+                }
+            }
+        }
+        // Any gate that lost a shuffle part restarts from scratch. The
+        // tag's surviving parts must abort too — a gate reset to
+        // `Unstarted` re-counts its parts, and a leftover completion
+        // under the same tag would decrement the new gate spuriously.
+        let mut resets: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        for &tag in &tags {
+            let (job, stage) = ((tag >> 32) as usize, (tag & 0xFFFF_FFFF) as usize);
+            if !self.jobs[job].done
+                && matches!(self.shuffle_gate[job][stage], ShuffleGate::Waiting(_))
+            {
+                resets.insert(tag);
+            }
+        }
+        if !resets.is_empty() {
+            let set: std::collections::HashSet<u64> = resets.iter().copied().collect();
+            if let Some(f) = self.fabric.as_mut() {
+                f.abort_flows_with_tags(now, &set);
+            }
+            if let Some(d) = self.disks.as_mut() {
+                d.abort_streams_with_tags(now, &set);
+            }
+            for &tag in &resets {
+                self.shuffle_gate[(tag >> 32) as usize][(tag & 0xFFFF_FFFF) as usize] =
+                    ShuffleGate::Unstarted;
+                hit.insert(tag);
+            }
+        }
+        for entity in hit {
+            self.fault_retry(entity, now);
+        }
+        self.schedule_pass(now);
+    }
+
+    /// A fault interrupted `entity`'s stage: charge one retry and queue
+    /// a delayed re-dispatch with exponential backoff and jitter, or —
+    /// past the plan's budget — abandon the whole job (the scheduler
+    /// analogue of durability's permanently lost blocks).
+    fn fault_retry(&mut self, entity: u64, now: SimTime) {
+        let job = (entity >> 32) as usize;
+        if self.jobs[job].done {
+            return;
+        }
+        let a = self.fault_attempts.entry(entity).or_insert(0);
+        *a += 1;
+        let attempt = *a;
+        let plan = &self.sim.cfg.faults;
+        if attempt <= plan.max_retries {
+            self.fault_retries += 1;
+            let at = now + plan.backoff.delay(self.sim.cfg.seed, entity, attempt);
+            self.queue.push(at, Ev::Retry(entity));
+            if let Some(obs) = &self.obs {
+                self.rec.state_enter(obs.stages, entity, "failed", now);
+                self.rec.state_enter(obs.stages, entity, "retrying", now);
+            }
+            self.fault_retrying.insert(entity);
+        } else {
+            self.jobs[job].done = true;
+            self.jobs_abandoned += 1;
+            if let Some(obs) = &self.obs {
+                self.rec.state_enter(obs.stages, entity, "failed", now);
+                self.rec.state_exit(obs.stages, entity, now);
+            }
+            self.fault_retrying.remove(&entity);
+        }
+    }
+
+    /// A stage's backoff elapsed: it leaves the `retrying` hold (which
+    /// [`Runner::try_place_one`] respects) and competes for capacity
+    /// again at the next pass.
+    fn on_retry(&mut self, entity: u64, now: SimTime) {
+        let job = (entity >> 32) as usize;
+        let was_held = self.fault_retrying.remove(&entity);
+        if !self.jobs[job].done {
+            if was_held {
+                if let Some(obs) = &self.obs {
+                    self.rec.state_enter(obs.stages, entity, "queued", now);
+                }
+            }
+            self.mark_runnable(job);
+            self.schedule_pass(now);
+        } else if was_held {
+            // The job was abandoned (another stage exhausted its
+            // budget) while this one waited out its backoff; close its
+            // open state so the trace keeps tiling.
+            if let Some(obs) = &self.obs {
+                self.rec.state_exit(obs.stages, entity, now);
+            }
+        }
     }
 
     /// Tries to place every ready task of every runnable job. Iterates
@@ -910,6 +1258,15 @@ impl<'a> Runner<'a> {
         let ready = self.jobs[j].exec.ready_stages();
         let mut target = None;
         for stage in ready {
+            // A stage waiting out a fault backoff is invisible to the
+            // scheduler until its retry fires.
+            if self.fault_armed
+                && self
+                    .fault_retrying
+                    .contains(&(((j as u64) << 32) | stage.0 as u64))
+            {
+                continue;
+            }
             if self.gate_for(j, stage, now) == ShuffleGate::Open {
                 target = Some(stage);
                 break;
@@ -985,6 +1342,13 @@ impl<'a> Runner<'a> {
                     break;
                 }
             }
+            if self.fault_armed {
+                // Upstream output on a crashed server is unreachable;
+                // fetching from it would park at rate 0 until a restart
+                // that may never come, so those sources drop out (the
+                // bytes are re-read from the surviving copies).
+                sources.retain(|s| !self.down[s.0 as usize]);
+            }
         }
         let gate = if total == 0 || sources.is_empty() {
             ShuffleGate::Open
@@ -993,10 +1357,7 @@ impl<'a> Runner<'a> {
             let tag = ((j as u64) << 32) | stage.0 as u64;
             let mut parts = 0u32;
             for (i, src) in sources.iter().enumerate() {
-                let dst = match &self.jobs[j].allowed {
-                    Some(list) if !list.is_empty() => list[self.rng.random_range(0..list.len())],
-                    _ => ServerId(self.rng.random_range(0..self.sim.dc.n_servers()) as u32),
-                };
+                let dst = self.shuffle_dst(j);
                 // Spread the volume evenly; the first transfer carries
                 // the remainder.
                 let bytes = total / n + if i == 0 { total % n } else { 0 };
@@ -1106,6 +1467,12 @@ impl<'a> Runner<'a> {
         let weights: Vec<f64> = candidates
             .iter()
             .map(|&sid| {
+                // A crashed server stops heartbeating, so the RM never
+                // offers it (fault plans only; the mask is all-false —
+                // and unread — otherwise).
+                if self.fault_armed && self.down[sid.0 as usize] {
+                    return 0.0;
+                }
                 let free = self.free_capacity(sid, now);
                 if free.fits(CONTAINER) {
                     if proportional {
@@ -1123,6 +1490,37 @@ impl<'a> Runner<'a> {
         }
         let pick = harvest_sim::dist::weighted_index(&mut self.rng, &weights)?;
         Some(candidates[pick])
+    }
+
+    /// Draws the destination server for one shuffle part from the
+    /// job's placement pool — one RNG call, exactly as before — then,
+    /// under an armed fault plan only, walks forward deterministically
+    /// past crashed servers (no extra randomness, so the fault-free
+    /// draw stream is untouched). With the whole pool down the original
+    /// draw stands and the part parks until a restart rescues it.
+    fn shuffle_dst(&mut self, j: usize) -> ServerId {
+        let (idx, len) = match &self.jobs[j].allowed {
+            Some(list) if !list.is_empty() => (self.rng.random_range(0..list.len()), list.len()),
+            _ => {
+                let n = self.sim.dc.n_servers();
+                (self.rng.random_range(0..n), n)
+            }
+        };
+        let at = |runner: &Self, i: usize| match &runner.jobs[j].allowed {
+            Some(list) if !list.is_empty() => list[i],
+            _ => ServerId(i as u32),
+        };
+        let mut dst = at(self, idx);
+        if self.fault_armed && self.down[dst.0 as usize] {
+            for step in 1..len {
+                let cand = at(self, (idx + step) % len);
+                if !self.down[cand.0 as usize] {
+                    dst = cand;
+                    break;
+                }
+            }
+        }
+        dst
     }
 }
 
@@ -1391,6 +1789,122 @@ mod tests {
         assert_eq!(a.tasks_started, b.tasks_started);
         assert_eq!(a.total_kills, b.total_kills);
         assert_eq!(a.mean_execution_secs(), b.mean_execution_secs());
+    }
+
+    fn run_faulted(seed: u64, faults: FaultPlan, io: bool) -> SimStats {
+        let (dc, view) = testbed();
+        let wl = small_workload(seed, 2);
+        let mut cfg = SchedSimConfig::testbed(SchedPolicy::Stock, seed);
+        cfg.horizon = SimDuration::from_hours(2);
+        cfg.drain = SimDuration::from_hours(3);
+        if io {
+            cfg.network = Some(NetworkConfig::datacenter());
+            cfg.disk = Some(DiskConfig::datacenter());
+        }
+        cfg.faults = faults;
+        SchedSim::new(&dc, &view, &wl, cfg).run()
+    }
+
+    fn rack_blip(rack: u32, at_min: u64, restore_min: u64) -> Vec<harvest_sim::fault::FaultEvent> {
+        use harvest_sim::fault::FaultEvent;
+        vec![
+            FaultEvent {
+                at: SimTime::ZERO + SimDuration::from_mins(at_min),
+                kind: FaultKind::RackPowerLoss { rack },
+            },
+            FaultEvent {
+                at: SimTime::ZERO + SimDuration::from_mins(restore_min),
+                kind: FaultKind::RackPowerRestore { rack },
+            },
+        ]
+    }
+
+    /// The no-fault oracle: an armed plan whose only event is far past
+    /// the horizon exercises the armed code path (down mask, retry
+    /// holds, destination probing) without ever firing — and must be
+    /// indistinguishable from `FaultPlan::none()`, stats bitwise equal.
+    #[test]
+    fn armed_plan_with_unreachable_events_is_bitwise_identical() {
+        use harvest_sim::fault::FaultEvent;
+        let clean = run_faulted(31, FaultPlan::none(), true);
+        let armed = run_faulted(
+            31,
+            FaultPlan::with_events(vec![FaultEvent {
+                at: SimTime::ZERO + SimDuration::from_days(365),
+                kind: FaultKind::ServerCrash { server: 0 },
+            }]),
+            true,
+        );
+        assert_eq!(clean, armed, "an unreachable fault plan changed the run");
+        assert_eq!(armed.fault_kills, 0);
+        assert_eq!(armed.jobs_abandoned, 0);
+    }
+
+    #[test]
+    fn rack_power_loss_kills_containers_and_slows_jobs() {
+        let clean = run_faulted(33, FaultPlan::none(), false);
+        let mut events = rack_blip(0, 30, 45);
+        events.extend(rack_blip(1, 60, 80));
+        events.extend(rack_blip(2, 90, 110));
+        let faulted = run_faulted(33, FaultPlan::with_events(events), false);
+        assert!(faulted.fault_kills > 0, "rack loss killed no containers");
+        assert!(faulted.fault_retries > 0, "no interrupted stage retried");
+        assert_eq!(
+            faulted.total_kills, clean.total_kills,
+            "fault kills leaked into the reserve-kill counter"
+        );
+        assert!(faulted.completed_jobs() > 0, "nothing survived the blips");
+        assert!(
+            faulted.mean_execution_secs() > clean.mean_execution_secs(),
+            "faults were free: faulted {:.0}s vs clean {:.0}s",
+            faulted.mean_execution_secs(),
+            clean.mean_execution_secs()
+        );
+    }
+
+    #[test]
+    fn exhausted_retry_budget_abandons_jobs() {
+        let mut plan = FaultPlan::with_events(rack_blip(0, 30, 45));
+        plan.max_retries = 0;
+        let stats = run_faulted(35, plan, false);
+        assert!(stats.fault_kills > 0, "rack loss killed no containers");
+        assert_eq!(stats.fault_retries, 0, "retry budget was zero");
+        assert!(
+            stats.jobs_abandoned > 0,
+            "no job was abandoned with a zero retry budget"
+        );
+        assert!(
+            stats.completion_rate() < 1.0,
+            "abandoned jobs still completed"
+        );
+    }
+
+    #[test]
+    fn faulted_scheduling_is_deterministic() {
+        use harvest_sim::fault::FaultEvent;
+        // A rolling wave of crashes — one every three minutes, each
+        // restored twelve minutes later — is dense enough to intersect
+        // the bursty testbed schedule no matter how it shifts.
+        let mut events = Vec::new();
+        for k in 0..40u32 {
+            let server = (k * 7) % 102;
+            let t = SimTime::ZERO + SimDuration::from_mins(10 + 3 * k as u64);
+            events.push(FaultEvent {
+                at: t,
+                kind: FaultKind::ServerCrash { server },
+            });
+            events.push(FaultEvent {
+                at: t + SimDuration::from_mins(12),
+                kind: FaultKind::ServerRestart { server },
+            });
+        }
+        let a = run_faulted(37, FaultPlan::with_events(events.clone()), true);
+        let b = run_faulted(37, FaultPlan::with_events(events), true);
+        assert_eq!(a, b, "faulted runs diverged across replays");
+        assert!(
+            a.fault_kills + a.fault_retries > 0,
+            "plan never bit (no kills, no interrupted shuffles)"
+        );
     }
 
     /// The observability oracle: running with a live recorder must not

@@ -61,6 +61,13 @@ pub struct SimStats {
     pub fabric: Option<FabricStats>,
     /// Final disk-pool counters when shuffles paid for disk I/O.
     pub disks: Option<DiskStats>,
+    /// Containers killed by injected faults (crashes and rack power
+    /// loss) — disjoint from `total_kills`, which stays reserve-only.
+    pub fault_kills: u64,
+    /// Fault-interrupted stages re-dispatched after a backoff delay.
+    pub fault_retries: u64,
+    /// Jobs given up on after a stage exhausted its fault retry budget.
+    pub jobs_abandoned: u64,
 }
 
 impl SimStats {
@@ -122,6 +129,9 @@ mod tests {
             kills_per_server: Vec::new(),
             fabric: None,
             disks: None,
+            fault_kills: 0,
+            fault_retries: 0,
+            jobs_abandoned: 0,
         };
         assert_eq!(stats.mean_execution_secs(), 100.0);
         assert_eq!(stats.completed_jobs(), 1);

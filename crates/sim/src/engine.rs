@@ -89,6 +89,11 @@ pub struct EventQueue<E> {
     live: HashSet<u64>,
     next_seq: u64,
     now: SimTime,
+    /// Cancels of keys that had already fired or been cancelled —
+    /// no-ops, but counted so fault-driven mass cancellation (which
+    /// often double-cancels through independent abort paths) stays
+    /// observable.
+    dead_cancels: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -105,6 +110,7 @@ impl<E> EventQueue<E> {
             live: HashSet::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            dead_cancels: 0,
         }
     }
 
@@ -115,6 +121,7 @@ impl<E> EventQueue<E> {
             live: HashSet::with_capacity(cap),
             next_seq: 0,
             now: SimTime::ZERO,
+            dead_cancels: 0,
         }
     }
 
@@ -153,6 +160,7 @@ impl<E> EventQueue<E> {
     /// whole heap is compacted once tombstones outnumber live events.
     pub fn cancel(&mut self, key: EventKey) -> bool {
         if !self.live.remove(&key.0) {
+            self.dead_cancels += 1;
             return false;
         }
         self.purge_top();
@@ -213,6 +221,12 @@ impl<E> EventQueue<E> {
     /// Number of cancelled entries still occupying the heap.
     pub fn n_stale(&self) -> usize {
         self.heap.len() - self.live.len()
+    }
+
+    /// Number of [`EventQueue::cancel`] calls that found nothing to
+    /// cancel (the key had already fired or already been cancelled).
+    pub fn n_dead_cancels(&self) -> u64 {
+        self.dead_cancels
     }
 
     /// Whether no events are pending. (The heap holds a tombstone only
@@ -317,6 +331,27 @@ mod tests {
         assert!(!q.cancel(a), "cancelling a fired event must return false");
         assert!(!q.cancel(a), "double cancel must stay false");
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn dead_cancels_are_counted() {
+        let mut q = EventQueue::new();
+        let a = q.push_keyed(SimTime::from_secs(1), "a");
+        let b = q.push_keyed(SimTime::from_secs(2), "b");
+        assert_eq!(q.n_dead_cancels(), 0);
+        // Cancel-after-fire counts.
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert!(!q.cancel(a));
+        assert_eq!(q.n_dead_cancels(), 1);
+        // A live cancel does not count...
+        assert!(q.cancel(b));
+        assert_eq!(q.n_dead_cancels(), 1);
+        // ...but double-cancelling the same key does.
+        assert!(!q.cancel(b));
+        assert!(!q.cancel(b));
+        assert_eq!(q.n_dead_cancels(), 3);
+        // Dead cancels never resurrect or drop anything.
+        assert!(q.pop().is_none());
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //! * [`obs`] — zero-cost-when-off observability: a [`Recorder`] facade
 //!   of counters, gauges, bounded quantile sketches, and sim-time
 //!   spans, with Chrome-trace/Perfetto and machine-readable JSON
-//!   exporters.
+//!   exporters;
+//! * [`fault`] — deterministic fault injection: seed-stream-driven
+//!   [`FaultPlan`]s (crashes, rack power loss, link flaps, disk
+//!   brown-outs) plus retry/backoff knobs, with [`fault::FaultPlan::none`]
+//!   guaranteeing the no-fault path stays bitwise identical.
 //!
 //! # Examples
 //!
@@ -39,6 +43,7 @@
 
 pub mod dist;
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod obs;
 pub mod par;
@@ -46,6 +51,7 @@ pub mod rng;
 pub mod time;
 
 pub use engine::{EventKey, EventQueue};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultProfile};
 pub use obs::Recorder;
 pub use par::{default_jobs, par_map, par_map_profiled, par_map_with};
 pub use time::{SimDuration, SimTime};

@@ -50,7 +50,7 @@ fn check(trace_text: &str, metrics_text: &str) -> Result<(), String> {
 
     // Wait-state events: known vocabulary, balanced begin/end pairs per
     // (track, entity), monotone non-decreasing timestamps per entity.
-    const STATES: [&str; 7] = [
+    const STATES: [&str; 9] = [
         "queued",
         "running",
         "blocked_on_net",
@@ -58,6 +58,8 @@ fn check(trace_text: &str, metrics_text: &str) -> Result<(), String> {
         "blocked_on_disk_write",
         "throttle_parked",
         "reserve_evicted",
+        "failed",
+        "retrying",
     ];
     let mut state_events = 0usize;
     // (tid, entity id) -> (open state name, last timestamp).

@@ -757,3 +757,113 @@ proptest! {
         prop_assert!(sb.critical_us <= sb.makespan_us);
     }
 }
+
+// --- fault injection: determinism, no-fault oracle, conservation --------
+
+/// A small fig16 scale so the faulted-report properties run in seconds.
+fn fault_scale(
+    jobs: usize,
+    faults: Option<harvest::sim::fault::FaultProfile>,
+) -> harvest::core::Scale {
+    let mut s = harvest::core::Scale::quick();
+    s.dc_scale = 0.02;
+    s.availability_days = 1;
+    s.utilizations = vec![0.45];
+    s.jobs = jobs;
+    s.faults = faults;
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Same fault profile + seed ⇒ byte-identical report at any worker
+    /// count: the fault path draws its plan from a dedicated stream per
+    /// run, so `par_map`'s order-preserving writes keep thread count
+    /// unobservable even mid-storm. Without a profile the report must
+    /// carry no fault note at all (the no-fault stdout oracle).
+    #[test]
+    fn faulted_reports_identical_at_any_jobs(
+        seed in 0u64..1_000,
+        pick in 0usize..4,
+        jobs in 2usize..8,
+    ) {
+        let profile = harvest::sim::fault::FaultProfile::ALL[pick];
+        let render = |jobs: usize, faults| {
+            let mut s = fault_scale(jobs, faults);
+            s.seed = seed;
+            harvest::core::run_experiment("fig16", &s).expect("fig16 renders")
+        };
+        let armed_seq = render(1, Some(profile));
+        let armed_par = render(jobs, Some(profile));
+        prop_assert_eq!(&armed_seq, &armed_par, "faulted report depends on --jobs");
+        prop_assert!(
+            armed_seq.contains("fault profile"),
+            "armed report lacks its fault-accounting note"
+        );
+        let clean_seq = render(1, None);
+        let clean_par = render(jobs, None);
+        prop_assert_eq!(&clean_seq, &clean_par, "clean report depends on --jobs");
+        prop_assert!(
+            !clean_seq.contains("fault profile"),
+            "unarmed report mentions faults"
+        );
+    }
+
+    /// The no-fault oracle at the experiment layer: a plan with zero
+    /// events is bitwise inert no matter how its reaction knobs are
+    /// set — retry budget, backoff, and shedding only matter once an
+    /// event fires.
+    #[test]
+    fn empty_fault_plan_is_bitwise_inert(
+        seed in 0u64..1_000,
+        retries in 0u32..8,
+        shed in 1usize..64,
+    ) {
+        use harvest::core::experiments::durability::run_loss;
+        use harvest::sim::fault::FaultPlan;
+        let dc = Datacenter::generate(
+            &harvest::trace::datacenter::DatacenterProfile::dc(3).scaled(0.01),
+            11,
+        );
+        let mut knobs = FaultPlan::none();
+        knobs.max_retries = retries;
+        knobs.shed_inflight_above = Some(shed);
+        let a = run_loss(
+            &dc, PlacementPolicy::Stock, 3, 2, seed, 0, None, None, &FaultPlan::none(),
+        );
+        let b = run_loss(&dc, PlacementPolicy::Stock, 3, 2, seed, 0, None, None, &knobs);
+        prop_assert_eq!(a.percent.to_bits(), b.percent.to_bits());
+        prop_assert_eq!(a.blocks, b.blocks);
+        prop_assert_eq!(b.faults_injected, 0);
+        prop_assert_eq!(b.repairs_aborted, 0);
+        prop_assert_eq!(b.fault_retries, 0);
+        prop_assert_eq!(b.retries_exhausted, 0);
+    }
+
+    /// Faulted recorded traces still conserve: every repair entity's
+    /// states — `failed` and `retrying` included — tile its lifetime
+    /// exactly, for any profile and seed.
+    #[test]
+    fn faulted_traces_conserve(seed in 0u64..1_000, pick in 0usize..4) {
+        use harvest::dfs::durability::{simulate_durability_recorded, DurabilityConfig};
+        use harvest::sim::fault::ClusterShape;
+        use harvest::sim::obs::{analyze, Recorder};
+        let profile = harvest::sim::fault::FaultProfile::ALL[pick];
+        let dc = Datacenter::generate(
+            &harvest::trace::datacenter::DatacenterProfile::dc(9).scaled(0.01),
+            11,
+        );
+        let shape = ClusterShape {
+            n_servers: dc.n_servers(),
+            rack_size: harvest::cluster::datacenter::RACK_SIZE as usize,
+        };
+        let mut cfg = DurabilityConfig::paper(PlacementPolicy::Stock, 3, seed);
+        cfg.months = 2;
+        cfg.faults = profile.plan(seed, shape, SimDuration::from_days(60));
+        let (r, rec) = simulate_durability_recorded(&dc, &cfg, Recorder::new("fault-prop"));
+        prop_assert!(r.faults_injected > 0, "{} never fired", profile.name());
+        let a = analyze::analyze_recorder(&rec).map_err(|e| e.to_string())?;
+        prop_assert!(a.conserved(), "faulted trace failed conservation");
+    }
+}
