@@ -11,9 +11,9 @@
 //! speedup must never buy anything with.
 //!
 //! Modes:
-//! * default — times both paths once (each run is many seconds of
-//!   simulation, so run-to-run noise is small relative to the measured
-//!   ratio) and (re)writes `BENCH_suite.json` at the workspace root
+//! * default — times both paths best-of-two (a one-shot timing on a
+//!   shared box can swing past the 1.05x supervision gate below on
+//!   noise alone) and (re)writes `BENCH_suite.json` at the workspace root
 //!   with the machine's core count next to the measured speedup. The
 //!   issue's acceptance bar is ≥ 3× for the sweep on a ≥ 4-core
 //!   machine; on fewer cores the JSON records what the hardware can
@@ -32,6 +32,17 @@ use std::time::Instant;
 
 use harvest_core::{run_experiment, Scale};
 use harvest_sim::par::default_jobs;
+
+/// The recorded sequential baseline out of a previous `BENCH_suite.json`,
+/// if the file exists and parses.
+fn suite_baseline(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"sequential_secs\":";
+    let at = text.find(key)? + key.len();
+    let rest = text[at..].trim_start();
+    let end = rest.find([',', '}', '\n'])?;
+    rest[..end].trim().parse().ok()
+}
 
 /// The suite slice under test: the two widest sweep matrices.
 const EXPERIMENTS: [&str; 2] = ["fig15", "fig13"];
@@ -70,10 +81,11 @@ fn main() {
         if smoke { " (smoke slice)" } else { "" },
     );
 
-    // One pass per path for the recorded baseline (each pass is many
-    // seconds of simulation, so noise is small relative to the ratio);
-    // best of two in smoke mode, where a floor assert rides on it.
-    let iters = if smoke { 2 } else { 1 };
+    // Best of two passes per path: asserts ride on both modes now (the
+    // smoke floor and the recorded-baseline 1.05x gate), and a single
+    // noisy-neighbor episode on a shared box swings a one-shot timing
+    // by more than the margin either assert leaves.
+    let iters = 2;
     let best = |jobs: usize| -> (f64, Vec<String>) {
         (0..iters)
             .map(|_| run_suite(&scale(jobs, smoke)))
@@ -112,11 +124,31 @@ fn main() {
         return;
     }
 
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_suite.json");
+    // Supervision-off guard: the sweeps now run under the resilience
+    // harness (watchdog + catch_unwind per task) with checkpointing and
+    // deadlines off — that must cost at most 5% against the baseline
+    // recorded before this run overwrites it.
+    match suite_baseline(path) {
+        Some(b) => {
+            let ratio = seq_secs / b;
+            println!("bench suite/sequential vs recorded baseline: {ratio:.3}x");
+            assert!(
+                ratio <= 1.05,
+                "supervised sweep is {ratio:.3}x the recorded sequential baseline \
+                 ({seq_secs:.3}s vs {b:.3}s) — supervision with checkpointing off must be \
+                 within 5% (stale baseline from another machine? re-record and re-run)"
+            );
+        }
+        None => {
+            println!("no BENCH_suite.json baseline to compare against; skipping the 1.05x gate")
+        }
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"suite\",\n  \"workload\": \"repro {} at quick scale (the durability and scheduling sweep matrices)\",\n  \"cores\": {cores},\n  \"suite\": {{ \"sequential_secs\": {seq_secs:.3}, \"parallel_secs\": {par_secs:.3}, \"speedup\": {speedup:.2} }},\n  \"note\": \"speedup scales with cores (acceptance bar: >= 3x on a >= 4-core machine); reports asserted byte-identical across worker counts\"\n}}\n",
+        "{{\n  \"bench\": \"suite\",\n  \"workload\": \"repro {} at quick scale (the durability and scheduling sweep matrices)\",\n  \"cores\": {cores},\n  \"suite\": {{ \"sequential_secs\": {seq_secs:.3}, \"parallel_secs\": {par_secs:.3}, \"speedup\": {speedup:.2} }},\n  \"note\": \"speedup scales with cores (acceptance bar: >= 3x on a >= 4-core machine); reports asserted byte-identical across worker counts; sequential path gated at <= 1.05x the previous recording (supervision harness must stay free when checkpointing is off)\"\n}}\n",
         EXPERIMENTS.join(" "),
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_suite.json");
     std::fs::write(path, &json).expect("write BENCH_suite.json");
     println!("wrote {path}");
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! repro [--full] [--net] [--disk] [--full-sweep] [--faults PROFILE]
 //!       [--jobs N] [--seed N] [--trace-out FILE] [--metrics-out FILE]
+//!       [--checkpoint FILE] [--resume FILE] [--task-deadline SECS]
 //!       [--explain] [EXPERIMENT...]
 //! repro analyze TRACE.json
 //!
@@ -30,9 +31,31 @@
 //!   --seed N      master seed (default 42)
 //!   --trace-out FILE    write a Chrome-trace/Perfetto JSON of the run
 //!   --metrics-out FILE  write a machine-readable metrics report (JSON)
+//!   --checkpoint FILE   append each completed sweep task to a crash-safe
+//!                 journal (checksummed lines, batched fsync)
+//!   --resume FILE       restore completed sweep tasks from a journal and
+//!                 compute only the remainder; combine with
+//!                 `--checkpoint FILE` (same path is fine) to keep
+//!                 journaling. Stdout is byte-identical to an
+//!                 uninterrupted run
+//!   --task-deadline SECS  flag sweep tasks running longer than SECS as
+//!                 stragglers and cancel them cooperatively
 //!   --explain     print a per-experiment blame table (wait-state and
 //!                 critical-path attribution) to stderr
 //! ```
+//!
+//! # Surviving failures
+//!
+//! Every sweep runs under a supervisor: a panicking task is retried on
+//! a jittered backoff and, if it keeps failing, quarantined — its table
+//! cell degrades while every other result stays bitwise identical to a
+//! clean run, and the report gains a note naming the quarantined task.
+//! `--checkpoint`/`--resume` make long sweeps crash-safe: kill the
+//! process at any point, resume, and the final stdout is byte-identical
+//! to the run that was never killed (the determinism oracle pins this).
+//! A torn final journal line (from a crash mid-write) is detected by
+//! its length/checksum header and dropped; corruption anywhere else is
+//! a hard error.
 //!
 //! # Inspecting a run
 //!
@@ -58,10 +81,39 @@
 //! byte-for-byte comparable across runs and `--jobs` settings.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use harvest_core::{run_experiment_recorded, Scale, ALL_EXPERIMENTS};
+use harvest_core::{run_experiment_recorded, Checkpoint, Scale, SweepSnapshot, ALL_EXPERIMENTS};
 use harvest_sim::fault::FaultProfile;
 use harvest_sim::obs::Recorder;
+
+/// One experiment's sweep outcomes as a short stderr summary, e.g.
+/// `"3 restored, 1 quarantined"`. Empty when nothing noteworthy
+/// happened (the overwhelmingly common case).
+fn snapshot_summary(snap: &SweepSnapshot) -> String {
+    let mut parts = Vec::new();
+    for (n, what) in [
+        (snap.restored, "restored"),
+        (snap.journaled, "journaled"),
+        (snap.retries, "retries"),
+        (snap.quarantined, "quarantined"),
+    ] {
+        if n > 0 {
+            parts.push(format!("{n} {what}"));
+        }
+    }
+    if snap.stragglers > 0 {
+        if snap.cancelled > 0 {
+            parts.push(format!(
+                "{} stragglers ({} cancelled)",
+                snap.stragglers, snap.cancelled
+            ));
+        } else {
+            parts.push(format!("{} stragglers", snap.stragglers));
+        }
+    }
+    parts.join(", ")
+}
 
 /// The valid `--faults` names, space-separated, for error messages.
 fn profile_names() -> String {
@@ -85,6 +137,9 @@ fn main() -> ExitCode {
     let mut jobs = None;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut checkpoint_path: Option<String> = None;
+    let mut resume_path: Option<String> = None;
+    let mut task_deadline: Option<u64> = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -136,11 +191,33 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--checkpoint" => match args.next() {
+                Some(path) => checkpoint_path = Some(path),
+                None => {
+                    eprintln!("--checkpoint requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--resume" => match args.next() {
+                Some(path) => resume_path = Some(path),
+                None => {
+                    eprintln!("--resume requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--task-deadline" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(secs) if secs >= 1 => task_deadline = Some(secs),
+                _ => {
+                    eprintln!("--task-deadline requires an integer number of seconds >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--full] [--net] [--disk] [--full-sweep] \
                      [--faults PROFILE] [--jobs N] [--seed N] [--trace-out FILE] \
-                     [--metrics-out FILE] [--explain] [EXPERIMENT...]"
+                     [--metrics-out FILE] [--checkpoint FILE] [--resume FILE] \
+                     [--task-deadline SECS] [--explain] [EXPERIMENT...]"
                 );
                 println!("       repro analyze TRACE.json");
                 println!("experiments: {} all", ALL_EXPERIMENTS.join(" "));
@@ -188,6 +265,34 @@ fn main() -> ExitCode {
                      build without the fault machinery"
                 );
                 println!("  profiles: {}", profile_names());
+                println!();
+                println!("surviving failures:");
+                println!(
+                    "  every sweep task runs under a supervisor: a panicking task is \
+                     retried on a jittered backoff and, if it keeps failing, \
+                     quarantined — its table cell degrades while every other result \
+                     stays bitwise identical to a clean run, and the report notes \
+                     the quarantined task"
+                );
+                println!(
+                    "  --checkpoint FILE   append each completed sweep task to a \
+                     crash-safe journal (checksummed lines, batched fsync); kill the \
+                     process at any point and resume without losing finished work"
+                );
+                println!(
+                    "  --resume FILE       restore completed tasks from a journal and \
+                     compute only the remainder; stdout is byte-identical to an \
+                     uninterrupted run at any --jobs. Pass the same path to both \
+                     flags to keep journaling into the same file; a torn final line \
+                     (crash mid-write) is detected and dropped"
+                );
+                println!(
+                    "  --task-deadline SECS  flag sweep tasks running longer than \
+                     SECS as stragglers and cancel them cooperatively; cancelled \
+                     tasks degrade like quarantined ones. Without the flag, tasks \
+                     8x slower than the running median are flagged (never \
+                     cancelled) in the stderr timing table"
+                );
                 return ExitCode::SUCCESS;
             }
             other => experiments.push(other.to_string()),
@@ -240,6 +345,26 @@ fn main() -> ExitCode {
     if let Some(seed) = seed {
         scale.seed = seed;
     }
+    // Open the journal before any experiment runs: an unreadable or
+    // corrupt resume file must fail fast, not after an hour of sweeps.
+    let checkpoint = match Checkpoint::open(checkpoint_path.as_deref(), resume_path.as_deref()) {
+        Ok(cp) => cp.map(|(cp, torn, restored)| {
+            if resume_path.is_some() {
+                if torn > 0 {
+                    eprintln!("[resume: {restored} results restored, {torn} torn lines dropped]");
+                } else {
+                    eprintln!("[resume: {restored} results restored]");
+                }
+            }
+            Arc::new(cp)
+        }),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    scale.harness.checkpoint = checkpoint.clone();
+    scale.harness.deadline = task_deadline.map(std::time::Duration::from_secs);
     let mut rec = if trace_out.is_some() || metrics_out.is_some() || explain {
         Recorder::new("repro")
     } else {
@@ -265,17 +390,24 @@ fn main() -> ExitCode {
         experiments = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
 
-    // (experiment id, wall seconds) for the closing timing table.
-    let mut timings: Vec<(String, f64)> = Vec::with_capacity(experiments.len());
+    // (experiment id, wall seconds, sweep outcomes) for the closing
+    // timing table.
+    let mut timings: Vec<(String, f64, SweepSnapshot)> = Vec::with_capacity(experiments.len());
     let suite_started = std::time::Instant::now();
     // Suite-level perf visibility without a profiler: per-experiment
     // wall clock plus the total, on stderr so stdout stays
     // byte-identical across runs and `--jobs` settings. Printed even
     // after a mid-suite error — the completed timings are still useful.
-    let timing_table = |timings: &[(String, f64)], total: f64| {
+    let timing_table = |timings: &[(String, f64, SweepSnapshot)], total: f64| {
         eprintln!("timing ({} workers):", scale.jobs);
-        for (id, secs) in timings {
-            eprintln!("  {id:<8} {secs:>8.1}s");
+        for (id, secs, snap) in timings {
+            let suffix = snapshot_summary(snap);
+            let suffix = if suffix.is_empty() {
+                String::new()
+            } else {
+                format!("  [{suffix}]")
+            };
+            eprintln!("  {id:<8} {secs:>8.1}s{suffix}");
         }
         eprintln!("  {:<8} {total:>8.1}s", "total");
     };
@@ -312,9 +444,30 @@ fn main() -> ExitCode {
                     t0_us,
                     suite_started.elapsed().as_micros() as u64,
                 );
+                // Drain this experiment's sweep outcomes so the next
+                // experiment's snapshot starts clean.
+                let snap = scale.harness.stats.take();
+                if snap.any() {
+                    eprintln!("[{id} harness: {}]", snapshot_summary(&snap));
+                }
+                if rec.is_on() {
+                    for (name, v) in [
+                        ("harness/restored", snap.restored),
+                        ("harness/journaled", snap.journaled),
+                        ("harness/retries", snap.retries),
+                        ("harness/quarantined", snap.quarantined),
+                        ("harness/stragglers", snap.stragglers),
+                        ("harness/cancelled", snap.cancelled),
+                    ] {
+                        if v > 0 {
+                            let c = rec.counter(name);
+                            rec.add(c, v);
+                        }
+                    }
+                }
                 // Live progress for long suites; the table recaps.
                 eprintln!("[{id} took {secs:.1}s]");
-                timings.push((id.clone(), secs));
+                timings.push((id.clone(), secs, snap));
             }
             Err(e) => {
                 eprintln!("error: {e}");
@@ -324,6 +477,13 @@ fn main() -> ExitCode {
         }
     }
     timing_table(&timings, suite_started.elapsed().as_secs_f64());
+    // Seal the journal: the final fsync and any latched write error.
+    if let Some(cp) = &checkpoint {
+        if let Err(e) = cp.flush() {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     // Exports last, after the timing table: on stderr either way, and
     // a write failure fails the run.
     if let Some(path) = trace_out {

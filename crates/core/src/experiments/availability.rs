@@ -3,13 +3,47 @@
 use harvest_cluster::{Datacenter, UtilizationView};
 use harvest_dfs::availability::{simulate_availability, AvailabilityConfig, AvailabilityResult};
 use harvest_dfs::placement::PlacementPolicy;
+use harvest_sim::obs::json;
 use harvest_sim::par::par_map;
 use harvest_sim::SimDuration;
 use harvest_trace::datacenter::DatacenterProfile;
 
 use super::STORAGE_CELLS as CELLS;
+use crate::checkpoint::{self, get_f64, get_u64, hex_f64, hex_u64, obj, Journaled};
 use crate::report::{num, sci, Table};
 use crate::scale::Scale;
+
+impl Journaled for AvailabilityResult {
+    fn encode(&self) -> String {
+        obj(&[
+            ("nb", hex_u64(self.n_blocks)),
+            ("acc", hex_u64(self.accesses)),
+            ("fail", hex_u64(self.failed)),
+            ("failp", hex_f64(self.failed_percent)),
+            ("mu", hex_f64(self.mean_utilization)),
+            ("frr", hex_u64(self.forced_remote_reads)),
+            ("mread", hex_f64(self.mean_read_ms)),
+            ("p99", hex_f64(self.p99_read_ms)),
+            ("dof", hex_u64(self.disk_only_failures)),
+            ("fdt", hex_u64(self.fault_down_ticks)),
+        ])
+    }
+
+    fn decode(v: &json::Value) -> Option<Self> {
+        Some(AvailabilityResult {
+            n_blocks: get_u64(v, "nb")?,
+            accesses: get_u64(v, "acc")?,
+            failed: get_u64(v, "fail")?,
+            failed_percent: get_f64(v, "failp")?,
+            mean_utilization: get_f64(v, "mu")?,
+            forced_remote_reads: get_u64(v, "frr")?,
+            mean_read_ms: get_f64(v, "mread")?,
+            p99_read_ms: get_f64(v, "p99")?,
+            disk_only_failures: get_u64(v, "dof")?,
+            fault_down_ticks: get_u64(v, "fdt")?,
+        })
+    }
+}
 
 /// Figure 16: failed accesses vs utilization (linear scaling, DC-9) for
 /// HDFS-Stock and HDFS-H at three- and four-way replication.
@@ -64,22 +98,30 @@ pub fn fig16(scale: &Scale) -> String {
             }
         }
     }
-    let results: Vec<AvailabilityResult> = par_map(scale.jobs, &tasks, |t| {
-        let (policy, replication) = CELLS[t.cell];
-        let mut cfg = AvailabilityConfig::paper(policy, replication, scale.run_seed("fig16", t.r));
-        cfg.span = SimDuration::from_days(scale.availability_days);
-        cfg.network = scale.network;
-        cfg.disk = scale.disk;
-        // Every cell of a run index sees the same storm, so the policy
-        // comparison is under identical fault pressure. Empty plan
-        // (bitwise no-op) without `--faults PROFILE`.
-        cfg.faults = scale.fault_plan(
-            dc.n_servers(),
-            scale.run_seed("fig16-faults", t.r),
-            cfg.span,
-        );
-        simulate_availability(&dc, &views[t.util], &cfg)
-    });
+    let swept = checkpoint::sweep(
+        scale,
+        "fig16",
+        &tasks,
+        |t| format!("u{:.2}/cell{}/r{}", utils[t.util], t.cell, t.r),
+        |t, _cancel| {
+            let (policy, replication) = CELLS[t.cell];
+            let mut cfg =
+                AvailabilityConfig::paper(policy, replication, scale.run_seed("fig16", t.r));
+            cfg.span = SimDuration::from_days(scale.availability_days);
+            cfg.network = scale.network;
+            cfg.disk = scale.disk;
+            // Every cell of a run index sees the same storm, so the policy
+            // comparison is under identical fault pressure. Empty plan
+            // (bitwise no-op) without `--faults PROFILE`.
+            cfg.faults = scale.fault_plan(
+                dc.n_servers(),
+                scale.run_seed("fig16-faults", t.r),
+                cfg.span,
+            );
+            simulate_availability(&dc, &views[t.util], &cfg)
+        },
+    );
+    let results = swept.results;
 
     for (u, &util) in utils.iter().enumerate() {
         let mut row = vec![num(util, 2)];
@@ -92,7 +134,7 @@ pub fn fig16(scale: &Scale) -> String {
         for (c, &(policy, replication)) in CELLS.iter().enumerate() {
             let mut total = 0.0;
             let start = (u * CELLS.len() + c) * scale.runs;
-            for result in &results[start..start + scale.runs] {
+            for result in results[start..start + scale.runs].iter().flatten() {
                 total += result.failed_percent;
                 if (scale.network.is_some() || scale.disk.is_some())
                     && policy == PlacementPolicy::Stock
@@ -120,10 +162,13 @@ pub fn fig16(scale: &Scale) -> String {
             ));
         }
     }
+    if let Some(note) = swept.note {
+        table.note(note);
+    }
     // Fault accounting only when a profile is armed — the default
     // report stays byte-identical to a build without fault injection.
     if let Some(profile) = scale.faults {
-        let down: u64 = results.iter().map(|r| r.fault_down_ticks).sum();
+        let down: u64 = results.iter().flatten().map(|r| r.fault_down_ticks).sum();
         table.note(format!(
             "fault profile '{}': {} server-ticks spent fault-down across {} simulations",
             profile.name(),

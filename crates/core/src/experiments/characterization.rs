@@ -9,13 +9,13 @@
 use harvest_signal::classify::{classify_with, ClassifierConfig, UtilizationPattern};
 use harvest_signal::spectrum::{dominant_period_samples, periodicity_strength, SpectrumScratch};
 use harvest_sim::metrics::fraction_at_or_below;
-use harvest_sim::par::{par_map, par_map_with};
 use harvest_sim::rng::{indexed_rng, stream_rng};
 use harvest_trace::datacenter::DatacenterProfile;
 use harvest_trace::gen::UtilGen;
 use harvest_trace::reimage::{group_changes, per_server_monthly_rates};
 use harvest_trace::{SAMPLES_PER_DAY, SAMPLES_PER_MONTH};
 
+use crate::checkpoint::{sweep_plain, sweep_plain_with};
 use crate::report::{num, pct, Table};
 use crate::scale::Scale;
 
@@ -75,16 +75,28 @@ pub fn fig1(scale: &Scale) -> String {
 /// fan out over `scale.jobs` workers, and each worker reuses one
 /// [`SpectrumScratch`] across every trace it classifies instead of
 /// allocating a fresh spectrum per tenant.
-fn classify_all(scale: &Scale) -> Vec<(String, Vec<(UtilizationPattern, usize)>)> {
+/// Returns each DC's per-tenant classifications plus any harness notes
+/// (quarantined tenants are skipped from the aggregates and named in
+/// the note).
+type DcClassifications = Vec<(String, Vec<(UtilizationPattern, usize)>)>;
+
+fn classify_all(scale: &Scale) -> (DcClassifications, Vec<String>) {
     let classifier = ClassifierConfig::default();
-    DatacenterProfile::all()
+    let mut notes = Vec::new();
+    let per_dc = DatacenterProfile::all()
         .into_iter()
         .map(|profile| {
             let profile = profile.scaled(scale.dc_scale.max(0.05));
             let tenants = profile.sample_tenants(scale.seed);
             let indices: Vec<usize> = (0..tenants.len()).collect();
-            let per_tenant: Vec<(UtilizationPattern, usize)> =
-                par_map_with(scale.jobs, &indices, SpectrumScratch::new, |scratch, &i| {
+            let name = profile.name();
+            let swept = sweep_plain_with(
+                scale,
+                "char-trace",
+                &indices,
+                |&i| format!("{name}/t{i}"),
+                SpectrumScratch::new,
+                |scratch, &i, _cancel| {
                     let t = &tenants[i];
                     let mut rng = indexed_rng(scale.seed, "char-trace", i as u64);
                     let trace = t.util.generate(&mut rng, SAMPLES_PER_MONTH);
@@ -92,10 +104,17 @@ fn classify_all(scale: &Scale) -> Vec<(String, Vec<(UtilizationPattern, usize)>)
                         classify_with(trace.values(), &classifier, scratch),
                         t.n_servers,
                     )
-                });
-            (profile.name(), per_tenant)
+                },
+            );
+            if let Some(note) = swept.note {
+                notes.push(note);
+            }
+            let per_tenant: Vec<(UtilizationPattern, usize)> =
+                swept.results.into_iter().flatten().collect();
+            (name, per_tenant)
         })
-        .collect()
+        .collect();
+    (per_dc, notes)
 }
 
 /// Figure 2: percentage of primary tenants per class.
@@ -104,7 +123,8 @@ pub fn fig2(scale: &Scale) -> String {
         "Figure 2: percentage of primary tenants per class",
         &["datacenter", "periodic", "constant", "unpredictable"],
     );
-    for (name, tenants) in classify_all(scale) {
+    let (per_dc, notes) = classify_all(scale);
+    for (name, tenants) in per_dc {
         let n = tenants.len() as f64;
         let count = |p: UtilizationPattern| {
             tenants.iter().filter(|(c, _)| *c == p).count() as f64 / n * 100.0
@@ -115,6 +135,9 @@ pub fn fig2(scale: &Scale) -> String {
             pct(count(UtilizationPattern::Constant)),
             pct(count(UtilizationPattern::Unpredictable)),
         ]);
+    }
+    for note in notes {
+        table.note(note);
     }
     table.note("paper: periodic (user-facing) tenants are a small minority; the vast majority of tenants exhibit roughly constant utilization");
     table.render()
@@ -128,7 +151,8 @@ pub fn fig3(scale: &Scale) -> String {
     );
     let mut periodic_sum = 0.0;
     let mut rows = 0usize;
-    for (name, tenants) in classify_all(scale) {
+    let (per_dc, notes) = classify_all(scale);
+    for (name, tenants) in per_dc {
         let total: usize = tenants.iter().map(|(_, s)| s).sum();
         let count = |p: UtilizationPattern| {
             tenants
@@ -149,6 +173,9 @@ pub fn fig3(scale: &Scale) -> String {
             pct(count(UtilizationPattern::Unpredictable)),
         ]);
     }
+    for note in notes {
+        table.note(note);
+    }
     table.note(format!(
         "paper: periodic tenants hold ~40% of servers on average; measured average {}",
         pct(periodic_sum / rows as f64)
@@ -165,27 +192,36 @@ struct ReimageData {
     monthly_rates: Vec<Vec<f64>>,
 }
 
-fn reimage_data(dc_id: usize, scale: &Scale) -> ReimageData {
+fn reimage_data(dc_id: usize, scale: &Scale) -> (ReimageData, Option<String>) {
     let months = 36;
     let profile = DatacenterProfile::dc(dc_id).scaled(scale.dc_scale.max(0.05));
     let tenants = profile.sample_tenants(scale.seed);
     // Three years of reimages per tenant, fanned out over the sweep
     // workers (the RNG stream is already indexed per tenant), then
-    // folded back in tenant order so the aggregates are unchanged.
+    // folded back in tenant order so the aggregates are unchanged. A
+    // quarantined tenant is skipped from the aggregates and named in
+    // the returned harness note.
     let indices: Vec<usize> = (0..tenants.len()).collect();
-    let per_tenant = par_map(scale.jobs, &indices, |&i| {
-        let t = &tenants[i];
-        let mut rng = indexed_rng(scale.seed, "char-reimage", (dc_id * 10_000 + i) as u64);
-        let (events, rates) = t.reimage.generate(&mut rng, t.n_servers, months);
-        let server_rates = per_server_monthly_rates(&events, t.n_servers, months);
-        let tenant_rate = harvest_trace::reimage::tenant_monthly_rate(&events, t.n_servers, months);
-        (server_rates, tenant_rate, rates)
-    });
+    let swept = sweep_plain(
+        scale,
+        "char-reimage",
+        &indices,
+        |&i| format!("dc{dc_id}/t{i}"),
+        |&i, _cancel| {
+            let t = &tenants[i];
+            let mut rng = indexed_rng(scale.seed, "char-reimage", (dc_id * 10_000 + i) as u64);
+            let (events, rates) = t.reimage.generate(&mut rng, t.n_servers, months);
+            let server_rates = per_server_monthly_rates(&events, t.n_servers, months);
+            let tenant_rate =
+                harvest_trace::reimage::tenant_monthly_rate(&events, t.n_servers, months);
+            (server_rates, tenant_rate, rates)
+        },
+    );
 
     let mut per_server_rates = Vec::new();
     let mut per_tenant_rates = Vec::new();
     let mut monthly: Vec<Vec<f64>> = vec![Vec::new(); months];
-    for (server_rates, tenant_rate, rates) in per_tenant {
+    for (server_rates, tenant_rate, rates) in swept.results.into_iter().flatten() {
         per_server_rates.extend(server_rates);
         per_tenant_rates.push(tenant_rate);
         // Group tenants by their per-month reimage *frequency* (the
@@ -197,11 +233,14 @@ fn reimage_data(dc_id: usize, scale: &Scale) -> ReimageData {
             monthly[m].push(rate);
         }
     }
-    ReimageData {
-        per_server_rates,
-        per_tenant_rates,
-        monthly_rates: monthly,
-    }
+    (
+        ReimageData {
+            per_server_rates,
+            per_tenant_rates,
+            monthly_rates: monthly,
+        },
+        swept.note,
+    )
 }
 
 fn cdf_row(name: String, samples: &[f64], thresholds: &[f64]) -> Vec<String> {
@@ -220,12 +259,15 @@ pub fn fig4(scale: &Scale) -> String {
         &["datacenter", "<=0.25", "<=0.5", "<=1.0", "<=1.5", "<=2.0"],
     );
     for dc in REIMAGE_DCS {
-        let data = reimage_data(dc, scale);
+        let (data, note) = reimage_data(dc, scale);
         table.row(&cdf_row(
             format!("DC-{dc}"),
             &data.per_server_rates,
             &thresholds,
         ));
+        if let Some(note) = note {
+            table.note(note);
+        }
     }
     table.note("paper: at least 90% of servers are reimaged once or fewer times per month; a ~10% tail is reimaged frequently; DC-0 and DC-7 show substantially lower rates");
     table.render()
@@ -239,12 +281,15 @@ pub fn fig5(scale: &Scale) -> String {
         &["datacenter", "<=0.25", "<=0.5", "<=1.0", "<=1.5", "<=2.0"],
     );
     for dc in REIMAGE_DCS {
-        let data = reimage_data(dc, scale);
+        let (data, note) = reimage_data(dc, scale);
         table.row(&cdf_row(
             format!("DC-{dc}"),
             &data.per_tenant_rates,
             &thresholds,
         ));
+        if let Some(note) = note {
+            table.note(note);
+        }
     }
     table.note("paper: at least 80% of tenants are reimaged once or fewer times per server per month, with good diversity across tenants (no near-vertical CDFs)");
     table.render()
@@ -259,13 +304,16 @@ pub fn fig6(scale: &Scale) -> String {
     );
     let mut at8 = Vec::new();
     for dc in REIMAGE_DCS {
-        let data = reimage_data(dc, scale);
+        let (data, note) = reimage_data(dc, scale);
         let changes: Vec<f64> = group_changes(&data.monthly_rates)
             .into_iter()
             .map(|c| c as f64)
             .collect();
         at8.push(fraction_at_or_below(&changes, 8.0));
         table.row(&cdf_row(format!("DC-{dc}"), &changes, &thresholds));
+        if let Some(note) = note {
+            table.note(note);
+        }
     }
     let min_at8 = at8.iter().cloned().fold(f64::MAX, f64::min);
     table.note(format!(
@@ -302,7 +350,7 @@ mod tests {
     fn fig6_rank_consistency_holds() {
         let scale = tiny();
         for dc in REIMAGE_DCS {
-            let data = reimage_data(dc, &scale);
+            let (data, _) = reimage_data(dc, &scale);
             let changes: Vec<f64> = group_changes(&data.monthly_rates)
                 .into_iter()
                 .map(|c| c as f64)
@@ -319,7 +367,7 @@ mod tests {
     fn fig4_majority_below_one_reimage() {
         let scale = tiny();
         for dc in REIMAGE_DCS {
-            let data = reimage_data(dc, &scale);
+            let (data, _) = reimage_data(dc, &scale);
             let frac = fraction_at_or_below(&data.per_server_rates, 1.0);
             assert!(frac >= 0.75, "DC-{dc}: {frac:.2} of servers <=1/month");
         }

@@ -2,8 +2,8 @@
 
 use harvest_jobs::estimate::max_concurrent_tasks;
 use harvest_jobs::tpcds::query_19;
-use harvest_sim::par::par_map;
 
+use crate::checkpoint::sweep_plain;
 use crate::report::Table;
 use crate::scale::Scale;
 
@@ -19,25 +19,41 @@ pub fn fig7(scale: &Scale) -> String {
     );
     // Each level's row is an independent scan of the stage list.
     let level_ids: Vec<usize> = (0..=max_level).collect();
-    let rows = par_map(scale.jobs, &level_ids, |&level| {
-        let members: Vec<String> = q
-            .stages
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| levels[*i] == level)
-            .map(|(_, s)| format!("{} ({})", s.name, s.tasks))
-            .collect();
-        let tasks: u32 = q
-            .stages
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| levels[*i] == level)
-            .map(|(_, s)| s.tasks)
-            .sum();
-        [level.to_string(), members.join(", "), tasks.to_string()]
-    });
-    for row in &rows {
-        table.row(row);
+    let swept = sweep_plain(
+        scale,
+        "fig7",
+        &level_ids,
+        |&level| format!("lv{level}"),
+        |&level, _cancel| {
+            let members: Vec<String> = q
+                .stages
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| levels[*i] == level)
+                .map(|(_, s)| format!("{} ({})", s.name, s.tasks))
+                .collect();
+            let tasks: u32 = q
+                .stages
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| levels[*i] == level)
+                .map(|(_, s)| s.tasks)
+                .sum();
+            [level.to_string(), members.join(", "), tasks.to_string()]
+        },
+    );
+    for (level, row) in level_ids.iter().zip(&swept.results) {
+        match row {
+            Some(row) => table.row(row),
+            None => table.row(&[
+                level.to_string(),
+                "(quarantined)".to_string(),
+                "-".to_string(),
+            ]),
+        };
+    }
+    if let Some(note) = swept.note {
+        table.note(note);
     }
     let estimate = max_concurrent_tasks(&q);
     table.note(format!(

@@ -6,11 +6,13 @@ use harvest_dfs::placement::PlacementPolicy;
 use harvest_disk::DiskConfig;
 use harvest_net::NetworkConfig;
 use harvest_sim::fault::FaultPlan;
+use harvest_sim::obs::json;
 use harvest_sim::par::par_map;
 use harvest_sim::SimDuration;
 use harvest_trace::datacenter::DatacenterProfile;
 
 use super::STORAGE_CELLS as CELLS;
+use crate::checkpoint::{self, get_f64, get_u64, hex_f64, hex_u64, obj, Journaled};
 use crate::report::{sci, Table};
 use crate::scale::Scale;
 
@@ -62,6 +64,34 @@ pub struct RunLoss {
     pub fault_retries: u64,
     /// Repairs abandoned after exhausting the fault retry budget.
     pub retries_exhausted: u64,
+}
+
+impl Journaled for RunLoss {
+    fn encode(&self) -> String {
+        obj(&[
+            ("percent", hex_f64(self.percent)),
+            ("blocks", hex_u64(self.blocks)),
+            ("stale", hex_u64(self.stale_events_dropped)),
+            ("peak", hex_u64(self.peak_queue_len as u64)),
+            ("fi", hex_u64(self.faults_injected)),
+            ("ra", hex_u64(self.repairs_aborted)),
+            ("fr", hex_u64(self.fault_retries)),
+            ("re", hex_u64(self.retries_exhausted)),
+        ])
+    }
+
+    fn decode(v: &json::Value) -> Option<Self> {
+        Some(RunLoss {
+            percent: get_f64(v, "percent")?,
+            blocks: get_u64(v, "blocks")?,
+            stale_events_dropped: get_u64(v, "stale")?,
+            peak_queue_len: get_u64(v, "peak")? as usize,
+            faults_injected: get_u64(v, "fi")?,
+            repairs_aborted: get_u64(v, "ra")?,
+            fault_retries: get_u64(v, "fr")?,
+            retries_exhausted: get_u64(v, "re")?,
+        })
+    }
 }
 
 /// Runs one durability simulation: run `r` of a (DC, policy,
@@ -149,6 +179,29 @@ pub fn summarize(runs: &[RunLoss]) -> LossSummary {
         fault_retries: runs.iter().map(|r| r.fault_retries).sum(),
         retries_exhausted: runs.iter().map(|r| r.retries_exhausted).sum(),
     }
+}
+
+/// [`summarize`] over the present slots of a supervised sweep chunk:
+/// quarantined/cancelled tasks are `None` and skipped. An all-`None`
+/// chunk yields NaN percentages and zero counters — the harness note
+/// names the missing tasks.
+pub fn summarize_present(runs: &[Option<RunLoss>]) -> LossSummary {
+    let present: Vec<RunLoss> = runs.iter().flatten().copied().collect();
+    if present.is_empty() {
+        return LossSummary {
+            avg_percent: f64::NAN,
+            min_percent: f64::NAN,
+            max_percent: f64::NAN,
+            avg_blocks: f64::NAN,
+            stale_events_dropped: 0,
+            peak_queue_len: 0,
+            faults_injected: 0,
+            repairs_aborted: 0,
+            fault_retries: 0,
+            retries_exhausted: 0,
+        };
+    }
+    summarize(&present)
 }
 
 /// Runs `runs` durability simulations for one (DC, policy, replication).
@@ -243,20 +296,30 @@ pub fn fig15(scale: &Scale) -> String {
             }
         }
     }
-    let outcomes: Vec<RunLoss> = par_map(scale.jobs, &tasks, |t| {
-        let (policy, replication) = CELLS[t.cell];
-        run_loss(
-            &dcs[t.dc_id],
-            policy,
-            replication,
-            scale.durability_months,
-            scale.run_seed("fig15", t.dc_id),
-            t.r,
-            scale.network,
-            scale.disk,
-            &plans[t.dc_id],
-        )
-    });
+    // Supervised, checkpointable sweep: task keys are stable across
+    // runs and `--jobs`, so `--resume` replays journaled results by
+    // key and only the remainder is computed.
+    let swept = checkpoint::sweep(
+        scale,
+        "fig15",
+        &tasks,
+        |t| format!("dc{}/cell{}/r{}", t.dc_id, t.cell, t.r),
+        |t, _cancel| {
+            let (policy, replication) = CELLS[t.cell];
+            run_loss(
+                &dcs[t.dc_id],
+                policy,
+                replication,
+                scale.durability_months,
+                scale.run_seed("fig15", t.dc_id),
+                t.r,
+                scale.network,
+                scale.disk,
+                &plans[t.dc_id],
+            )
+        },
+    );
+    let outcomes = swept.results;
 
     let mut stock3_total = 0.0;
     let mut h3_total = 0.0;
@@ -267,7 +330,7 @@ pub fn fig15(scale: &Scale) -> String {
     for dc_id in 0..10 {
         let cell = |c: usize| -> LossSummary {
             let start = (dc_id * CELLS.len() + c) * scale.runs;
-            summarize(&outcomes[start..start + scale.runs])
+            summarize_present(&outcomes[start..start + scale.runs])
         };
         let stock3 = cell(0);
         let h3 = cell(1);
@@ -302,6 +365,9 @@ pub fn fig15(scale: &Scale) -> String {
             sci(h4.avg_percent),
             format!("{:.0}", h3.avg_blocks),
         ]);
+    }
+    if let Some(note) = swept.note {
+        table.note(note);
     }
     let ratio = if h3_total > 0.0 {
         stock3_total / h3_total

@@ -2,9 +2,9 @@
 
 use harvest_cluster::Datacenter;
 use harvest_dfs::grid::Grid2D;
-use harvest_sim::par::par_map;
 use harvest_trace::datacenter::DatacenterProfile;
 
+use crate::checkpoint::sweep_plain;
 use crate::report::{num, Table};
 use crate::scale::Scale;
 
@@ -28,38 +28,56 @@ pub fn fig8(scale: &Scale) -> String {
     // Each cell's member scan is independent; fan the nine cells out
     // and emit the rows in cell order.
     let cells: Vec<_> = Grid2D::cells().collect();
-    let rows = par_map(scale.jobs, &cells, |&cell| {
-        let members = grid.members(cell);
-        let mut rate_lo = f64::MAX;
-        let mut rate_hi = f64::MIN;
-        let mut peak_lo = f64::MAX;
-        let mut peak_hi = f64::MIN;
-        for &tid in members {
-            let t = dc.tenant(tid);
-            let rate = t.reimage.expected_monthly_rate();
-            rate_lo = rate_lo.min(rate);
-            rate_hi = rate_hi.max(rate);
-            peak_lo = peak_lo.min(t.trace.peak());
-            peak_hi = peak_hi.max(t.trace.peak());
-        }
-        let ranges = if members.is_empty() {
-            ("-".to_string(), "-".to_string())
-        } else {
-            (
-                format!("{}..{}", num(rate_lo, 2), num(rate_hi, 2)),
-                format!("{}..{}", num(peak_lo, 2), num(peak_hi, 2)),
-            )
+    let swept = sweep_plain(
+        scale,
+        "fig8",
+        &cells,
+        |cell| format!("c{}r{}", cell.col, cell.row),
+        |&cell, _cancel| {
+            let members = grid.members(cell);
+            let mut rate_lo = f64::MAX;
+            let mut rate_hi = f64::MIN;
+            let mut peak_lo = f64::MAX;
+            let mut peak_hi = f64::MIN;
+            for &tid in members {
+                let t = dc.tenant(tid);
+                let rate = t.reimage.expected_monthly_rate();
+                rate_lo = rate_lo.min(rate);
+                rate_hi = rate_hi.max(rate);
+                peak_lo = peak_lo.min(t.trace.peak());
+                peak_hi = peak_hi.max(t.trace.peak());
+            }
+            let ranges = if members.is_empty() {
+                ("-".to_string(), "-".to_string())
+            } else {
+                (
+                    format!("{}..{}", num(rate_lo, 2), num(rate_hi, 2)),
+                    format!("{}..{}", num(peak_lo, 2), num(peak_hi, 2)),
+                )
+            };
+            [
+                format!("({}, {})", cell.col, cell.row),
+                members.len().to_string(),
+                grid.space(cell).to_string(),
+                ranges.0,
+                ranges.1,
+            ]
+        },
+    );
+    for (cell, row) in cells.iter().zip(&swept.results) {
+        match row {
+            Some(row) => table.row(row),
+            None => table.row(&[
+                format!("({}, {})", cell.col, cell.row),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]),
         };
-        [
-            format!("({}, {})", cell.col, cell.row),
-            members.len().to_string(),
-            grid.space(cell).to_string(),
-            ranges.0,
-            ranges.1,
-        ]
-    });
-    for row in &rows {
-        table.row(row);
+    }
+    if let Some(note) = swept.note {
+        table.note(note);
     }
     table.note(format!(
         "space imbalance (max/min cell): {}; the paper splits so every cell holds S/9 — rows do not align across columns because each column is split by space, not by peak value",

@@ -13,12 +13,15 @@ use harvest_jobs::tpcds::{scale_job, tpcds_suite};
 use harvest_jobs::workload::Workload;
 use harvest_sched::policy::SchedPolicy;
 use harvest_sched::sim::{SchedSim, SchedSimConfig, TickSweep};
+use harvest_sim::obs::json;
 use harvest_sim::par::par_map;
 use harvest_sim::rng::stream_rng;
+use harvest_sim::supervise::CancelToken;
 use harvest_sim::SimDuration;
 use harvest_trace::datacenter::DatacenterProfile;
 use harvest_trace::scaling::{calibrate, ScalingKind};
 
+use crate::checkpoint::{self, get_f64, get_u64, hex_f64, hex_u64, obj, Journaled};
 use crate::report::{num, pct, Table};
 use crate::scale::Scale;
 
@@ -59,6 +62,39 @@ impl SweepPoint {
     }
 }
 
+impl Journaled for SweepPoint {
+    fn encode(&self) -> String {
+        let scaling = match self.scaling {
+            ScalingKind::Linear => 0u64,
+            ScalingKind::Root => 1,
+        };
+        obj(&[
+            ("util", hex_f64(self.utilization)),
+            ("scaling", hex_u64(scaling)),
+            ("pt", hex_f64(self.pt_secs)),
+            ("h", hex_f64(self.h_secs)),
+            ("stale", hex_u64(self.stale_events_dropped)),
+            ("peak", hex_u64(self.peak_queue_len as u64)),
+        ])
+    }
+
+    fn decode(v: &json::Value) -> Option<Self> {
+        let scaling = match get_u64(v, "scaling")? {
+            0 => ScalingKind::Linear,
+            1 => ScalingKind::Root,
+            _ => return None,
+        };
+        Some(SweepPoint {
+            utilization: get_f64(v, "util")?,
+            scaling,
+            pt_secs: get_f64(v, "pt")?,
+            h_secs: get_f64(v, "h")?,
+            stale_events_dropped: get_u64(v, "stale")?,
+            peak_queue_len: get_u64(v, "peak")? as usize,
+        })
+    }
+}
+
 /// Builds the (scaled utilization view, Poisson workload) pair one
 /// sweep point simulates over — shared by the comparison runs and the
 /// recorded blame run so they see bitwise-identical inputs.
@@ -94,6 +130,10 @@ fn sweep_inputs(
 }
 
 /// Runs one (datacenter, scaling, utilization, run) comparison point.
+///
+/// `cancel` is the supervising harness's cooperative cancellation
+/// token, polled by the scheduling event loop at tick granularity; a
+/// cancelled point returns early with a partial (discarded) result.
 #[allow(clippy::too_many_arguments)]
 pub fn sweep_point(
     dc: &Datacenter,
@@ -104,6 +144,7 @@ pub fn sweep_point(
     network: Option<harvest_net::NetworkConfig>,
     disk: Option<harvest_disk::DiskConfig>,
     sweep: TickSweep,
+    cancel: &CancelToken,
 ) -> SweepPoint {
     let (view, workload) = sweep_inputs(dc, scaling, utilization, hours, seed);
     let horizon = SimDuration::from_hours(hours);
@@ -115,6 +156,7 @@ pub fn sweep_point(
         cfg.network = network;
         cfg.disk = disk;
         cfg.sweep = sweep;
+        cfg.cancel = cancel.clone();
         let stats = SchedSim::new(dc, &view, &workload, cfg).run();
         let stale = stats.fabric.map_or(0, |f| f.stale_events_dropped)
             + stats.disks.map_or(0, |d| d.stale_events_dropped);
@@ -209,18 +251,28 @@ pub fn fig13(scale: &Scale) -> String {
             }
         }
     }
-    let points: Vec<SweepPoint> = par_map(scale.jobs, &tasks, |t| {
-        sweep_point(
-            &dc,
-            t.scaling,
-            t.util,
-            scale.sched_hours,
-            scale.run_seed("fig13", t.r),
-            scale.network,
-            scale.disk,
-            scale.tick_sweep,
-        )
-    });
+    // Supervised, checkpointable sweep keyed by the task's stable
+    // (scaling, utilization, run) coordinates.
+    let swept = checkpoint::sweep(
+        scale,
+        "fig13",
+        &tasks,
+        |t| format!("{}/u{:.2}/r{}", t.scaling, t.util, t.r),
+        |t, cancel| {
+            sweep_point(
+                &dc,
+                t.scaling,
+                t.util,
+                scale.sched_hours,
+                scale.run_seed("fig13", t.r),
+                scale.network,
+                scale.disk,
+                scale.tick_sweep,
+                cancel,
+            )
+        },
+    );
+    let points = swept.results;
 
     let mut stale_total = 0u64;
     let mut peak_queue = 0usize;
@@ -228,19 +280,24 @@ pub fn fig13(scale: &Scale) -> String {
     for scaling in [ScalingKind::Linear, ScalingKind::Root] {
         for &util in &scale.utilizations {
             let runs = chunks.next().expect("one chunk per sweep point");
+            // Quarantined/cancelled runs are `None`: average over the
+            // present ones (all of them on a clean run, so the division
+            // is bitwise identical to the unsupervised path).
             let mut pt = 0.0;
             let mut h = 0.0;
-            for p in runs {
+            let mut n = 0usize;
+            for p in runs.iter().flatten() {
                 pt += p.pt_secs;
                 h += p.h_secs;
                 stale_total += p.stale_events_dropped;
                 peak_queue = peak_queue.max(p.peak_queue_len);
+                n += 1;
             }
             let point = SweepPoint {
                 utilization: util,
                 scaling,
-                pt_secs: pt / scale.runs as f64,
-                h_secs: h / scale.runs as f64,
+                pt_secs: pt / n as f64,
+                h_secs: h / n as f64,
                 stale_events_dropped: 0,
                 peak_queue_len: 0,
             };
@@ -252,6 +309,9 @@ pub fn fig13(scale: &Scale) -> String {
                 pct(point.improvement()),
             ]);
         }
+    }
+    if let Some(note) = swept.note {
+        table.note(note);
     }
     table.note("paper: YARN-H/Tez-H reduces DC-9 execution time by 0-55% under linear scaling and 3-41% under root scaling, with both systems degrading as utilization rises");
     if scale.network.is_some() || scale.disk.is_some() {
@@ -327,18 +387,26 @@ pub fn fig14(scale: &Scale) -> String {
             }
         }
     }
-    let points: Vec<SweepPoint> = par_map(scale.jobs, &tasks, |t| {
-        sweep_point(
-            &dcs[t.dc_id],
-            t.scaling,
-            t.util,
-            scale.sched_hours,
-            scale.run_seed("fig14", t.dc_id * 100 + t.r),
-            scale.network,
-            scale.disk,
-            scale.tick_sweep,
-        )
-    });
+    let swept = checkpoint::sweep(
+        scale,
+        "fig14",
+        &tasks,
+        |t| format!("dc{}/{}/u{:.2}/r{}", t.dc_id, t.scaling, t.util, t.r),
+        |t, cancel| {
+            sweep_point(
+                &dcs[t.dc_id],
+                t.scaling,
+                t.util,
+                scale.sched_hours,
+                scale.run_seed("fig14", t.dc_id * 100 + t.r),
+                scale.network,
+                scale.disk,
+                scale.tick_sweep,
+                cancel,
+            )
+        },
+    );
+    let points = swept.results;
 
     let mut low_var = Vec::new(); // DC-0, DC-2 improvements
     let mut high_var = Vec::new(); // DC-1, DC-4 improvements
@@ -349,11 +417,18 @@ pub fn fig14(scale: &Scale) -> String {
                 .next()
                 .expect("one chunk per (dc, scaling)")
                 .iter()
+                .flatten()
                 .map(|p| p.improvement())
                 .collect();
-            let min = imps.iter().cloned().fold(f64::MAX, f64::min);
-            let max = imps.iter().cloned().fold(f64::MIN, f64::max);
-            let avg = imps.iter().sum::<f64>() / imps.len() as f64;
+            let (min, max, avg) = if imps.is_empty() {
+                (f64::NAN, f64::NAN, f64::NAN)
+            } else {
+                (
+                    imps.iter().cloned().fold(f64::MAX, f64::min),
+                    imps.iter().cloned().fold(f64::MIN, f64::max),
+                    imps.iter().sum::<f64>() / imps.len() as f64,
+                )
+            };
             if scaling == ScalingKind::Linear {
                 if dc_id == 0 || dc_id == 2 {
                     low_var.push(avg);
@@ -370,6 +445,9 @@ pub fn fig14(scale: &Scale) -> String {
                 pct(max),
             ]);
         }
+    }
+    if let Some(note) = swept.note {
+        table.note(note);
     }
     let low = low_var.iter().sum::<f64>() / low_var.len().max(1) as f64;
     let high = high_var.iter().sum::<f64>() / high_var.len().max(1) as f64;
@@ -414,6 +492,7 @@ mod tests {
             None,
             None,
             TickSweep::Incremental,
+            &CancelToken::new(),
         );
         assert!(p.pt_secs > 0.0 && p.h_secs > 0.0);
         assert!(

@@ -18,11 +18,11 @@ use harvest_sched::sim::{SchedSim, SchedSimConfig};
 use harvest_sched::stats::SimStats;
 use harvest_service::LatencyModel;
 use harvest_sim::metrics::StreamingStats;
-use harvest_sim::par::par_map;
 use harvest_sim::rng::stream_rng;
 use harvest_sim::{dist, SimDuration, SimTime};
 use rand::RngExt;
 
+use crate::checkpoint::sweep_plain;
 use crate::report::{num, Table};
 use crate::scale::Scale;
 
@@ -101,9 +101,14 @@ pub fn fig10(scale: &Scale) -> String {
     // The no-harvesting baseline needs no simulation of its own: it is
     // the History run's utilization playback with the harvested cores
     // zeroed, so its series is derived from the same stats.
-    let all_stats = par_map(scale.jobs, &SchedPolicy::ALL, |&policy| {
-        run_testbed(scale, policy, true)
-    });
+    let swept = sweep_plain(
+        scale,
+        "fig10",
+        &SchedPolicy::ALL,
+        |p| p.to_string(),
+        |&policy, _cancel| run_testbed(scale, policy, true),
+    );
+    let all_stats = swept.results;
     let series_for = |stats: &SimStats, zero_cores: bool| -> Vec<f64> {
         let n_ticks = stats.server_load[0].len();
         (0..n_ticks)
@@ -125,24 +130,62 @@ pub fn fig10(scale: &Scale) -> String {
         .iter()
         .position(|p| *p == SchedPolicy::History)
         .expect("History is a scheduler");
-    let base_series = series_for(&all_stats[history], true);
-    let base_avg = mean(&base_series);
-    table.row(&[
-        "No Harvesting".into(),
-        num(base_avg, 0),
-        num(quantile(&base_series, 0.95), 0),
-        num(max(&base_series), 0),
-        num(0.0, 0),
-    ]);
+    // The no-harvesting baseline is derived from the History run; when
+    // that run is quarantined the baseline (and the diff column) cannot
+    // be computed and the rows degrade to dashes.
+    let base_avg = match &all_stats[history] {
+        Some(stats) => {
+            let base_series = series_for(stats, true);
+            let base_avg = mean(&base_series);
+            table.row(&[
+                "No Harvesting".into(),
+                num(base_avg, 0),
+                num(quantile(&base_series, 0.95), 0),
+                num(max(&base_series), 0),
+                num(0.0, 0),
+            ]);
+            Some(base_avg)
+        }
+        None => {
+            table.row(&[
+                "No Harvesting".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            None
+        }
+    };
     for (policy, stats) in SchedPolicy::ALL.iter().zip(&all_stats) {
-        let series = series_for(stats, false);
-        table.row(&[
-            policy.to_string(),
-            num(mean(&series), 0),
-            num(quantile(&series, 0.95), 0),
-            num(max(&series), 0),
-            num(mean(&series) - base_avg, 0),
-        ]);
+        match stats {
+            Some(stats) => {
+                let series = series_for(stats, false);
+                let diff = match base_avg {
+                    Some(base) => num(mean(&series) - base, 0),
+                    None => "-".into(),
+                };
+                table.row(&[
+                    policy.to_string(),
+                    num(mean(&series), 0),
+                    num(quantile(&series, 0.95), 0),
+                    num(max(&series), 0),
+                    diff,
+                ]);
+            }
+            None => {
+                table.row(&[
+                    policy.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    if let Some(note) = swept.note {
+        table.note(note);
     }
     table.note("paper: YARN-Stock hurts tail latency significantly; YARN-PT keeps it low and consistent; YARN-H/Tez-H nearly matches No-Harvesting (max diff 44 ms)");
     table.render()
@@ -155,25 +198,44 @@ pub fn fig11(scale: &Scale) -> String {
         &["system", "jobs", "mean", "median", "max", "task kills"],
     );
     // One simulation per scheduler, fanned out over the sweep workers.
-    let rows = par_map(scale.jobs, &SchedPolicy::ALL, |&policy| {
-        let stats = run_testbed(scale, policy, false);
-        let mut times: Vec<f64> = stats
-            .jobs
-            .iter()
-            .filter_map(|j| j.execution_time.map(|d| d.as_secs_f64()))
-            .collect();
-        times.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN"));
-        (policy, times, stats.total_kills)
-    });
-    for (policy, times, kills) in rows {
-        table.row(&[
-            policy.to_string(),
-            times.len().to_string(),
-            num(mean(&times), 0),
-            num(quantile(&times, 0.5), 0),
-            num(max(&times), 0),
-            kills.to_string(),
-        ]);
+    let swept = sweep_plain(
+        scale,
+        "fig11",
+        &SchedPolicy::ALL,
+        |p| p.to_string(),
+        |&policy, _cancel| {
+            let stats = run_testbed(scale, policy, false);
+            let mut times: Vec<f64> = stats
+                .jobs
+                .iter()
+                .filter_map(|j| j.execution_time.map(|d| d.as_secs_f64()))
+                .collect();
+            times.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN"));
+            (times, stats.total_kills)
+        },
+    );
+    for (policy, outcome) in SchedPolicy::ALL.iter().zip(&swept.results) {
+        match outcome {
+            Some((times, kills)) => table.row(&[
+                policy.to_string(),
+                times.len().to_string(),
+                num(mean(times), 0),
+                num(quantile(times, 0.5), 0),
+                num(max(times), 0),
+                kills.to_string(),
+            ]),
+            None => table.row(&[
+                policy.to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]),
+        };
+    }
+    if let Some(note) = swept.note {
+        table.note(note);
     }
     table.note("paper: YARN-Stock is fastest (1181 s avg for YARN-PT vs 938 s for YARN-H) but ruins the primary; YARN-H/Tez-H beats YARN-PT by killing fewer tasks");
     if let Some(line) = testbed_stage_blame(scale) {
@@ -242,80 +304,98 @@ pub fn fig12(scale: &Scale) -> String {
     // RNG stream, placer, block store, and latency series from shared
     // read-only state, so the variants run concurrently yet
     // byte-identically to the sequential loop they replaced.
-    let outcomes = par_map(scale.jobs, &PlacementPolicy::ALL, |&policy| {
-        let mut rng = stream_rng(scale.run_seed("fig12", 0), "access");
-        let placer = Placer::new(&dc, policy);
-        let mut store = BlockStore::new(&dc);
-        // Fill 40% of harvestable space with three-way blocks.
-        let busy0 = busy_mask(&dc, &view, SimTime::ZERO);
-        let target = (dc.total_harvest_blocks() as f64 * 0.4 / 3.0) as u64;
-        let mut n_blocks = 0u64;
-        for _ in 0..target {
-            let writer = ServerId(rng.random_range(0..dc.n_servers()) as u32);
-            match placer.place_new(&mut rng, &store, writer, 3, Some(&busy0)) {
-                Some(p) => {
-                    store.create_block(&p.servers);
-                    n_blocks += 1;
-                }
-                None => break,
-            }
-        }
-
-        let mut failed = 0u64;
-        let mut series = Vec::with_capacity(n_ticks);
-        let accesses_per_tick = ACCESS_RATE * tick.as_secs_f64();
-        for k in 0..n_ticks {
-            let now = SimTime::ZERO + tick.mul_f64(k as f64);
-            let busy = busy_mask(&dc, &view, now);
-            let mut dn_load = vec![0u64; dc.n_servers()];
-            let n_acc = dist::poisson(&mut rng, accesses_per_tick);
-            for _ in 0..n_acc {
-                let block = BlockId(rng.random_range(0..n_blocks));
-                let replicas = store.replicas(block);
-                match policy {
-                    PlacementPolicy::Stock => {
-                        // Oblivious: the client reads any replica, busy
-                        // primary or not.
-                        let pick = replicas[rng.random_range(0..replicas.len())];
-                        dn_load[pick as usize] += 1;
+    let swept = sweep_plain(
+        scale,
+        "fig12",
+        &PlacementPolicy::ALL,
+        |p| p.to_string(),
+        |&policy, _cancel| {
+            let mut rng = stream_rng(scale.run_seed("fig12", 0), "access");
+            let placer = Placer::new(&dc, policy);
+            let mut store = BlockStore::new(&dc);
+            // Fill 40% of harvestable space with three-way blocks.
+            let busy0 = busy_mask(&dc, &view, SimTime::ZERO);
+            let target = (dc.total_harvest_blocks() as f64 * 0.4 / 3.0) as u64;
+            let mut n_blocks = 0u64;
+            for _ in 0..target {
+                let writer = ServerId(rng.random_range(0..dc.n_servers()) as u32);
+                match placer.place_new(&mut rng, &store, writer, 3, Some(&busy0)) {
+                    Some(p) => {
+                        store.create_block(&p.servers);
+                        n_blocks += 1;
                     }
-                    _ => {
-                        // DN-H denies accesses at busy servers; the
-                        // client retries another replica.
-                        let open: Vec<u32> = replicas
-                            .iter()
-                            .copied()
-                            .filter(|&s| !busy[s as usize])
-                            .collect();
-                        if open.is_empty() {
-                            failed += 1;
-                        } else {
-                            let pick = open[rng.random_range(0..open.len())];
+                    None => break,
+                }
+            }
+
+            let mut failed = 0u64;
+            let mut series = Vec::with_capacity(n_ticks);
+            let accesses_per_tick = ACCESS_RATE * tick.as_secs_f64();
+            for k in 0..n_ticks {
+                let now = SimTime::ZERO + tick.mul_f64(k as f64);
+                let busy = busy_mask(&dc, &view, now);
+                let mut dn_load = vec![0u64; dc.n_servers()];
+                let n_acc = dist::poisson(&mut rng, accesses_per_tick);
+                for _ in 0..n_acc {
+                    let block = BlockId(rng.random_range(0..n_blocks));
+                    let replicas = store.replicas(block);
+                    match policy {
+                        PlacementPolicy::Stock => {
+                            // Oblivious: the client reads any replica, busy
+                            // primary or not.
+                            let pick = replicas[rng.random_range(0..replicas.len())];
                             dn_load[pick as usize] += 1;
+                        }
+                        _ => {
+                            // DN-H denies accesses at busy servers; the
+                            // client retries another replica.
+                            let open: Vec<u32> = replicas
+                                .iter()
+                                .copied()
+                                .filter(|&s| !busy[s as usize])
+                                .collect();
+                            if open.is_empty() {
+                                failed += 1;
+                            } else {
+                                let pick = open[rng.random_range(0..open.len())];
+                                dn_load[pick as usize] += 1;
+                            }
                         }
                     }
                 }
+                let loads: Vec<(f64, u32)> = (0..dc.n_servers())
+                    .map(|s| {
+                        let util = view.server_util(ServerId(s as u32), now);
+                        let dn_cores = (dn_load[s] as f64 * ACCESS_CORE_SECS / tick.as_secs_f64())
+                            .round() as u32;
+                        (util, dn_cores)
+                    })
+                    .collect();
+                series.push(model.fleet_p99_ms(&loads, scale.seed ^ 0xF1612, k as u64));
             }
-            let loads: Vec<(f64, u32)> = (0..dc.n_servers())
-                .map(|s| {
-                    let util = view.server_util(ServerId(s as u32), now);
-                    let dn_cores =
-                        (dn_load[s] as f64 * ACCESS_CORE_SECS / tick.as_secs_f64()).round() as u32;
-                    (util, dn_cores)
-                })
-                .collect();
-            series.push(model.fleet_p99_ms(&loads, scale.seed ^ 0xF1612, k as u64));
-        }
-        (series, failed)
-    });
-    for (policy, (series, failed)) in PlacementPolicy::ALL.iter().zip(outcomes) {
-        table.row(&[
-            policy.to_string(),
-            num(mean(&series), 0),
-            num(max(&series), 0),
-            failed.to_string(),
-            num(mean(&series) - base_avg, 0),
-        ]);
+            (series, failed)
+        },
+    );
+    for (policy, outcome) in PlacementPolicy::ALL.iter().zip(&swept.results) {
+        match outcome {
+            Some((series, failed)) => table.row(&[
+                policy.to_string(),
+                num(mean(series), 0),
+                num(max(series), 0),
+                failed.to_string(),
+                num(mean(series) - base_avg, 0),
+            ]),
+            None => table.row(&[
+                policy.to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]),
+        };
+    }
+    if let Some(note) = swept.note {
+        table.note(note);
     }
     table.note("paper: HDFS-Stock degrades tail latency significantly; HDFS-PT and HDFS-H stay within ~47 ms of no-harvesting; HDFS-PT had 47 failed accesses, HDFS-H zero");
     table.render()

@@ -25,11 +25,23 @@
 //! determinism.rs` pins this against the `--jobs 1` sequential
 //! reference path, the same oracle pattern as `ReshareScope::Global`
 //! and `TickSweep::Full`).
+//!
+//! # Surviving failures
+//!
+//! Sweeps run under [`checkpoint`]'s supervised harness: a panicking
+//! task is retried with bounded backoff and then *quarantined* (its
+//! row marked in the report, every other byte unchanged), a watchdog
+//! flags straggling tasks against a per-task deadline, and
+//! `repro --checkpoint FILE` journals each completed task's result so
+//! a killed run resumes (`--resume FILE`) with stdout byte-identical
+//! to an uninterrupted one.
 
+pub mod checkpoint;
 pub mod experiments;
 pub mod report;
 pub mod scale;
 
+pub use checkpoint::{Checkpoint, Harness, SweepSnapshot};
 pub use report::Table;
 pub use scale::Scale;
 

@@ -54,6 +54,12 @@ pub struct Scale {
     /// which keeps every report byte-identical to a build without the
     /// fault machinery.
     pub faults: Option<FaultProfile>,
+    /// Resilience context for the sweeps (`repro --checkpoint` /
+    /// `--resume` / `--task-deadline`): an open checkpoint journal,
+    /// an optional per-task deadline, and shared outcome counters.
+    /// The default is inert — no journal, automatic flag-only
+    /// deadlines — and changes no output.
+    pub harness: crate::checkpoint::Harness,
     /// Whether the harness is collecting an observability trace
     /// (`repro --trace-out` / `--metrics-out`). Recording never
     /// changes an experiment's report — stdout is byte-identical with
@@ -80,6 +86,7 @@ impl Scale {
             tick_sweep: TickSweep::Incremental,
             jobs: harvest_sim::par::default_jobs(),
             faults: None,
+            harness: crate::checkpoint::Harness::default(),
             record: false,
             seed: 42,
         }
@@ -103,6 +110,7 @@ impl Scale {
             tick_sweep: TickSweep::Incremental,
             jobs: harvest_sim::par::default_jobs(),
             faults: None,
+            harness: crate::checkpoint::Harness::default(),
             record: false,
             seed: 42,
         }

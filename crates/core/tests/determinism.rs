@@ -134,3 +134,145 @@ fn recording_leaves_stdout_byte_identical() {
     let _ = std::fs::remove_file(&trace);
     let _ = std::fs::remove_file(&metrics);
 }
+
+/// Crash-safe checkpoint/resume: journal a run, cut the journal to a
+/// prefix ending mid-line (what a SIGKILL during a write leaves
+/// behind), resume at a different thread count, and the final stdout is
+/// byte-identical to a run that was never interrupted.
+#[test]
+fn killed_and_resumed_stdout_is_byte_identical() {
+    let journal =
+        std::env::temp_dir().join(format!("harvest-resume-{}.journal", std::process::id()));
+    let journal = journal.to_str().expect("utf-8 temp path");
+    let run = |args: &[&str]| {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(args)
+            .output()
+            .expect("repro runs");
+        assert!(
+            out.status.success(),
+            "repro {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out
+    };
+    let clean = run(&["fig15", "--jobs", "4"]);
+    run(&["fig15", "--jobs", "4", "--checkpoint", journal]);
+
+    // "Kill" the journaling run: keep a prefix that ends mid-line —
+    // a little past a line boundary, so the tail is a torn write.
+    let bytes = std::fs::read(journal).expect("journal written");
+    assert!(bytes.len() > 200, "journal suspiciously small");
+    let boundaries: Vec<usize> = bytes
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b == b'\n')
+        .map(|(i, _)| i + 1)
+        .collect();
+    let cut = boundaries[boundaries.len() * 3 / 5] + 10;
+    std::fs::write(journal, &bytes[..cut]).expect("truncate journal");
+
+    let resumed = run(&[
+        "fig15",
+        "--jobs",
+        "2",
+        "--checkpoint",
+        journal,
+        "--resume",
+        journal,
+    ]);
+    assert_eq!(
+        clean.stdout, resumed.stdout,
+        "resumed stdout differs from an uninterrupted run"
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("results restored") && !stderr.contains("[resume: 0 results"),
+        "resume restored nothing: {stderr}"
+    );
+    assert!(
+        stderr.contains("torn lines dropped"),
+        "mid-line cut not reported as torn: {stderr}"
+    );
+    let _ = std::fs::remove_file(journal);
+}
+
+/// Panic isolation at the binary level: force one sweep task to panic
+/// and only its table cell degrades — every other line of the report is
+/// unchanged (modulo column re-padding) and the report names the
+/// quarantined task.
+#[test]
+fn quarantined_task_degrades_only_its_cell() {
+    let run = |forced: Option<&str>| {
+        let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_repro"));
+        cmd.args(["fig7", "--jobs", "2"]);
+        match forced {
+            Some(key) => cmd.env("HARVEST_FORCE_PANIC", key),
+            None => cmd.env_remove("HARVEST_FORCE_PANIC"),
+        };
+        let out = cmd.output().expect("repro runs");
+        assert!(out.status.success(), "repro failed");
+        String::from_utf8(out.stdout).expect("utf-8 report")
+    };
+    let clean = run(None);
+    let forced = run(Some("fig7/lv1"));
+    assert!(
+        forced.contains("`fig7/lv1` quarantined after"),
+        "missing quarantine note:\n{forced}"
+    );
+    assert!(forced.contains("(quarantined)"), "missing placeholder row");
+
+    // Every line except the quarantined row and the harness note is
+    // unchanged (columns may re-pad around the placeholder).
+    let normalize = |text: &str| -> Vec<String> {
+        text.lines()
+            .map(|l| l.split_whitespace().collect::<Vec<_>>().join(" "))
+            .filter(|l| !l.is_empty())
+            .filter(|l| !l.starts_with("| 1 |") && !l.contains("quarantined"))
+            .collect()
+    };
+    assert_eq!(
+        normalize(&clean),
+        normalize(&forced),
+        "a healthy row changed alongside the quarantine"
+    );
+}
+
+/// Malformed invocations die fast with a one-line error and a nonzero
+/// exit, before any experiment burns time.
+#[test]
+fn bad_arguments_fail_fast() {
+    let run = |args: &[&str]| {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(args)
+            .output()
+            .expect("repro runs");
+        assert!(
+            !out.status.success(),
+            "repro {args:?} unexpectedly succeeded"
+        );
+        assert!(out.stdout.is_empty(), "error path wrote to stdout");
+        let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+        assert_eq!(
+            stderr.trim_end().lines().count(),
+            1,
+            "want one-line error, got: {stderr}"
+        );
+        stderr
+    };
+    assert!(run(&["--jobs", "0", "fig7"]).contains("--jobs requires an integer >= 1"));
+    assert!(run(&["--jobs", "x", "fig7"]).contains("--jobs requires an integer >= 1"));
+    assert!(run(&["--task-deadline", "0", "fig7"]).contains("--task-deadline requires"));
+    assert!(run(&["--resume", "/nonexistent/dir/x.journal", "fig7"])
+        .contains("error: cannot read resume journal"));
+
+    let corrupt =
+        std::env::temp_dir().join(format!("harvest-corrupt-{}.journal", std::process::id()));
+    std::fs::write(&corrupt, "not a journal line\nalso not one\n").expect("write corrupt file");
+    let stderr = run(&["--resume", corrupt.to_str().expect("utf-8"), "fig7"]);
+    assert!(
+        stderr.contains("error: corrupt resume journal"),
+        "corrupt journal not rejected: {stderr}"
+    );
+    let _ = std::fs::remove_file(&corrupt);
+}

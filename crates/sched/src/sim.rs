@@ -87,6 +87,7 @@ use harvest_sim::engine::EventQueue;
 use harvest_sim::fault::{FaultKind, FaultPlan};
 use harvest_sim::obs::{GaugeId, HistogramId, Recorder, StateTrackId, TrackId};
 use harvest_sim::rng::stream_rng;
+use harvest_sim::supervise::CancelToken;
 use harvest_sim::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -169,6 +170,12 @@ pub struct SchedSimConfig {
     /// fault branch unarmed: the trajectory is bitwise identical to the
     /// pre-fault simulator (pinned by tests).
     pub faults: FaultPlan,
+    /// Cooperative cancellation, polled at tick granularity (every two
+    /// simulated minutes): when the supervising harness cancels an
+    /// overdue sweep task, the event loop stops at the next tick and
+    /// the partial result is discarded by the caller. The default
+    /// token is never cancelled and costs one relaxed load per tick.
+    pub cancel: CancelToken,
 }
 
 impl SchedSimConfig {
@@ -187,6 +194,7 @@ impl SchedSimConfig {
             shuffle_bytes_per_task: DEFAULT_BYTES_PER_TASK,
             sweep: TickSweep::Incremental,
             faults: FaultPlan::none(),
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -590,7 +598,14 @@ impl<'a> Runner<'a> {
             match ev {
                 Ev::Arrival(idx) => self.on_arrival(idx, now),
                 Ev::Finish(cid) => self.on_finish(cid, now),
-                Ev::Tick => self.on_tick(now),
+                Ev::Tick => {
+                    // Cooperative cancellation checkpoint: one relaxed
+                    // load per two-minute tick when never cancelled.
+                    if self.sim.cfg.cancel.is_cancelled() {
+                        break;
+                    }
+                    self.on_tick(now)
+                }
                 Ev::NetWake => {
                     if self.pending_wake == Some(now) {
                         self.pending_wake = None;

@@ -25,7 +25,11 @@
 //! * [`fault`] — deterministic fault injection: seed-stream-driven
 //!   [`FaultPlan`]s (crashes, rack power loss, link flaps, disk
 //!   brown-outs) plus retry/backoff knobs, with [`fault::FaultPlan::none`]
-//!   guaranteeing the no-fault path stays bitwise identical.
+//!   guaranteeing the no-fault path stays bitwise identical;
+//! * [`supervise`] — a supervised `par_map`: per-task panic isolation
+//!   (`catch_unwind` + bounded jittered retries + quarantine), a
+//!   watchdog with per-task deadlines and cooperative [`supervise::CancelToken`]
+//!   cancellation, so one bad task never aborts a long sweep.
 //!
 //! # Examples
 //!
@@ -48,6 +52,7 @@ pub mod metrics;
 pub mod obs;
 pub mod par;
 pub mod rng;
+pub mod supervise;
 pub mod time;
 
 pub use engine::{EventKey, EventQueue};

@@ -84,15 +84,20 @@ where
     }
 
     let cursor = AtomicUsize::new(0);
+    // Last task index each worker claimed, so a panicking worker's join
+    // failure can name the task it died on (see `join_named`).
+    let current: Vec<AtomicUsize> = (0..jobs).map(|_| AtomicUsize::new(usize::MAX)).collect();
     let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let (cursor, current, init, f) = (&cursor, &current, &init, &f);
         let handles: Vec<_> = (0..jobs)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                scope.spawn(move || {
                     let mut scratch = init();
                     let mut claimed = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(task) = tasks.get(i) else { break };
+                        current[w].store(i, Ordering::Relaxed);
                         claimed.push((i, f(&mut scratch, task)));
                     }
                     claimed
@@ -101,7 +106,8 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("par_map worker panicked"))
+            .enumerate()
+            .map(|(w, h)| join_named(w, current, h))
             .collect()
     });
 
@@ -117,6 +123,28 @@ where
     out.into_iter()
         .map(|r| r.expect("par_map left a slot unclaimed"))
         .collect()
+}
+
+/// Joins one worker, converting a worker panic into a panic that names
+/// the worker and the task it was executing — `par_map` itself does not
+/// isolate panics (that is [`crate::supervise`]'s job), but it must not
+/// hide *where* a sweep died.
+fn join_named<B>(w: usize, current: &[AtomicUsize], h: std::thread::ScopedJoinHandle<'_, B>) -> B {
+    match h.join() {
+        Ok(bucket) => bucket,
+        Err(payload) => {
+            let task = current[w].load(Ordering::Relaxed);
+            let on = if task == usize::MAX {
+                "before claiming any task".to_string()
+            } else {
+                format!("on task {task}")
+            };
+            panic!(
+                "par_map worker {w} panicked {on}: {}",
+                crate::supervise::panic_message(&*payload)
+            )
+        }
+    }
 }
 
 /// Wall-clock timing of one claimed task, as offsets from the
@@ -188,8 +216,9 @@ where
     }
 
     let cursor = AtomicUsize::new(0);
+    let current: Vec<AtomicUsize> = (0..jobs).map(|_| AtomicUsize::new(usize::MAX)).collect();
     let buckets: Vec<(Vec<(usize, R)>, WorkerProfile)> = std::thread::scope(|scope| {
-        let (f, cursor, epoch) = (&f, &cursor, &epoch);
+        let (f, cursor, epoch, current) = (&f, &cursor, &epoch, &current);
         let handles: Vec<_> = (0..jobs)
             .map(|w| {
                 scope.spawn(move || {
@@ -201,6 +230,7 @@ where
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(task) = tasks.get(i) else { break };
+                        current[w].store(i, Ordering::Relaxed);
                         let start_us = stamp(epoch);
                         claimed.push((i, f(task)));
                         profile.tasks.push(TaskTiming {
@@ -215,7 +245,8 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("par_map worker panicked"))
+            .enumerate()
+            .map(|(w, h)| join_named(w, current, h))
             .collect()
     });
 
@@ -330,6 +361,41 @@ mod tests {
             x * 2
         });
         assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn worker_panic_names_worker_and_task() {
+        let tasks: Vec<u64> = (0..8).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par_map(2, &tasks, |&i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        let payload = caught.expect_err("worker panic must propagate");
+        let msg = crate::supervise::panic_message(&*payload);
+        assert!(msg.contains("par_map worker"), "message: {msg}");
+        assert!(msg.contains("on task 3"), "message: {msg}");
+        assert!(msg.contains("boom"), "message: {msg}");
+    }
+
+    #[test]
+    fn profiled_worker_panic_names_worker_and_task() {
+        let tasks: Vec<u64> = (0..8).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par_map_profiled(2, &tasks, |&i| {
+                if i == 5 {
+                    panic!("boom-profiled");
+                }
+                i
+            })
+        });
+        let payload = caught.expect_err("worker panic must propagate");
+        let msg = crate::supervise::panic_message(&*payload);
+        assert!(msg.contains("on task 5"), "message: {msg}");
+        assert!(msg.contains("boom-profiled"), "message: {msg}");
     }
 
     #[test]

@@ -1,0 +1,611 @@
+//! Supervised parallel map: panic isolation, bounded retries, and
+//! straggler detection on top of [`crate::par`].
+//!
+//! [`crate::par::par_map`] is the right tool when every task is trusted:
+//! a panic anywhere aborts the whole sweep. Long sweeps (hours of
+//! simulation across thousands of tasks) need the opposite contract —
+//! one bad task must not cost the other 9 999. [`par_map_supervised`]
+//! provides it:
+//!
+//! * **Panic isolation.** Every task runs under
+//!   `std::panic::catch_unwind`. A panic consumes one attempt from a
+//!   bounded [`RetryBudget`] (delays use the same stateless splitmix
+//!   jitter shape as [`crate::fault::BackoffConfig`], so retry timing
+//!   never perturbs any RNG stream); when the budget is exhausted the
+//!   task is *quarantined* — its slot in the result vector stays `None`
+//!   and a structured [`TaskFailure`] (task index, stable key, panic
+//!   payload) is surfaced instead of a process abort. Every other slot
+//!   is bitwise identical to a clean run, because results are still
+//!   placed by input index exactly as in `par_map`.
+//! * **Deadlines and stragglers.** A watchdog thread polls per-task
+//!   wall time against a deadline — fixed via
+//!   [`SuperviseConfig::deadline`], or derived as a multiple of the
+//!   running median task time once enough samples exist. Overdue tasks
+//!   are flagged as [`Straggler`]s; when [`SuperviseConfig::cancel_overdue`]
+//!   is set they are also cancelled cooperatively through the
+//!   [`CancelToken`] handed to each task (engines check it at tick
+//!   granularity). A *cancelled* task's result is discarded (slot
+//!   `None`) so a partial, timing-dependent result can never leak into
+//!   deterministic output; a merely *flagged* straggler keeps its
+//!   result.
+//!
+//! # Determinism contract
+//!
+//! With no panics, no cancellations, and any deadline outcome that only
+//! *flags*, `par_map_supervised(...)` results are bitwise identical to
+//! `par_map` at any `jobs` — supervision observes the schedule, it does
+//! not participate in it. Wall-clock artifacts (retry delays, straggler
+//! timings) never enter the result vector.
+//!
+//! # Cost model
+//!
+//! Per task: one `catch_unwind` frame (~no cost on the non-panic path),
+//! one `Instant::now()` pair, and one uncontended mutex store to
+//! publish the in-flight slot to the watchdog. The watchdog itself is
+//! one thread polling at 10 ms; it reads `jobs` mutexes per poll. For
+//! the harness's tasks (milliseconds to minutes each) this is noise —
+//! the suite bench pins the supervised path against the plain
+//! `par_map` baseline.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::rng::splitmix64;
+
+/// Cooperative cancellation handle handed to every supervised task.
+///
+/// Tasks (and the engines they run) may poll [`CancelToken::is_cancelled`]
+/// at convenient granularity (a simulation tick, an event batch) and
+/// return early. Cancellation is advisory: a task that never polls
+/// simply runs to completion and has its result discarded.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A task that exhausted its retry budget: quarantined, slot left `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFailure {
+    /// Input index of the task.
+    pub task: usize,
+    /// The caller-stable key naming the task's seed stream (what a
+    /// checkpoint journal would index it by).
+    pub key: String,
+    /// Attempts consumed, including the first (so `max_retries + 1`
+    /// when the budget ran dry).
+    pub attempts: u32,
+    /// The panic payload, downcast to a string when possible.
+    pub payload: String,
+}
+
+/// A task the watchdog saw exceed its deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Straggler {
+    /// Input index of the task.
+    pub task: usize,
+    /// Wall time observed when flagged, in milliseconds.
+    pub elapsed_ms: u64,
+    /// The deadline it exceeded, in milliseconds.
+    pub deadline_ms: u64,
+    /// Whether the task was cooperatively cancelled (result discarded)
+    /// rather than merely flagged.
+    pub cancelled: bool,
+}
+
+/// Bounded retry budget for panicking tasks.
+///
+/// Delays reuse the stateless jittered-exponential shape of
+/// [`crate::fault::BackoffConfig::delay`] — a splitmix64 hash of
+/// `(seed, task, attempt)`, no RNG stream consumed — scaled to wall
+/// milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryBudget {
+    /// Retries after the first attempt (0 = quarantine on first panic).
+    pub max_retries: u32,
+    /// Base delay before the first retry, in wall milliseconds.
+    pub base_ms: u64,
+    /// Ceiling on the exponential delay, in wall milliseconds.
+    pub cap_ms: u64,
+}
+
+impl Default for RetryBudget {
+    fn default() -> Self {
+        RetryBudget {
+            max_retries: 2,
+            base_ms: 25,
+            cap_ms: 250,
+        }
+    }
+}
+
+impl RetryBudget {
+    /// The wall-clock delay before retry number `attempt` (1-based) of
+    /// `task`. Deterministic in `(seed, task, attempt)`.
+    pub fn delay_ms(&self, seed: u64, task: u64, attempt: u32) -> u64 {
+        let shift = (attempt.saturating_sub(1)).min(20);
+        let raw = self.base_ms.saturating_mul(1u64 << shift);
+        let capped = raw.min(self.cap_ms).max(1);
+        let h = splitmix64(seed ^ splitmix64(task) ^ ((attempt as u64) << 40));
+        capped + h % (capped / 2 + 1)
+    }
+}
+
+/// Knobs for one supervised map.
+#[derive(Debug, Clone, Default)]
+pub struct SuperviseConfig {
+    /// Retry budget for panicking tasks.
+    pub retry: RetryBudget,
+    /// Fixed per-task deadline. `None` derives one automatically: once
+    /// at least [`AUTO_MIN_SAMPLES`] tasks have completed, a task is a
+    /// straggler past `median × `[`AUTO_MULTIPLE`] (floored at
+    /// [`AUTO_FLOOR_MS`]).
+    pub deadline: Option<Duration>,
+    /// Cancel overdue tasks through their [`CancelToken`] (discarding
+    /// their result) instead of only flagging them. Flag-only is the
+    /// default because it cannot change any output.
+    pub cancel_overdue: bool,
+    /// Seed for retry-delay jitter (wall-clock only, never results).
+    pub seed: u64,
+}
+
+/// Completed samples required before the automatic deadline arms.
+pub const AUTO_MIN_SAMPLES: usize = 5;
+/// Automatic deadline as a multiple of the running median task time.
+pub const AUTO_MULTIPLE: f64 = 8.0;
+/// Floor for the automatic deadline, in milliseconds.
+pub const AUTO_FLOOR_MS: u64 = 1000;
+
+/// The outcome of a supervised map.
+#[derive(Debug)]
+pub struct Supervised<R> {
+    /// One slot per input task, in input order. `None` exactly for
+    /// quarantined or cancelled tasks.
+    pub results: Vec<Option<R>>,
+    /// Tasks that exhausted their retry budget, sorted by task index.
+    pub quarantined: Vec<TaskFailure>,
+    /// Tasks that exceeded the deadline, sorted by task index.
+    pub stragglers: Vec<Straggler>,
+    /// Total retry attempts consumed across all tasks.
+    pub retries: u64,
+}
+
+/// Renders a caught panic payload as a string.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// What one worker is currently executing, published for the watchdog.
+struct InFlight {
+    task: usize,
+    started: Instant,
+    token: CancelToken,
+    flagged: bool,
+}
+
+/// [`par_map_supervised`] with per-worker scratch (the
+/// [`crate::par::par_map_with`] shape) plus per-result and key hooks:
+///
+/// * `key_of(i)` names task `i`'s stable seed stream — it labels
+///   [`TaskFailure`]s and lets a checkpointing caller journal by key.
+/// * `on_result(i, &r)` fires on the worker thread as soon as task `i`
+///   completes un-cancelled (before the join), so a caller can stream
+///   results to a journal; it must not mutate anything a task reads.
+#[allow(clippy::too_many_arguments)]
+pub fn par_map_supervised_with<T, R, S, I, F, K, C>(
+    jobs: usize,
+    tasks: &[T],
+    cfg: &SuperviseConfig,
+    init: I,
+    key_of: K,
+    on_result: C,
+    f: F,
+) -> Supervised<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T, &CancelToken) -> R + Sync,
+    K: Fn(usize) -> String + Sync,
+    C: Fn(usize, &R) + Sync,
+{
+    let jobs = jobs.max(1).min(tasks.len().max(1));
+
+    let cursor = AtomicUsize::new(0);
+    let retries = AtomicU64::new(0);
+    let workers_done = AtomicUsize::new(0);
+    let inflight: Vec<Mutex<Option<InFlight>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let durations_ms: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let quarantined: Mutex<Vec<TaskFailure>> = Mutex::new(Vec::new());
+    let stragglers: Mutex<Vec<Straggler>> = Mutex::new(Vec::new());
+
+    // Even `jobs == 1` runs under the scope: the watchdog needs a
+    // thread of its own either way, and one code path keeps the
+    // supervision semantics identical at every thread count.
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let refs = (
+            &cursor,
+            &retries,
+            &workers_done,
+            &inflight,
+            &durations_ms,
+            &quarantined,
+            &stragglers,
+            &init,
+            &f,
+            &key_of,
+            &on_result,
+        );
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                scope.spawn(move || {
+                    let (
+                        cursor,
+                        retries,
+                        workers_done,
+                        inflight,
+                        durations_ms,
+                        quarantined,
+                        _stragglers,
+                        init,
+                        f,
+                        key_of,
+                        on_result,
+                    ) = refs;
+                    let mut scratch = init();
+                    let mut claimed: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = tasks.get(i) else { break };
+                        let mut attempt: u32 = 1;
+                        loop {
+                            let token = CancelToken::new();
+                            *inflight[w].lock().unwrap() = Some(InFlight {
+                                task: i,
+                                started: Instant::now(),
+                                token: token.clone(),
+                                flagged: false,
+                            });
+                            let outcome =
+                                catch_unwind(AssertUnwindSafe(|| f(&mut scratch, i, task, &token)));
+                            let slot = inflight[w].lock().unwrap().take();
+                            match outcome {
+                                Ok(r) => {
+                                    if let Some(fl) = &slot {
+                                        durations_ms
+                                            .lock()
+                                            .unwrap()
+                                            .push(fl.started.elapsed().as_millis() as u64);
+                                    }
+                                    if token.is_cancelled() {
+                                        // Discard: a cancelled task's
+                                        // result is timing-dependent.
+                                    } else {
+                                        on_result(i, &r);
+                                        claimed.push((i, r));
+                                    }
+                                    break;
+                                }
+                                Err(payload) => {
+                                    if attempt <= cfg.retry.max_retries {
+                                        retries.fetch_add(1, Ordering::Relaxed);
+                                        let delay = cfg.retry.delay_ms(cfg.seed, i as u64, attempt);
+                                        std::thread::sleep(Duration::from_millis(delay));
+                                        attempt += 1;
+                                    } else {
+                                        quarantined.lock().unwrap().push(TaskFailure {
+                                            task: i,
+                                            key: key_of(i),
+                                            attempts: attempt,
+                                            payload: panic_message(&*payload),
+                                        });
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    workers_done.fetch_add(1, Ordering::Relaxed);
+                    claimed
+                })
+            })
+            .collect();
+
+        // The watchdog: poll in-flight tasks against the deadline until
+        // every worker has drained.
+        let watchdog = scope.spawn(|| {
+            while workers_done.load(Ordering::Relaxed) < jobs {
+                std::thread::sleep(Duration::from_millis(10));
+                let deadline_ms = match cfg.deadline {
+                    Some(d) => Some(d.as_millis() as u64),
+                    None => {
+                        let mut done = durations_ms.lock().unwrap().clone();
+                        if done.len() < AUTO_MIN_SAMPLES {
+                            None
+                        } else {
+                            done.sort_unstable();
+                            let median = done[done.len() / 2];
+                            Some(((median as f64 * AUTO_MULTIPLE) as u64).max(AUTO_FLOOR_MS))
+                        }
+                    }
+                };
+                let Some(deadline_ms) = deadline_ms else {
+                    continue;
+                };
+                for slot in inflight.iter() {
+                    let mut guard = slot.lock().unwrap();
+                    if let Some(fl) = guard.as_mut() {
+                        let elapsed_ms = fl.started.elapsed().as_millis() as u64;
+                        if !fl.flagged && elapsed_ms > deadline_ms {
+                            fl.flagged = true;
+                            if cfg.cancel_overdue {
+                                fl.token.cancel();
+                            }
+                            stragglers.lock().unwrap().push(Straggler {
+                                task: fl.task,
+                                elapsed_ms,
+                                deadline_ms,
+                                cancelled: cfg.cancel_overdue,
+                            });
+                        }
+                    }
+                }
+            }
+        });
+
+        let buckets = handles
+            .into_iter()
+            .enumerate()
+            .map(|(w, h)| match h.join() {
+                Ok(bucket) => bucket,
+                Err(p) => panic!(
+                    "supervised worker {w} panicked outside a task: {}",
+                    panic_message(&*p)
+                ),
+            })
+            .collect();
+        if let Err(p) = watchdog.join() {
+            panic!("supervision watchdog panicked: {}", panic_message(&*p));
+        }
+        buckets
+    });
+
+    let mut results: Vec<Option<R>> = Vec::with_capacity(tasks.len());
+    results.resize_with(tasks.len(), || None);
+    for bucket in buckets {
+        for (i, r) in bucket {
+            debug_assert!(results[i].is_none(), "slot {i} claimed twice");
+            results[i] = Some(r);
+        }
+    }
+    let mut quarantined = quarantined.into_inner().unwrap();
+    quarantined.sort_by_key(|q| q.task);
+    let mut stragglers = stragglers.into_inner().unwrap();
+    stragglers.sort_by_key(|s| s.task);
+    Supervised {
+        results,
+        quarantined,
+        stragglers,
+        retries: retries.into_inner(),
+    }
+}
+
+/// Supervised map without scratch or hooks: panic isolation, retries,
+/// and the watchdog over a plain task closure. Task keys default to the
+/// decimal index.
+pub fn par_map_supervised<T, R, F>(
+    jobs: usize,
+    tasks: &[T],
+    cfg: &SuperviseConfig,
+    f: F,
+) -> Supervised<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T, &CancelToken) -> R + Sync,
+{
+    par_map_supervised_with(
+        jobs,
+        tasks,
+        cfg,
+        || (),
+        |i| i.to_string(),
+        |_, _| {},
+        |(), i, t, token| f(i, t, token),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::par_map;
+    use std::collections::HashMap;
+
+    fn quick_retry() -> SuperviseConfig {
+        SuperviseConfig {
+            retry: RetryBudget {
+                max_retries: 1,
+                base_ms: 1,
+                cap_ms: 2,
+            },
+            ..SuperviseConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_run_matches_par_map_bitwise() {
+        let tasks: Vec<f64> = (0..97).map(|i| i as f64 * 0.37).collect();
+        let f = |x: &f64| (x.sin() * 1e9).sqrt();
+        let plain = par_map(4, &tasks, f);
+        for jobs in [1, 4] {
+            let sup = par_map_supervised(jobs, &tasks, &SuperviseConfig::default(), |_, x, _| f(x));
+            assert!(sup.quarantined.is_empty());
+            assert_eq!(sup.retries, 0);
+            let got: Vec<f64> = sup.results.into_iter().map(|r| r.unwrap()).collect();
+            for (a, b) in plain.iter().zip(&got) {
+                assert_eq!(a.to_bits(), b.to_bits(), "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_task_is_quarantined_others_identical() {
+        let tasks: Vec<u64> = (0..40).collect();
+        let clean = par_map(3, &tasks, |&i| i * i + 1);
+        let sup = par_map_supervised(3, &tasks, &quick_retry(), |_, &i, _| {
+            if i == 17 {
+                panic!("task 17 forced panic");
+            }
+            i * i + 1
+        });
+        assert_eq!(sup.quarantined.len(), 1);
+        let q = &sup.quarantined[0];
+        assert_eq!(q.task, 17);
+        assert_eq!(q.key, "17");
+        assert_eq!(q.attempts, 2); // first try + one retry
+        assert!(q.payload.contains("forced panic"));
+        assert_eq!(sup.retries, 1);
+        for (i, slot) in sup.results.iter().enumerate() {
+            if i == 17 {
+                assert!(slot.is_none());
+            } else {
+                assert_eq!(slot, &Some(clean[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn panic_once_then_succeed_consumes_one_retry() {
+        let attempts: Mutex<HashMap<usize, u32>> = Mutex::new(HashMap::new());
+        let tasks: Vec<u64> = (0..16).collect();
+        let sup = par_map_supervised(4, &tasks, &quick_retry(), |i, &t, _| {
+            let n = {
+                let mut map = attempts.lock().unwrap();
+                let e = map.entry(i).or_insert(0);
+                *e += 1;
+                *e
+            };
+            if t == 5 && n == 1 {
+                panic!("flaky once");
+            }
+            t + 100
+        });
+        assert!(sup.quarantined.is_empty());
+        assert_eq!(sup.retries, 1);
+        for (i, slot) in sup.results.iter().enumerate() {
+            assert_eq!(slot, &Some(i as u64 + 100));
+        }
+    }
+
+    #[test]
+    fn fixed_deadline_flags_straggler_but_keeps_result() {
+        let cfg = SuperviseConfig {
+            deadline: Some(Duration::from_millis(10)),
+            ..SuperviseConfig::default()
+        };
+        let tasks = [0u64, 1];
+        let sup = par_map_supervised(2, &tasks, &cfg, |_, &t, _| {
+            if t == 1 {
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            t * 7
+        });
+        assert!(sup.quarantined.is_empty());
+        assert_eq!(sup.results, vec![Some(0), Some(7)]);
+        assert_eq!(sup.stragglers.len(), 1);
+        let s = &sup.stragglers[0];
+        assert_eq!(s.task, 1);
+        assert!(!s.cancelled);
+        assert!(s.elapsed_ms >= s.deadline_ms);
+    }
+
+    #[test]
+    fn cancel_overdue_discards_the_result() {
+        let cfg = SuperviseConfig {
+            deadline: Some(Duration::from_millis(10)),
+            cancel_overdue: true,
+            ..SuperviseConfig::default()
+        };
+        let tasks = [0u64, 1];
+        let sup = par_map_supervised(2, &tasks, &cfg, |_, &t, token| {
+            if t == 1 {
+                // Cooperative loop: poll the token like an engine tick.
+                let start = Instant::now();
+                while !token.is_cancelled() && start.elapsed() < Duration::from_secs(5) {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+            t * 7
+        });
+        assert_eq!(sup.results[0], Some(0));
+        assert_eq!(sup.results[1], None, "cancelled result must be discarded");
+        assert_eq!(sup.stragglers.len(), 1);
+        assert!(sup.stragglers[0].cancelled);
+    }
+
+    #[test]
+    fn retry_delay_matches_backoff_shape() {
+        let b = RetryBudget {
+            max_retries: 3,
+            base_ms: 8,
+            cap_ms: 64,
+        };
+        for attempt in 1..=6 {
+            let d = b.delay_ms(42, 7, attempt);
+            let shift = (attempt - 1).min(20);
+            let capped = (8u64 << shift).clamp(1, 64);
+            assert!(
+                d >= capped && d <= capped + capped / 2,
+                "attempt {attempt}: {d}"
+            );
+            // Stateless: same inputs, same delay.
+            assert_eq!(d, b.delay_ms(42, 7, attempt));
+        }
+        assert_ne!(b.delay_ms(42, 7, 1), b.delay_ms(43, 7, 1));
+    }
+
+    #[test]
+    fn keys_and_on_result_hooks_fire() {
+        let seen: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::new());
+        let tasks: Vec<u64> = (0..8).collect();
+        let sup = par_map_supervised_with(
+            2,
+            &tasks,
+            &SuperviseConfig::default(),
+            || (),
+            |i| format!("k{i}"),
+            |i, r: &u64| seen.lock().unwrap().push((i, *r)),
+            |(), _, &t, _| t + 1,
+        );
+        assert!(sup.quarantined.is_empty());
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            (0..8u64).map(|i| (i as usize, i + 1)).collect::<Vec<_>>()
+        );
+    }
+}

@@ -867,3 +867,46 @@ proptest! {
         prop_assert!(a.conserved(), "faulted trace failed conservation");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Panic isolation: force exactly one task to panic at a random
+    /// index and the supervisor quarantines exactly that task — every
+    /// other slot's result is bitwise identical to a clean run, at any
+    /// worker count.
+    #[test]
+    fn supervised_map_quarantines_only_the_panicking_task(
+        n in 1usize..40,
+        panic_pick in 0usize..1_000,
+        jobs in 1usize..5,
+    ) {
+        use harvest::sim::supervise::{par_map_supervised, RetryBudget, SuperviseConfig};
+        let panic_at = panic_pick % n;
+        let tasks: Vec<u64> = (0..n as u64).collect();
+        let cfg = SuperviseConfig {
+            retry: RetryBudget { max_retries: 1, base_ms: 1, cap_ms: 2 },
+            ..SuperviseConfig::default()
+        };
+        let value = |t: u64| t.wrapping_mul(0x9e37_79b9_7f4a_7c15) as f64 / 7.0;
+        let out = par_map_supervised(jobs, &tasks, &cfg, |i, &t, _cancel| {
+            if i == panic_at {
+                panic!("forced panic at {i}");
+            }
+            value(t)
+        });
+        prop_assert_eq!(out.quarantined.len(), 1, "exactly one quarantine");
+        prop_assert_eq!(out.quarantined[0].task, panic_at);
+        // One retry was spent before giving up (max_retries = 1).
+        prop_assert_eq!(out.quarantined[0].attempts, 2);
+        prop_assert!(out.quarantined[0].payload.contains("forced panic"));
+        for (i, (slot, &t)) in out.results.iter().zip(&tasks).enumerate() {
+            if i == panic_at {
+                prop_assert!(slot.is_none(), "quarantined slot must be empty");
+            } else {
+                let got = slot.expect("healthy task has a result");
+                prop_assert_eq!(got.to_bits(), value(t).to_bits());
+            }
+        }
+    }
+}
