@@ -1,28 +1,35 @@
 //! Re-share scaling benches: storm-sized flow convoys on an *unscaled*
-//! DC-9 topology, component-scoped vs. the global reference recompute.
+//! DC-9 topology, across the three fair-sharing tiers.
 //!
 //! The workload is a rack-localized convoy — groups of 20 flows between
 //! a rack pair, the locality real repair storms and shuffle waves have —
-//! so the component-scoped allocator touches O(group) state per event
-//! while the global reference pays O(population). 200 / 2 000 / 10 000
-//! concurrent flows; the 10k global case is skipped (that is the
-//! quadratic regime the optimization removes — it runs for minutes).
+//! so each rack pair's flows form one component whose rack uplink is the
+//! single bottleneck. The tiers:
+//!
+//! * `analytic` — `SharingMode::Auto`: the classifier proves each
+//!   component single-bottleneck and routes it through the O(log n)
+//!   fair-work clock, so per-event cost stays near-flat as the convoy
+//!   grows (200 → 1 000 000 flows);
+//! * `component` — `SharingMode::Filling` at component scope: the
+//!   progressive-filling reference, O(component) per event;
+//! * `global` — filling at global scope: the pre-optimization quadratic
+//!   recompute, recorded only where it terminates in reasonable time.
 //!
 //! Modes:
 //! * default — measures everything and (re)writes `BENCH_reshare.json`
-//!   at the workspace root: the recorded before (global) / after
-//!   (component) baseline;
+//!   at the workspace root with per-tier wall clock and per-event cost;
 //! * `RESHARE_SMOKE=1` — runs the 2 000- and 10 000-flow component
-//!   cases once each, asserting wall-clock ceilings sized far above the
-//!   measured baselines (0.029 s / 0.25 s) but far below what the
-//!   quadratic global regime takes (2.4 s / minutes) — so a regression
-//!   to global-recompute behavior fails the assert (and,
-//!   belt-and-braces, CI's wrapping `timeout`).
+//!   cases and the 100 000-flow analytic-vs-component pair once each,
+//!   asserting wall-clock ceilings sized far above the measured
+//!   baselines but far below the next-slower tier, plus an analytic
+//!   speedup floor of 5x at 100k (the recorded baseline is well above
+//!   20x) — so a regression that silently demotes the fast path fails
+//!   the assert (and, belt-and-braces, CI's wrapping `timeout`).
 
 use std::time::{Duration, Instant};
 
 use harvest_cluster::ServerId;
-use harvest_net::{Fabric, NetworkConfig, ReshareScope, Topology};
+use harvest_net::{Fabric, NetworkConfig, ReshareScope, SharingMode, Topology};
 use harvest_sim::SimTime;
 use harvest_trace::datacenter::DatacenterProfile;
 use std::hint::black_box;
@@ -31,11 +38,49 @@ const MB: u64 = 1024 * 1024;
 const RACK_SIZE: u32 = harvest_cluster::datacenter::RACK_SIZE;
 const GROUP: u64 = 20;
 
+/// One fair-sharing tier under measurement.
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    /// `SharingMode::Auto` at component scope: the analytic fast path.
+    Analytic,
+    /// `SharingMode::Filling` at component scope: the filling reference.
+    Component,
+    /// Filling at global scope: the quadratic pre-optimization regime.
+    Global,
+}
+
+impl Engine {
+    fn label(self) -> &'static str {
+        match self {
+            Engine::Analytic => "analytic",
+            Engine::Component => "component",
+            Engine::Global => "global",
+        }
+    }
+
+    fn apply(self, fabric: &mut Fabric) {
+        match self {
+            Engine::Analytic => {
+                fabric.set_reshare_scope(ReshareScope::Component);
+                fabric.set_sharing_mode(SharingMode::Auto);
+            }
+            Engine::Component => {
+                fabric.set_reshare_scope(ReshareScope::Component);
+                fabric.set_sharing_mode(SharingMode::Filling);
+            }
+            Engine::Global => {
+                fabric.set_reshare_scope(ReshareScope::Global);
+                fabric.set_sharing_mode(SharingMode::Filling);
+            }
+        }
+    }
+}
+
 /// Builds and fully drains one convoy of `n_flows`, returning the
 /// completion count (sanity-checked by callers).
-fn run_convoy(topo: &Topology, n_flows: u64, scope: ReshareScope) -> usize {
+fn run_convoy(topo: &Topology, n_flows: u64, engine: Engine) -> usize {
     let mut fabric = Fabric::new(topo.clone(), &NetworkConfig::datacenter());
-    fabric.set_reshare_scope(scope);
+    engine.apply(&mut fabric);
     // Only full racks host convoy lanes (the trailing rack may be
     // partial and its missing servers would be out of range).
     let full_racks = topo.n_servers() as u64 / RACK_SIZE as u64;
@@ -53,15 +98,21 @@ fn run_convoy(topo: &Topology, n_flows: u64, scope: ReshareScope) -> usize {
     }
     let done = fabric.drain().len();
     assert_eq!(done as u64, n_flows, "convoy lost flows");
+    if engine == Engine::Analytic {
+        assert!(
+            fabric.stats().analytic_events > 0,
+            "analytic tier never engaged on the convoy workload"
+        );
+    }
     done
 }
 
 /// Median wall-clock seconds over `iters` runs.
-fn measure(topo: &Topology, n_flows: u64, scope: ReshareScope, iters: usize) -> f64 {
+fn measure(topo: &Topology, n_flows: u64, engine: Engine, iters: usize) -> f64 {
     let mut samples: Vec<Duration> = Vec::with_capacity(iters);
     for _ in 0..iters {
         let t0 = Instant::now();
-        black_box(run_convoy(topo, n_flows, scope));
+        black_box(run_convoy(topo, n_flows, engine));
         samples.push(t0.elapsed());
     }
     samples.sort();
@@ -81,52 +132,106 @@ fn main() {
     );
 
     if std::env::var_os("RESHARE_SMOKE").is_some() {
-        // CI budget guards (ceilings sit well above the component
-        // baselines in BENCH_reshare.json yet well below the quadratic
-        // global regime, so either assert firing means re-sharing has
-        // regressed toward the global recompute).
-        for (n, baseline, ceiling) in [(2_000u64, 0.029, 1.0), (10_000, 0.25, 50.0)] {
-            let secs = measure(&topo, n, ReshareScope::Component, 1);
-            println!("bench reshare/convoy_{n}_component           {secs:>10.3}s (smoke)");
+        // CI budget guards (ceilings sit well above the recorded
+        // baselines in BENCH_reshare.json yet well below the
+        // next-slower tier, so an assert firing means a sharing tier
+        // has regressed toward the one it was built to replace).
+        for (n, engine, baseline, ceiling) in [
+            (2_000u64, Engine::Component, 0.046, 1.0),
+            (10_000, Engine::Component, 0.33, 50.0),
+        ] {
+            let secs = measure(&topo, n, engine, 1);
+            let label = engine.label();
+            println!("bench reshare/convoy_{n}_{label}           {secs:>10.3}s (smoke)");
             assert!(
                 secs < ceiling,
-                "{n}-flow convoy took {secs:.2}s against a {ceiling}s budget — re-sharing has \
-                 regressed toward the quadratic global recompute (component baseline ~{baseline}s)"
+                "{n}-flow {label} convoy took {secs:.2}s against a {ceiling}s budget — \
+                 re-sharing has regressed toward the quadratic global recompute \
+                 (baseline ~{baseline}s)"
             );
         }
+        // The million-flow regime in miniature: at 100k the analytic
+        // tier must beat component filling by a wide margin (recorded
+        // baseline is well above 20x; the CI floor is 5x to absorb
+        // noisy shared runners) and stay under an absolute ceiling.
+        let analytic = measure(&topo, 100_000, Engine::Analytic, 1);
+        println!("bench reshare/convoy_100000_analytic           {analytic:>10.3}s (smoke)");
+        assert!(
+            analytic < 30.0,
+            "100k-flow analytic convoy took {analytic:.2}s against a 30s budget — \
+             the fast path has regressed"
+        );
+        let component = measure(&topo, 100_000, Engine::Component, 1);
+        println!("bench reshare/convoy_100000_component           {component:>10.3}s (smoke)");
+        let speedup = component / analytic;
+        println!("bench reshare/convoy_100000 analytic speedup   {speedup:>10.1}x (smoke)");
+        assert!(
+            speedup >= 5.0,
+            "analytic tier only {speedup:.1}x faster than component filling on the \
+             100k-flow convoy (CI floor 5x, recorded baseline >20x) — the classifier \
+             is demoting single-bottleneck components"
+        );
         return;
     }
 
     let mut json_rows: Vec<String> = Vec::new();
-    for &n in &[200u64, 2_000, 10_000] {
-        let comp_iters = if n >= 10_000 { 3 } else { 5 };
-        let comp = measure(&topo, n, ReshareScope::Component, comp_iters);
+    for &n in &[200u64, 2_000, 10_000, 100_000, 1_000_000] {
+        // The analytic tier runs everywhere — its per-event cost is the
+        // point of the recording and must stay near-flat to a million
+        // flows.
+        let ana_iters = if n >= 100_000 { 1 } else { 3 };
+        let ana = measure(&topo, n, Engine::Analytic, ana_iters);
+        let per_event_us = ana / n as f64 * 1e6;
         println!(
-            "bench reshare/convoy_{n}_component           {comp:>10.4}s median of {comp_iters}"
+            "bench reshare/convoy_{n}_analytic           {ana:>10.4}s median of {ana_iters}  \
+             ({per_event_us:.2} us/event)"
         );
-        // The global reference is the pre-optimization algorithm; at
-        // 10k flows it is far into the quadratic regime, so record it
+        // Component filling is O(component) per event: feasible to
+        // 100k (each rack pair holds ~n/346 flows), hopeless at 1M.
+        let comp = if n <= 100_000 {
+            let iters = if n >= 10_000 { 1 } else { 5 };
+            let c = measure(&topo, n, Engine::Component, iters);
+            println!("bench reshare/convoy_{n}_component           {c:>10.4}s median of {iters}");
+            Some(c)
+        } else {
+            println!("bench reshare/convoy_{n}_component           skipped (O(component) regime)");
+            None
+        };
+        // The global reference is the pre-optimization algorithm; past
+        // 2k flows it is far into the quadratic regime, so record it
         // only where it terminates in reasonable time.
         let glob = if n <= 2_000 {
             let iters = if n <= 200 { 5 } else { 1 };
-            let g = measure(&topo, n, ReshareScope::Global, iters);
+            let g = measure(&topo, n, Engine::Global, iters);
             println!("bench reshare/convoy_{n}_global              {g:>10.4}s median of {iters}");
             Some(g)
         } else {
             println!("bench reshare/convoy_{n}_global              skipped (quadratic regime)");
             None
         };
-        let (glob_str, speedup_str) = match glob {
-            Some(g) => (format!("{g:.6}"), format!("{:.2}", g / comp)),
-            None => ("null".into(), "null".into()),
+        let fmt_opt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.6}"),
+            None => "null".into(),
+        };
+        let fmt_ratio = |v: Option<f64>| match v {
+            Some(x) => format!("{:.2}", x / ana),
+            None => "null".into(),
         };
         json_rows.push(format!(
-            "    \"convoy_{n}\": {{ \"component_secs\": {comp:.6}, \"global_secs\": {glob_str}, \"speedup\": {speedup_str} }}"
+            "    \"convoy_{n}\": {{ \"analytic_secs\": {ana:.6}, \
+             \"analytic_per_event_us\": {per_event_us:.3}, \
+             \"component_secs\": {}, \"global_secs\": {}, \
+             \"analytic_speedup_vs_component\": {}, \
+             \"analytic_speedup_vs_global\": {} }}",
+            fmt_opt(comp),
+            fmt_opt(glob),
+            fmt_ratio(comp),
+            fmt_ratio(glob),
         ));
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"reshare\",\n  \"topology\": {{ \"profile\": \"{}\", \"servers\": {}, \"racks\": {}, \"links\": {} }},\n  \"workload\": \"rack-pair convoy, 64 MiB flows, {}-flow groups, starts staggered over 97 ms\",\n  \"convoys\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"reshare\",\n  \"topology\": {{ \"profile\": \"{}\", \"servers\": {}, \"racks\": {}, \"links\": {} }},\n  \"workload\": \"rack-pair convoy, 64 MiB flows, {}-flow groups, starts staggered over 97 ms\",\n  \"tiers\": \"analytic = SharingMode::Auto (O(log n) fast path), component = filling at component scope, global = filling at global scope (pre-optimization reference)\",\n  \"convoys\": {{\n{}\n  }}\n}}\n",
         profile.name(),
         topo.n_servers(),
         topo.n_racks(),

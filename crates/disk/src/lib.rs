@@ -54,4 +54,5 @@ pub mod config;
 pub mod pool;
 
 pub use config::{DiskConfig, PrimaryIoModel, ThrottlePolicy, MIN_SERVE_FRACTION};
+pub use harvest_sim::fairshare::SharingMode;
 pub use pool::{DiskPool, DiskStats, IoDir, ReshareScope, StreamCompletion, StreamId};

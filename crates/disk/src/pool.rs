@@ -22,18 +22,42 @@
 //!
 //! # Cost model
 //!
-//! Events touch only the channel they land on, so work per event is
-//! linear in that channel's concurrent streams, not in the pool-wide
-//! population — 10k streams spread over 1k disks re-share in O(10) per
-//! event. Within a touched channel, only streams whose rate actually
-//! changes are advanced (lazily, from their own `last_update` stamp)
-//! and re-predicted; a superseded completion event is *cancelled* in
-//! the queue rather than left to fire stale, so the event heap stays
-//! O(active + scheduled) instead of O(re-shares × streams).
-//! [`ReshareScope::Global`] re-shares every channel on every event —
-//! the reference recompute, bitwise identical to the scoped default
-//! (channels are independent resources), pinned by the oracle property
-//! tests. Everything is exact integer time plus deterministic `f64`
+//! Sharing runs as a three-tier scheme, fastest tier first:
+//!
+//! * **Analytic** (the default, [`SharingMode::Auto`]) — each occupied
+//!   channel is served by a [`FairShare`] engine: a virtual fair-work
+//!   clock plus a completion-ordered heap, so a stream start, finish,
+//!   or capacity change costs O(log n) in the channel's occupancy
+//!   instead of re-predicting every stream. Disk channels are
+//!   single-bottleneck *by construction* (every stream saturates
+//!   exactly one channel), so unlike `harvest_net::fabric` no
+//!   classifier is needed and the engine is adopted wholesale; fault
+//!   capacity changes (brown-outs, throttle transitions) stay on the
+//!   analytic path via [`FairShare::set_capacity`], and a fully parked
+//!   channel keeps one far-future placeholder event (the filling
+//!   tier's parked-completion idiom) until the restoring re-share
+//!   rescues it. Per-stream rates are the very `capacity / n` division
+//!   the filling tier performs, so rates agree **bitwise** with the
+//!   tiers below; completion times re-associate the float arithmetic
+//!   (see the `harvest_sim::fairshare` docs), which can drift by ulps —
+//!   integer-millisecond time virtually never surfaces it, and the
+//!   oracle tests pin rates bitwise and completion schedules at full
+//!   `SimTime` resolution.
+//! * **Channel filling** ([`SharingMode::Filling`]) — the reference
+//!   equal-split recompute, linear in the touched channel's occupancy:
+//!   only streams whose rate actually changes are advanced (lazily,
+//!   from their own `last_update` stamp) and re-predicted; a superseded
+//!   completion event is *cancelled* in the queue rather than left to
+//!   fire stale, so the event heap stays O(active + scheduled) instead
+//!   of O(re-shares × streams). Switching modes mid-run migrates the
+//!   engine state back to per-stream predictions exactly.
+//! * **Global reference** ([`ReshareScope::Global`]) — re-shares every
+//!   channel on every event, and implies the filling tier (the global
+//!   reference *is* progressive filling). Bitwise identical to
+//!   channel-scoped filling (channels are independent resources),
+//!   pinned by the oracle property tests.
+//!
+//! Everything is exact integer time plus deterministic `f64`
 //! arithmetic over deterministically ordered collections, so a replay
 //! is bit-identical for identical inputs.
 //!
@@ -49,6 +73,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use harvest_cluster::ServerId;
 use harvest_signal::classify::UtilizationPattern;
 use harvest_sim::engine::{EventKey, EventQueue};
+use harvest_sim::fairshare::{FairShare, SharingMode};
 use harvest_sim::obs::{CounterId, GaugeId, HistogramId, Recorder, StateTrackId, TrackId};
 use harvest_sim::{SimDuration, SimTime};
 
@@ -99,6 +124,13 @@ pub struct StreamCompletion {
 }
 
 /// One in-flight secondary I/O stream.
+///
+/// While the stream's channel is served by the analytic tier, the
+/// channel's [`FairShare`] engine is the source of truth: `remaining`,
+/// `rate` and `last_update` are stale (settled at promotion time),
+/// `version` is frozen, and `pending` is `None` — the group holds the
+/// channel's single completion event instead. Migrating back to the
+/// filling tier rematerializes all of them exactly.
 #[derive(Debug, Clone)]
 struct Stream {
     tag: u64,
@@ -163,11 +195,27 @@ pub struct DiskStats {
     /// High-water mark of the event heap (including not-yet-collected
     /// tombstones).
     pub peak_queue_len: usize,
+    /// Channels promoted onto the analytic sharing tier (counting
+    /// re-promotions after a channel drains and refills).
+    pub analytic_channels: u64,
+    /// Completions served by the analytic engine in O(log n).
+    pub analytic_events: u64,
 }
 
-/// How far in the future a starved stream's completion is parked; a
-/// later re-share rescues it.
+/// How far in the future a starved stream's completion is parked by
+/// the filling tier; a later re-share rescues it. (The analytic tier
+/// parks by scheduling nothing at all — same rescue.)
 const PARKED: SimDuration = SimDuration::from_days(365_000);
+
+/// One channel's analytic sharing state: the [`FairShare`] engine plus
+/// the channel's single live completion event (for the engine's next
+/// finisher, carrying that stream's frozen version). `event` is `None`
+/// while the channel is fully parked (zero secondary capacity).
+#[derive(Debug)]
+struct ChanGroup {
+    engine: FairShare,
+    event: Option<EventKey>,
+}
 
 /// The shared-disk simulator. See the module docs.
 #[derive(Debug)]
@@ -198,6 +246,13 @@ pub struct DiskPool {
     pending: BTreeMap<u64, PendingStream>,
     active: BTreeMap<u64, Stream>,
     scope: ReshareScope,
+    mode: SharingMode,
+    /// Analytic engine per occupied channel — populated only while an
+    /// analytic [`SharingMode`] is in force with channel scope.
+    groups: BTreeMap<u32, ChanGroup>,
+    /// High-water mark of simulation time the pool has been driven to;
+    /// the "now" used by control-plane switches that take none.
+    clock: SimTime,
     next_id: u64,
     stats: DiskStats,
     completions: Vec<StreamCompletion>,
@@ -269,6 +324,9 @@ impl DiskPool {
             pending: BTreeMap::new(),
             active: BTreeMap::new(),
             scope: ReshareScope::Channel,
+            mode: SharingMode::default(),
+            groups: BTreeMap::new(),
+            clock: SimTime::ZERO,
             next_id: 0,
             stats: DiskStats::default(),
             completions: Vec::new(),
@@ -313,6 +371,8 @@ impl DiskPool {
                 ("disk/stale_events_dropped", s.stale_events_dropped),
                 ("disk/streams_aborted", s.streams_aborted),
                 ("disk/peak_queue_len", s.peak_queue_len as u64),
+                ("disk/analytic_channels", s.analytic_channels),
+                ("disk/analytic_events", s.analytic_events),
             ] {
                 let id = self.rec.counter(name);
                 self.rec.counter_set(id, v);
@@ -327,11 +387,44 @@ impl DiskPool {
         self.scope
     }
 
-    /// Switches the re-share scope. Safe at any point — both scopes
-    /// produce bitwise-identical trajectories — but `Global` exists for
-    /// validation, not production use.
+    /// Switches the re-share scope. Safe at any point — the filling
+    /// tiers produce bitwise-identical trajectories and the analytic
+    /// tier matches them exactly — but `Global` exists for validation,
+    /// not production use. `Global` implies the filling reference, so
+    /// any analytic channel state is migrated back to per-stream
+    /// predictions first.
     pub fn set_reshare_scope(&mut self, scope: ReshareScope) {
+        if scope == self.scope {
+            return;
+        }
         self.scope = scope;
+        if scope == ReshareScope::Global {
+            self.dissolve_all();
+        }
+    }
+
+    /// The sharing mode in force.
+    pub fn sharing_mode(&self) -> SharingMode {
+        self.mode
+    }
+
+    /// Switches the sharing engine. Leaving the analytic tier migrates
+    /// every channel's engine state back to per-stream filling
+    /// predictions exactly; entering it promotes channels lazily, each
+    /// on its next event.
+    pub fn set_sharing_mode(&mut self, mode: SharingMode) {
+        if mode == self.mode {
+            return;
+        }
+        self.mode = mode;
+        if !mode.analytic_allowed() {
+            self.dissolve_all();
+        }
+    }
+
+    /// Whether the analytic tier may serve channels right now.
+    fn analytic_on(&self) -> bool {
+        self.mode.analytic_allowed() && self.scope == ReshareScope::Channel
     }
 
     /// Number of disks.
@@ -361,13 +454,25 @@ impl DiskPool {
 
     /// The current rate of a stream in bytes/s, if it is active.
     pub fn stream_rate(&self, stream: StreamId) -> Option<f64> {
-        self.active.get(&stream.0).map(|s| s.rate)
+        self.active.get(&stream.0).map(|s| self.rate_of(s))
+    }
+
+    /// A stream's live allocation, whichever tier serves its channel.
+    fn rate_of(&self, s: &Stream) -> f64 {
+        match self.groups.get(&s.chan) {
+            Some(g) => g.engine.rate(),
+            None => s.rate,
+        }
     }
 
     /// The re-prediction version of an active stream — bumped whenever
-    /// a re-share changes its rate. Streams on untouched channels keep
-    /// their version (and their scheduled completion event) across
-    /// unrelated starts/finishes; tests pin that.
+    /// a filling re-share changes its rate. Streams on untouched
+    /// channels keep their version (and their scheduled completion
+    /// event) across unrelated starts/finishes; tests pin that. While
+    /// a channel is served by the analytic tier its streams' versions
+    /// are *frozen* (the group's single event carries the next
+    /// finisher's frozen version), so version-probing oracles pin
+    /// [`SharingMode::Filling`].
     pub fn stream_version(&self, stream: StreamId) -> Option<u64> {
         self.active.get(&stream.0).map(|s| s.version)
     }
@@ -406,7 +511,7 @@ impl DiskPool {
         self.channels[chan(server, dir) as usize]
             .streams
             .iter()
-            .map(|id| self.active[id].rate)
+            .map(|id| self.rate_of(&self.active[id]))
             .sum()
     }
 
@@ -440,6 +545,7 @@ impl DiskPool {
     /// never runs backwards); utilization playback naturally satisfies
     /// this by updating on its sample grid.
     pub fn set_primary_util(&mut self, now: SimTime, server: ServerId, util: f64) {
+        self.clock = self.clock.max(now);
         if util == self.primary_util[server.0 as usize] {
             return;
         }
@@ -517,6 +623,7 @@ impl DiskPool {
                 break;
             }
             let (now, ev) = self.queue.pop().expect("peeked");
+            self.clock = self.clock.max(now);
             match ev {
                 DiskEvent::Start(id) => self.on_start(id, now),
                 DiskEvent::Complete(id, version) => self.on_complete(id, version, now),
@@ -554,6 +661,7 @@ impl DiskPool {
             factor.is_finite() && factor >= 0.0,
             "degrade factor must be finite and non-negative, got {factor}"
         );
+        self.clock = self.clock.max(now);
         if factor == self.degrade[server.0 as usize] {
             return;
         }
@@ -569,6 +677,7 @@ impl DiskPool {
     /// replaced-disk model); combine with [`DiskPool::set_degrade`] to
     /// model a dead-until-restored disk.
     pub fn fail_server(&mut self, now: SimTime, server: ServerId) -> Vec<u64> {
+        self.clock = self.clock.max(now);
         let mut ids: Vec<u64> = Vec::new();
         for dir in [IoDir::Read, IoDir::Write] {
             ids.extend(&self.channels[chan(server, dir) as usize].streams);
@@ -603,6 +712,7 @@ impl DiskPool {
         now: SimTime,
         tags: &std::collections::HashSet<u64>,
     ) -> usize {
+        self.clock = self.clock.max(now);
         let ids: Vec<u64> = self
             .active
             .iter()
@@ -638,6 +748,16 @@ impl DiskPool {
     fn abort_active(&mut self, id: StreamId, now: SimTime) -> Option<(u64, u32)> {
         let stream = self.active.remove(&id.0)?;
         let c = stream.chan;
+        if let Some(g) = self.groups.get_mut(&c) {
+            g.engine.remove(now, id.0);
+            // The group's one event may predict this very stream; the
+            // caller's re-share re-predicts (or retires) the group.
+            if let Some(key) = g.event.take() {
+                if self.queue.cancel(key) {
+                    self.stats.stale_events_dropped += 1;
+                }
+            }
+        }
         let list = &mut self.channels[c as usize].streams;
         let pos = list.iter().position(|&s| s == id.0).expect("on channel");
         list.remove(pos);
@@ -700,7 +820,15 @@ impl DiskPool {
         if let Some(obs) = &self.obs {
             self.rec.state_enter(obs.states, id.0, "running", now);
         }
-        self.reshare_scoped(c, now);
+        if self.analytic_on() {
+            if self.groups.contains_key(&c) {
+                self.enroll_one(c, id.0, now);
+            } else {
+                self.promote_channel(c, now);
+            }
+        } else {
+            self.reshare_scoped(c, now);
+        }
     }
 
     fn on_complete(&mut self, id: StreamId, version: u64, now: SimTime) {
@@ -715,6 +843,10 @@ impl DiskPool {
             return;
         }
         let c = self.active[&id.0].chan;
+        if self.groups.contains_key(&c) {
+            self.on_analytic_complete(id, now);
+            return;
+        }
         let stream = self.active.remove(&id.0).expect("checked above");
         let list = &mut self.channels[c as usize].streams;
         let pos = list.iter().position(|&s| s == id.0).expect("on channel");
@@ -751,11 +883,18 @@ impl DiskPool {
         self.reshare_scoped(c, now);
     }
 
-    /// Re-shares the touched channel, or — under
-    /// [`ReshareScope::Global`] — every channel in index order (the
-    /// reference recompute; untouched channels' rates come out bitwise
-    /// unchanged and are skipped, so the trajectories are identical).
+    /// Re-shares the touched channel through whichever tier serves it.
+    /// Under an analytic mode (with channel scope) this syncs the
+    /// channel's engine; otherwise it runs the filling recompute — for
+    /// the touched channel, or under [`ReshareScope::Global`] every
+    /// channel in index order (the reference recompute; untouched
+    /// channels' rates come out bitwise unchanged and are skipped, so
+    /// the trajectories are identical).
     fn reshare_scoped(&mut self, c: u32, now: SimTime) {
+        if self.analytic_on() {
+            self.sync_channel(c, now);
+            return;
+        }
         match self.scope {
             ReshareScope::Channel => self.reshare_channel(c, now),
             ReshareScope::Global => {
@@ -839,6 +978,265 @@ impl DiskPool {
             s.pending =
                 Some(queue.push_keyed(now + eta, DiskEvent::Complete(StreamId(*id), s.version)));
             stats.peak_queue_len = stats.peak_queue_len.max(queue.len());
+        }
+    }
+
+    /// Enrolls a just-started stream into its channel's existing
+    /// analytic engine — O(log n) instead of a full re-predict pass.
+    fn enroll_one(&mut self, c: u32, id: u64, now: SimTime) {
+        let remaining = self.active[&id].remaining;
+        let g = self.groups.get_mut(&c).expect("caller checked");
+        g.engine.insert(now, id, remaining);
+        let n = g.engine.n();
+        if g.engine.rate() == 0.0 {
+            self.park_obs(id, now);
+        }
+        self.alloc_pass_obs(n, now);
+        self.repredict_group(c, now);
+    }
+
+    /// Puts a channel on the analytic tier: cancels every stream's
+    /// individual prediction, settles remaining work to `now`, and
+    /// enrolls the channel into a fresh engine. The engine's uniform
+    /// rate is the same `capacity / n` division the filling tier would
+    /// compute, so promotion is invisible in the trajectory.
+    fn promote_channel(&mut self, c: u32, now: SimTime) {
+        let (server, dir) = unchan(c);
+        let cap = self.secondary_capacity(server, dir);
+        let mut engine = FairShare::new(cap, now);
+        let ids = self.channels[c as usize].streams.clone();
+        for &id in &ids {
+            let s = self.active.get_mut(&id).expect("on channel");
+            let dt = now.since(s.last_update).as_secs_f64();
+            if dt > 0.0 {
+                s.remaining = (s.remaining - s.rate * dt).max(0.0);
+            }
+            s.last_update = now;
+            if let Some(key) = s.pending.take() {
+                if self.queue.cancel(key) {
+                    self.stats.stale_events_dropped += 1;
+                }
+            }
+            engine.insert(now, id, s.remaining);
+        }
+        // Throttle transitions across the promotion itself: a stream
+        // whose old filling rate disagrees with the engine's park state
+        // changes obs state here. (A just-started stream has version 0
+        // and no park on record yet.)
+        let rate = engine.rate();
+        for &id in &ids {
+            let (version, old_rate) = {
+                let s = &self.active[&id];
+                (s.version, s.rate)
+            };
+            let was_parked = version > 0 && old_rate == 0.0;
+            if rate == 0.0 && !was_parked {
+                self.park_obs(id, now);
+            } else if rate > 0.0 && was_parked {
+                if let Some(obs) = &self.obs {
+                    self.rec.state_enter(obs.states, id, "running", now);
+                }
+            }
+        }
+        self.groups.insert(
+            c,
+            ChanGroup {
+                engine,
+                event: None,
+            },
+        );
+        self.stats.analytic_channels += 1;
+        self.alloc_pass_obs(ids.len(), now);
+        self.repredict_group(c, now);
+    }
+
+    /// Brings an analytic channel current after a membership or
+    /// capacity change: refreshes the engine's capacity (throttle,
+    /// brown-out), records park/rescue transitions, and re-predicts
+    /// the group's single completion event. Promotes or retires the
+    /// channel's engine as the channel fills or empties.
+    fn sync_channel(&mut self, c: u32, now: SimTime) {
+        if self.channels[c as usize].streams.is_empty() {
+            if let Some(mut g) = self.groups.remove(&c) {
+                if let Some(key) = g.event.take() {
+                    if self.queue.cancel(key) {
+                        self.stats.stale_events_dropped += 1;
+                    }
+                }
+            }
+            return;
+        }
+        if !self.groups.contains_key(&c) {
+            self.promote_channel(c, now);
+            return;
+        }
+        let (server, dir) = unchan(c);
+        let cap = self.secondary_capacity(server, dir);
+        let g = self.groups.get_mut(&c).expect("checked above");
+        let was = g.engine.rate();
+        g.engine.set_capacity(now, cap);
+        let rate = g.engine.rate();
+        let n = g.engine.n();
+        if (was == 0.0) != (rate == 0.0) {
+            let ids: Vec<u64> = g.engine.members().map(|(id, _)| id).collect();
+            for id in ids {
+                if rate == 0.0 {
+                    self.park_obs(id, now);
+                } else if let Some(obs) = &self.obs {
+                    self.rec.state_enter(obs.states, id, "running", now);
+                }
+            }
+        }
+        self.alloc_pass_obs(n, now);
+        self.repredict_group(c, now);
+    }
+
+    /// Re-predicts a group's single completion event from the engine's
+    /// next finisher. A parked group (zero rate) keeps one far-future
+    /// [`PARKED`] event on its lowest-id member — mirroring the filling
+    /// tier, so [`DiskPool::next_event_time`] stays `Some` while any
+    /// stream is in flight — until the capacity-restoring re-share
+    /// rescues it (cancelling the placeholder like any superseded
+    /// prediction).
+    fn repredict_group(&mut self, c: u32, now: SimTime) {
+        let g = self.groups.get_mut(&c).expect("group exists");
+        if let Some(key) = g.event.take() {
+            if self.queue.cancel(key) {
+                self.stats.stale_events_dropped += 1;
+            }
+        }
+        let (top, eta) = match g.engine.peek(now) {
+            Some((top, eta)) => (top, SimDuration::from_secs_f64(eta)),
+            None => match g.engine.members().map(|(id, _)| id).min() {
+                Some(top) => (top, PARKED),
+                None => return,
+            },
+        };
+        let version = self.active[&top].version;
+        g.event = Some(
+            self.queue
+                .push_keyed(now + eta, DiskEvent::Complete(StreamId(top), version)),
+        );
+        self.stats.peak_queue_len = self.stats.peak_queue_len.max(self.queue.len());
+    }
+
+    /// Completion served by the analytic tier in O(log n): pop the
+    /// engine's finisher, book the completion, re-predict the group's
+    /// next event.
+    fn on_analytic_complete(&mut self, id: StreamId, now: SimTime) {
+        let stream = self.active.remove(&id.0).expect("caller checked");
+        let c = stream.chan;
+        let g = self.groups.get_mut(&c).expect("caller checked");
+        // This is the group's one live event firing; superseded group
+        // events are cancelled at re-predict time, never left to fire.
+        g.event = None;
+        let removed = g.engine.remove(now, id.0);
+        debug_assert!(removed.is_some(), "completed stream not enrolled");
+        self.stats.analytic_events += 1;
+        let list = &mut self.channels[c as usize].streams;
+        let pos = list.iter().position(|&s| s == id.0).expect("on channel");
+        list.remove(pos);
+        let (server, dir) = unchan(c);
+        let per_server = &mut self.streams_per_server[server.0 as usize];
+        *per_server -= 1;
+        if *per_server == 0 {
+            self.active_servers.remove(&server.0);
+        }
+        self.stats.completed += 1;
+        self.stats.bytes_moved += stream.bytes;
+        if let Some(obs) = &self.obs {
+            self.rec
+                .observe(obs.stream_secs, now.since(stream.started).as_secs_f64());
+            self.rec.state_exit(obs.states, id.0, now);
+            self.rec.span_args(
+                obs.track,
+                "stream",
+                stream.started,
+                now,
+                &[("bytes", stream.bytes as f64)],
+            );
+        }
+        self.completions.push(StreamCompletion {
+            stream: id,
+            at: now,
+            tag: stream.tag,
+            bytes: stream.bytes,
+            started: stream.started,
+            server,
+            dir,
+        });
+        let left = self.channels[c as usize].streams.len();
+        if left == 0 {
+            self.groups.remove(&c);
+        } else {
+            self.alloc_pass_obs(left, now);
+            self.repredict_group(c, now);
+        }
+    }
+
+    /// Migrates one channel's engine state back to per-stream filling
+    /// predictions exactly: remaining work settled under the engine's
+    /// clock, the uniform rate, fresh versioned completion events
+    /// (far-future parked events for a fully throttled channel).
+    fn dissolve_group(&mut self, c: u32, now: SimTime) {
+        let Some(mut g) = self.groups.remove(&c) else {
+            return;
+        };
+        if let Some(key) = g.event.take() {
+            if self.queue.cancel(key) {
+                self.stats.stale_events_dropped += 1;
+            }
+        }
+        g.engine.advance(now);
+        let rate = g.engine.rate();
+        for (id, remaining) in g.engine.members() {
+            let s = self.active.get_mut(&id).expect("enrolled member");
+            s.remaining = remaining;
+            s.rate = rate;
+            s.last_update = now;
+            s.version += 1;
+            let eta = if rate > 0.0 {
+                SimDuration::from_secs_f64(remaining / rate)
+            } else {
+                PARKED
+            };
+            s.pending = Some(
+                self.queue
+                    .push_keyed(now + eta, DiskEvent::Complete(StreamId(id), s.version)),
+            );
+            self.stats.peak_queue_len = self.stats.peak_queue_len.max(self.queue.len());
+        }
+    }
+
+    /// Migrates every analytic channel back to the filling tier, at
+    /// the pool's time high-water mark.
+    fn dissolve_all(&mut self) {
+        let cs: Vec<u32> = self.groups.keys().copied().collect();
+        for c in cs {
+            self.dissolve_group(c, self.clock);
+        }
+    }
+
+    /// Counts one analytic allocation pass, mirroring the filling
+    /// tier's per-re-share bookkeeping so [`DiskStats::reshares`]
+    /// stays a count of allocation passes whichever tier served them.
+    fn alloc_pass_obs(&mut self, n_streams: usize, now: SimTime) {
+        self.stats.reshares += 1;
+        if let Some(obs) = &self.obs {
+            self.rec.observe(obs.reshare_streams, n_streams as f64);
+            self.rec
+                .gauge_at(obs.queue_len, now, self.queue.len() as f64);
+            self.rec
+                .gauge_at(obs.tombstones, now, self.queue.n_stale() as f64);
+        }
+    }
+
+    /// Records one stream's throttle park (counter, instant, state).
+    fn park_obs(&mut self, id: u64, now: SimTime) {
+        if let Some(obs) = &self.obs {
+            self.rec.add(obs.parks, 1);
+            self.rec.instant(obs.track, "park", now);
+            self.rec.state_enter(obs.states, id, "throttle_parked", now);
         }
     }
 }
@@ -964,6 +1362,31 @@ mod tests {
         assert!((600.0..601.0).contains(&at), "rescued at {at}s");
     }
 
+    /// A fully parked analytic channel keeps a far-future placeholder
+    /// event: `next_event_time()` must stay `Some` while any stream is
+    /// in flight, exactly the contract the filling tier provides via
+    /// its parked completions (heartbeat replay in `harvest_dfs`
+    /// drives the pool off `next_event_time` and relies on it).
+    #[test]
+    fn parked_analytic_channel_keeps_a_next_event() {
+        let mut p = pool();
+        p.set_primary_util(SimTime::ZERO, S0, 0.95);
+        p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 16 * MB, 7);
+        p.pump(SimTime::from_secs(60));
+        assert!(p.stats().analytic_channels > 0, "channel never promoted");
+        assert_eq!(p.stream_rate(StreamId(0)), Some(0.0), "not parked");
+        assert!(
+            p.next_event_time().is_some(),
+            "parked analytic channel dropped its placeholder event"
+        );
+        // The rescue cancels the placeholder and completes the stream.
+        p.set_primary_util(SimTime::from_secs(600), S0, 0.0);
+        let done = p.pump(SimTime::from_secs(700));
+        assert_eq!(done.len(), 1);
+        let at = done[0].at.as_secs_f64();
+        assert!((600.0..601.0).contains(&at), "rescued at {at}s");
+    }
+
     #[test]
     fn departures_release_bandwidth() {
         let mut p = pool();
@@ -1043,7 +1466,10 @@ mod tests {
     /// with their version (and scheduled completion event) untouched.
     #[test]
     fn other_channels_keep_their_event_version() {
+        // Versions are a filling-tier concept (the analytic tier
+        // freezes them), so this oracle pins the filling engine.
         let mut p = pool();
+        p.set_sharing_mode(SharingMode::Filling);
         let bystander = p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 160 * MB, 1);
         p.pump(SimTime::ZERO);
         let v0 = p.stream_version(bystander).expect("active");
@@ -1086,7 +1512,10 @@ mod tests {
     /// runs and in-flight streams keep their completion predictions.
     #[test]
     fn unchanged_util_early_outs() {
+        // Version-probing, so pinned to the filling tier; the early-out
+        // itself is mode-independent (it returns before any re-share).
         let mut p = pool();
+        p.set_sharing_mode(SharingMode::Filling);
         p.set_primary_util(SimTime::ZERO, S0, 0.4);
         let s = p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 160 * MB, 1);
         p.pump(SimTime::ZERO);
@@ -1143,6 +1572,10 @@ mod tests {
             Some(stats_on.completed)
         );
         assert_eq!(rec.counter_value("disk/reshares"), Some(stats_on.reshares));
+        assert_eq!(
+            rec.counter_value("disk/analytic_events"),
+            Some(stats_on.analytic_events)
+        );
         assert!(
             rec.counter_value("disk/parks").unwrap_or(0) >= 1,
             "the throttled stream should have parked at least once"
@@ -1214,6 +1647,9 @@ mod tests {
     fn channel_scope_matches_global_scope() {
         let run = |scope: ReshareScope| {
             let mut p = DiskPool::new(8, &DiskConfig::datacenter());
+            // Global implies filling; probe versions, so pin the
+            // channel-scoped run to filling too.
+            p.set_sharing_mode(SharingMode::Filling);
             p.set_reshare_scope(scope);
             p.set_primary_util(SimTime::ZERO, ServerId(2), 0.4);
             for i in 0..30u64 {
@@ -1248,5 +1684,130 @@ mod tests {
         let glob = run(ReshareScope::Global);
         assert_eq!(chan.0, glob.0, "mid-run rates/versions diverged");
         assert_eq!(chan.1, glob.1, "completion schedules diverged");
+    }
+
+    /// The analytic tier (the default) must reproduce the filling
+    /// reference exactly: uniform rates bitwise, completion schedule
+    /// at full `SimTime` resolution — through starts, finishes, a
+    /// mid-storm brown-out, a fully parked channel, and its rescue.
+    #[test]
+    fn analytic_matches_filling_exactly() {
+        let run = |mode: SharingMode| {
+            let mut p = DiskPool::new(8, &DiskConfig::datacenter());
+            p.set_sharing_mode(mode);
+            // Server 3 is fully throttled before its streams start.
+            p.set_primary_util(SimTime::ZERO, ServerId(3), 0.95);
+            for i in 0..40u64 {
+                p.schedule_stream(
+                    SimTime::from_millis(i * 61),
+                    ServerId((i % 8) as u32),
+                    if i % 3 == 0 {
+                        IoDir::Write
+                    } else {
+                        IoDir::Read
+                    },
+                    (i % 9 + 1) * 8 * MB,
+                    i,
+                );
+            }
+            p.pump(SimTime::from_millis(400));
+            p.set_degrade(SimTime::from_millis(400), S0, 0.5);
+            p.pump(SimTime::from_secs(2));
+            let rates: Vec<(u64, u64)> = p
+                .active_stream_ids()
+                .iter()
+                .map(|&id| (id.0, p.stream_rate(id).unwrap().to_bits()))
+                .collect();
+            p.set_primary_util(SimTime::from_secs(2), ServerId(3), 0.0);
+            let ends: Vec<(u64, SimTime)> = p.drain().into_iter().map(|c| (c.tag, c.at)).collect();
+            (rates, ends, p.stats().completed)
+        };
+        let analytic = run(SharingMode::Auto);
+        let filling = run(SharingMode::Filling);
+        assert_eq!(analytic.0, filling.0, "mid-run rates diverged");
+        assert_eq!(analytic.1, filling.1, "completion schedules diverged");
+        assert_eq!(analytic.2, 40, "streams lost");
+    }
+
+    /// Fault interplay regression: a disk brown-out to zero mid-storm
+    /// (then a degraded replacement) is a capacity change the analytic
+    /// tier absorbs in place — no stream is lost or double-completed.
+    #[test]
+    fn degrade_mid_storm_loses_nothing() {
+        let mut p = DiskPool::new(4, &DiskConfig::datacenter());
+        let mut tags: Vec<u64> = Vec::new();
+        for i in 0..24u64 {
+            p.schedule_stream(
+                SimTime::from_millis(i * 31),
+                ServerId((i % 4) as u32),
+                if i % 2 == 0 {
+                    IoDir::Read
+                } else {
+                    IoDir::Write
+                },
+                (i % 5 + 1) * 16 * MB,
+                i,
+            );
+        }
+        tags.extend(p.pump(SimTime::from_millis(800)).iter().map(|c| c.tag));
+        p.set_degrade(SimTime::from_millis(800), S1, 0.0);
+        tags.extend(p.pump(SimTime::from_secs(30)).iter().map(|c| c.tag));
+        assert!(p.n_active() > 0, "S1 streams should be parked");
+        p.set_degrade(SimTime::from_secs(30), S1, 0.7);
+        tags.extend(p.drain().iter().map(|c| c.tag));
+        tags.sort_unstable();
+        assert_eq!(tags, (0..24).collect::<Vec<u64>>(), "lost or doubled");
+        assert_eq!(p.stats().completed, 24);
+        assert!(p.stats().analytic_events > 0, "fast path never served");
+    }
+
+    /// Switching to the filling tier mid-run migrates engine state to
+    /// per-stream predictions without disturbing the trajectory.
+    #[test]
+    fn mode_switch_migrates_exactly() {
+        let run = |switch: bool| {
+            let mut p = pool();
+            for i in 0..12u64 {
+                p.schedule_stream(
+                    SimTime::from_millis(i * 23),
+                    ServerId((i % 2) as u32),
+                    IoDir::Read,
+                    (i % 4 + 1) * 20 * MB,
+                    i,
+                );
+            }
+            p.pump(SimTime::from_millis(300));
+            if switch {
+                p.set_sharing_mode(SharingMode::Filling);
+                assert!(p.stats().analytic_channels > 0, "never promoted");
+            }
+            p.drain()
+                .into_iter()
+                .map(|c| (c.tag, c.at))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false), "migration moved the schedule");
+    }
+
+    /// The analytic counters track the fast path: the default serves
+    /// single-channel churn analytically, the filling pin serves none.
+    #[test]
+    fn analytic_counters_track_the_fast_path() {
+        let mut p = pool();
+        for tag in 0..3u64 {
+            p.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 8 * MB, tag);
+        }
+        p.drain();
+        assert_eq!(p.stats().analytic_channels, 1, "one channel, one group");
+        assert_eq!(p.stats().analytic_events, 3);
+
+        let mut f = pool();
+        f.set_sharing_mode(SharingMode::Filling);
+        for tag in 0..3u64 {
+            f.schedule_stream(SimTime::ZERO, S0, IoDir::Read, 8 * MB, tag);
+        }
+        f.drain();
+        assert_eq!(f.stats().analytic_channels, 0);
+        assert_eq!(f.stats().analytic_events, 0);
     }
 }

@@ -13,23 +13,72 @@
 //! over deterministically ordered collections, so a fabric replay is
 //! bit-identical for identical inputs.
 //!
-//! # Cost model
+//! # Cost model — three tiers
 //!
-//! Re-sharing is *component-scoped*: the fabric maintains a persistent
-//! inverted index (link → active flows crossing it), and a flow
-//! start/finish recomputes only the connected component of flows
-//! transitively sharing a link with the changed flow. Flows in disjoint
-//! components keep their rates, their per-flow progress stamps, and
-//! their already-predicted completion events untouched — a start/finish
-//! costs O(component links × filling iterations), not
-//! O(active² × hops). Progress is advanced lazily, per flow, only when
-//! a flow's rate actually changes, and a superseded completion event is
-//! *cancelled* in the queue rather than left to fire stale, so the
-//! event heap stays O(active + scheduled) instead of
-//! O(re-shares × flows).
+//! The fabric serves each event with the cheapest allocator that is
+//! provably exact for the component the event touches:
 //!
-//! The worst case is a workload whose every flow shares a link with
-//! every other (one giant component): then a re-share still touches the
+//! 1. **Analytic** (O(log n) per event): a component whose flows all
+//!    traverse one common saturated link — the reimage-storm shape —
+//!    is served by a [`harvest_sim::fairshare::FairShare`] group: a
+//!    virtual fair-work clock plus a completion-ordered heap, one live
+//!    completion event for the whole group. The classifier is the
+//!    filling itself: whenever a progressive-filling pass freezes the
+//!    entire component in its *first* iteration, the bottleneck it
+//!    picked is crossed by every flow and the component is promoted
+//!    into a group. After that, a start that crosses the group's
+//!    bottleneck (and shares no link with any loose flow) joins in
+//!    O(log n), and a finish pops the heap in O(log n). A per-group
+//!    lazy heap over (link fair-share, link id) re-checks, also in
+//!    amortized O(log), that the stored bottleneck is still the
+//!    lexicographic minimum the filling would pick — the instant it is
+//!    not (a join lands on a NIC-bound path, the population shrinks
+//!    until NICs bind, a fault changes capacity), the group *migrates*
+//!    back to filling: every member's `remaining` is materialized from
+//!    the clock, the component is re-filled, and nothing is lost or
+//!    double-completed. Migration may immediately re-promote under the
+//!    new bottleneck.
+//! 2. **Component filling** (O(component links × filling iterations)
+//!    per event): the general fallback. The fabric maintains a
+//!    persistent inverted index (link → active flows crossing it), and
+//!    a flow start/finish recomputes only the connected component of
+//!    flows transitively sharing a link with the changed flow. Flows
+//!    in disjoint components keep their rates, their per-flow progress
+//!    stamps, and their already-predicted completion events untouched.
+//!    Progress is advanced lazily, per flow, only when a flow's rate
+//!    actually changes, and a superseded completion event is
+//!    *cancelled* in the queue rather than left to fire stale, so the
+//!    event heap stays O(active + scheduled) instead of
+//!    O(re-shares × flows).
+//! 3. **Global reference** ([`ReshareScope::Global`]): recomputes
+//!    every active flow on every event with progressive filling — the
+//!    pre-optimization *cost shape*, kept because it is the oracle the
+//!    other two tiers are pinned against (the property tests in
+//!    `tests/properties.rs`). Selecting it disables the analytic tier
+//!    entirely: the reference *is* filling.
+//!
+//! **Exactness.** Component scoping is *bitwise* identical to global:
+//! a component's progressive-filling arithmetic is unaffected by flows
+//! it shares no link with, so scoping changes which flows are
+//! *visited*, never what any flow gets. The analytic tier's rates are
+//! also bitwise identical — its per-flow rate is
+//! `capacity / n as f64`, the same division filling performs when its
+//! first iteration splits the untouched bottleneck — but completion
+//! *times* re-associate the float arithmetic: filling folds
+//! `(r − a) − b − …` across re-shares while the fair-work clock
+//! computes `r − (a + b + …)`, so predicted completions can drift by a
+//! few ulps (≈1e-16 relative). Simulated time is integer milliseconds
+//! and `SimDuration::from_secs_f64` rounds to the nearest millisecond,
+//! so that drift virtually never moves a completion across a
+//! millisecond boundary; the oracle tests pin analytic rates bitwise
+//! and completion schedules at full `SimTime` resolution, and that is
+//! the documented tolerance (see `sim::fairshare`). Which tier served
+//! an event is visible: `analytic_components` / `analytic_events` /
+//! `fallback_migrations` in [`FabricStats`] and as `net/*` counters.
+//!
+//! The worst case is a genuinely multi-bottleneck workload whose every
+//! flow shares a link with every other (one giant component that never
+//! classifies single-bottleneck): then a re-share still touches the
 //! whole population, exactly as a global recompute would, and the old
 //! guidance applies — offered load must not exceed fabric capacity for
 //! sustained periods, or the backlog (and the simulation) grows without
@@ -37,24 +86,20 @@
 //! themselves (see `StormConfig::max_repair_streams` in `harvest-dfs`
 //! for the repair-path backpressure).
 //!
-//! [`ReshareScope::Global`] disables the component scoping and
-//! recomputes every active flow on every event — the pre-optimization
-//! *cost shape*, kept because scoped and global are *bitwise identical*
-//! (the property tests in `tests/properties.rs` pin that): a
-//! component's progressive-filling arithmetic is unaffected by flows it
-//! shares no link with, so scoping changes which flows are *visited*,
-//! never what any flow gets. Note the oracle's limit: both scopes share
-//! the lazy-advance and cancellation machinery (they must, or bitwise
-//! comparison would be impossible — the pre-PR code advanced every
-//! flow's `remaining` in per-event steps, whose float rounding differs
-//! from one fused multiply per rate change by ulps), so the pinned
-//! property is "scoping never changes an allocation", not "this PR's
-//! trajectories equal the old code's to the last bit".
+//! Note the filling oracle's limit: both scopes share the lazy-advance
+//! and cancellation machinery (they must, or bitwise comparison would
+//! be impossible — the pre-PR code advanced every flow's `remaining`
+//! in per-event steps, whose float rounding differs from one fused
+//! multiply per rate change by ulps), so the pinned property is
+//! "scoping never changes an allocation", not "this PR's trajectories
+//! equal the old code's to the last bit".
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use harvest_cluster::ServerId;
 use harvest_sim::engine::{EventKey, EventQueue};
+use harvest_sim::fairshare::{FairShare, SharingMode};
 use harvest_sim::obs::{GaugeId, HistogramId, Recorder, StateTrackId, TrackId};
 use harvest_sim::{SimDuration, SimTime};
 
@@ -118,6 +163,32 @@ struct Flow {
     seen: u64,
     started: SimTime,
     path: Path,
+    /// The analytic group serving this flow, if any. While enrolled,
+    /// `remaining`/`rate`/`last_update` are frozen at enrollment (the
+    /// group's fair-work clock is authoritative) and `pending` is
+    /// `None` — the group holds the single live completion event.
+    group: Option<u32>,
+}
+
+/// Sentinel for `Fabric::link_of`: the link is not owned by any group.
+const NO_GROUP: u32 = u32::MAX;
+
+/// An analytic single-bottleneck component (cost-model tier 1).
+#[derive(Debug)]
+struct AnalyticGroup {
+    /// The common saturated link every member crosses.
+    bottleneck: u32,
+    engine: FairShare,
+    /// Lazy min-heap over the group's links: `(share bits, link id,
+    /// flow count at push)`. An entry is valid iff the link is still
+    /// owned by this group and its flow count still matches; a fresh
+    /// entry is pushed whenever a link's count changes, so the valid
+    /// minimum is exactly the `(share, link)` progressive filling
+    /// would pick first. The group stays analytic iff that minimum is
+    /// the stored bottleneck.
+    links: BinaryHeap<Reverse<(u64, u32, u32)>>,
+    /// The single live completion event for the whole group.
+    event: Option<EventKey>,
 }
 
 /// A transfer waiting for its scheduled start time.
@@ -160,6 +231,15 @@ pub struct FabricStats {
     /// tombstones) — the memory the fabric's future-event list peaked
     /// at.
     pub peak_queue_len: usize,
+    /// Analytic groups created (a component classified single-
+    /// bottleneck and promoted off the filling path).
+    pub analytic_components: u64,
+    /// Events (starts/finishes) served by the analytic tier in
+    /// O(log n) instead of a filling pass.
+    pub analytic_events: u64,
+    /// Groups dissolved back to progressive filling (classification
+    /// invalidated by a join, departure, or fault).
+    pub fallback_migrations: u64,
 }
 
 /// The flow-level network simulator. See the module docs.
@@ -189,6 +269,22 @@ pub struct Fabric {
     /// (see `sync_dead_cancels`).
     dead_cancels_seen: u64,
     scope: ReshareScope,
+    /// Which sharing tiers are allowed (see the module cost model).
+    mode: SharingMode,
+    /// Analytic groups, indexed by the id in `Flow::group`/`link_of`;
+    /// freed slots are recycled through `free_groups`.
+    groups: Vec<Option<AnalyticGroup>>,
+    free_groups: Vec<u32>,
+    /// `link_of[link]` is the analytic group owning `link`
+    /// (`NO_GROUP` if none). Invariant: every flow crossing an owned
+    /// link is a member of the owning group — promotion covers whole
+    /// components and joins preserve it — so loose flows and group
+    /// members never share a link.
+    link_of: Vec<u32>,
+    /// High-water mark of event time, so mode/scope switches (which
+    /// take no `now`) can materialize group state at the current
+    /// instant.
+    clock: SimTime,
     next_id: u64,
     hop_latency: SimDuration,
     stats: FabricStats,
@@ -231,6 +327,11 @@ impl Fabric {
             link_up: vec![true; n_links],
             dead_cancels_seen: 0,
             scope: ReshareScope::Component,
+            mode: SharingMode::default(),
+            groups: Vec::new(),
+            free_groups: Vec::new(),
+            link_of: vec![NO_GROUP; n_links],
+            clock: SimTime::ZERO,
             next_id: 0,
             hop_latency: SimDuration::from_secs_f64(config.hop_latency_ms / 1_000.0),
             stats: FabricStats::default(),
@@ -272,6 +373,9 @@ impl Fabric {
                 ("fabric/stale_events_dropped", s.stale_events_dropped),
                 ("fabric/flows_aborted", s.flows_aborted),
                 ("fabric/peak_queue_len", s.peak_queue_len as u64),
+                ("net/analytic_components", s.analytic_components),
+                ("net/analytic_events", s.analytic_events),
+                ("net/fallback_migrations", s.fallback_migrations),
             ] {
                 let id = self.rec.counter(name);
                 self.rec.counter_set(id, v);
@@ -299,8 +403,53 @@ impl Fabric {
     /// Switches the re-share scope. Safe at any point — both scopes
     /// produce bitwise-identical trajectories (see the module docs) —
     /// but `Global` exists for validation, not production use.
+    /// `Global` *is* the filling reference, so selecting it dissolves
+    /// any live analytic groups (state migrated exactly).
     pub fn set_reshare_scope(&mut self, scope: ReshareScope) {
         self.scope = scope;
+        if scope == ReshareScope::Global {
+            self.dissolve_all_groups();
+        }
+    }
+
+    /// The sharing mode in force.
+    pub fn sharing_mode(&self) -> SharingMode {
+        self.mode
+    }
+
+    /// Switches the sharing mode. Selecting [`SharingMode::Filling`]
+    /// dissolves any live analytic groups (state migrated exactly, so
+    /// the trajectory is unchanged); selecting an analytic-capable
+    /// mode lets the classifier promote components at their next
+    /// re-share. Allocations are identical in every mode — the
+    /// classifier only admits components where the analytic engine
+    /// provably agrees with filling — so this is a cost knob, not a
+    /// behavior knob.
+    pub fn set_sharing_mode(&mut self, mode: SharingMode) {
+        self.mode = mode;
+        if !mode.analytic_allowed() {
+            self.dissolve_all_groups();
+        }
+    }
+
+    /// Dissolves every analytic group at the fabric's high-water
+    /// clock and re-fills over the freed components.
+    fn dissolve_all_groups(&mut self) {
+        let mut seeds: Vec<LinkId> = Vec::new();
+        for g in 0..self.groups.len() as u32 {
+            let Some(grp) = &self.groups[g as usize] else {
+                continue;
+            };
+            let ids: Vec<u64> = grp.engine.members().map(|(id, _)| id).collect();
+            for id in ids {
+                seeds.extend(self.active[&id].path.iter().copied());
+            }
+            self.dissolve_group(g, self.clock);
+        }
+        if !seeds.is_empty() {
+            let now = self.clock;
+            self.reshare(now, &seeds);
+        }
     }
 
     /// Aggregate counters.
@@ -326,15 +475,31 @@ impl Fabric {
         self.in_flight_remaining.max(0.0)
     }
 
+    /// A flow's current rate: the group engine's fair share for
+    /// analytic members (whose stored per-flow rate is frozen at
+    /// enrollment), the stored rate otherwise.
+    fn rate_of(&self, f: &Flow) -> f64 {
+        match f.group {
+            Some(g) => self.groups[g as usize]
+                .as_ref()
+                .expect("member's group is live")
+                .engine
+                .rate(),
+            None => f.rate,
+        }
+    }
+
     /// The current max-min rate of a flow in bytes/s, if it is active.
     pub fn flow_rate(&self, flow: FlowId) -> Option<f64> {
-        self.active.get(&flow.0).map(|f| f.rate)
+        self.active.get(&flow.0).map(|f| self.rate_of(f))
     }
 
     /// The re-prediction version of an active flow — bumped whenever a
     /// re-share changes its rate. Disjoint-component flows keep their
     /// version (and their scheduled completion event) across unrelated
-    /// starts/finishes; tests pin that.
+    /// starts/finishes; tests pin that. Analytic-group members keep
+    /// the version they enrolled with — the group serves rate changes
+    /// without per-flow re-prediction, which is the point.
     pub fn flow_version(&self, flow: FlowId) -> Option<u64> {
         self.active.get(&flow.0).map(|f| f.version)
     }
@@ -354,7 +519,7 @@ impl Fabric {
     pub fn link_load(&self, link: LinkId) -> f64 {
         self.flows_on[link.0 as usize]
             .iter()
-            .map(|id| self.active[id].rate)
+            .map(|id| self.rate_of(&self.active[id]))
             .sum()
     }
 
@@ -462,6 +627,15 @@ impl Fabric {
         if !self.link_up[link.0 as usize] {
             return Vec::new();
         }
+        self.clock = self.clock.max(now);
+        // A capacity change invalidates the owning group's
+        // classification: migrate its state back to filling before the
+        // abort sweep (survivors are re-filled — and possibly
+        // re-promoted — by the re-share below).
+        let owner = self.link_of[link.0 as usize];
+        if owner != NO_GROUP {
+            self.dissolve_group(owner, now);
+        }
         self.link_up[link.0 as usize] = false;
         let ids: Vec<u64> = self.flows_on[link.0 as usize].clone();
         let mut tags = Vec::new();
@@ -498,6 +672,7 @@ impl Fabric {
         if self.link_up[link.0 as usize] {
             return;
         }
+        self.clock = self.clock.max(now);
         self.link_up[link.0 as usize] = true;
         self.reshare(now, &[link]);
     }
@@ -537,6 +712,7 @@ impl Fabric {
         now: SimTime,
         tags: &std::collections::HashSet<u64>,
     ) -> usize {
+        self.clock = self.clock.max(now);
         let ids: Vec<u64> = self
             .active
             .iter()
@@ -573,6 +749,13 @@ impl Fabric {
     /// event, obs state). Pushes the flow's links onto `seeds` so the
     /// caller can re-share once over everything it aborted.
     fn abort_active(&mut self, id: FlowId, now: SimTime, seeds: &mut Vec<LinkId>) -> Option<u64> {
+        // An analytic member cannot be plucked out piecemeal — its
+        // progress lives in the group clock. Migrate the whole group
+        // to filling state first (exact), then abort normally; the
+        // caller's re-share re-predicts the surviving ex-members.
+        if let Some(g) = self.active.get(&id.0).and_then(|f| f.group) {
+            self.dissolve_group(g, now);
+        }
         let flow = self.active.remove(&id.0)?;
         self.in_flight_remaining -= flow.remaining;
         for l in &flow.path {
@@ -594,6 +777,7 @@ impl Fabric {
     }
 
     fn on_start(&mut self, id: FlowId, now: SimTime) {
+        self.clock = self.clock.max(now);
         let Some(p) = self.pending.remove(&id.0) else {
             return; // cancelled
         };
@@ -625,6 +809,7 @@ impl Fabric {
                 seen: 0,
                 started: now,
                 path,
+                group: None,
             },
         );
         self.in_flight_remaining += remaining;
@@ -636,10 +821,103 @@ impl Fabric {
             list.insert(pos, id.0);
         }
         self.stats.peak_active = self.stats.peak_active.max(self.active.len());
+        if self.try_join_group(id, now) {
+            return;
+        }
         self.reshare(now, path.as_slice());
     }
 
+    /// The analytic tier's O(log n) start path: if every link on the
+    /// new flow's path is either owned by one analytic group or
+    /// exclusively the flow's own, and the flow crosses the group's
+    /// bottleneck, enroll it — no filling pass. Returns `true` when
+    /// the start has been fully served (including the case where the
+    /// join invalidated the classification and the component was
+    /// migrated and re-filled). The flow must already be in
+    /// `active`/`flows_on`.
+    fn try_join_group(&mut self, id: FlowId, now: SimTime) -> bool {
+        if self.scope != ReshareScope::Component || !self.mode.analytic_allowed() {
+            return false;
+        }
+        let path = self.active[&id.0].path;
+        let mut owner: Option<u32> = None;
+        let mut merges = false;
+        let mut loose = false;
+        for l in &path {
+            let g = self.link_of[l.0 as usize];
+            if g == NO_GROUP {
+                // Unowned: fine if the new flow is alone on it; any
+                // other flow there is loose (never a member, by the
+                // ownership invariant) and would bridge components.
+                if self.flows_on[l.0 as usize].len() > 1 {
+                    loose = true;
+                }
+            } else if owner.is_none() || owner == Some(g) {
+                owner = Some(g);
+            } else {
+                merges = true;
+            }
+        }
+        let Some(g) = owner else {
+            return false; // purely loose start: filling (may promote)
+        };
+        let grp = self.groups[g as usize]
+            .as_ref()
+            .expect("owned link's group");
+        if merges || loose || !path.contains(&LinkId(grp.bottleneck)) {
+            // The join bridges groups/loose flows or skips the
+            // bottleneck: the merged component is no longer provably
+            // single-bottleneck. Migrate and re-fill (which re-runs
+            // the classifier on the merged component).
+            if merges {
+                let owners: Vec<u32> = {
+                    let mut v: Vec<u32> = path
+                        .iter()
+                        .map(|l| self.link_of[l.0 as usize])
+                        .filter(|&g| g != NO_GROUP)
+                        .collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                };
+                for g in owners {
+                    self.dissolve_group(g, now);
+                }
+            } else {
+                self.dissolve_group(g, now);
+            }
+            self.reshare(now, path.as_slice());
+            return true;
+        }
+        // Enroll: the flow's remaining was set at this instant, so it
+        // enters the fair-work clock exactly.
+        let remaining = self.active[&id.0].remaining;
+        {
+            let grp = self.groups[g as usize].as_mut().expect("checked above");
+            grp.engine.insert(now, id.0, remaining);
+        }
+        self.active.get_mut(&id.0).expect("just started").group = Some(g);
+        for l in &path {
+            if self.link_of[l.0 as usize] == NO_GROUP {
+                self.link_of[l.0 as usize] = g;
+            }
+            self.push_link_share(g, l.0);
+        }
+        if self.group_is_single_bottleneck(g) {
+            self.stats.reshares += 1; // an allocation pass, served analytically
+            self.stats.analytic_events += 1;
+            self.repredict_group(g, now);
+        } else {
+            // The join moved the filling minimum off the bottleneck
+            // (e.g. a NIC now binds): migrate and re-fill.
+            self.dissolve_group(g, now);
+            self.reshare(now, path.as_slice());
+        }
+        true
+    }
+
     fn on_complete(&mut self, id: FlowId, version: u64, now: SimTime) {
+        self.clock = self.clock.max(now);
         let stale = match self.active.get(&id.0) {
             Some(f) => f.version != version,
             None => true,
@@ -657,8 +935,142 @@ impl Fabric {
             let pos = list.binary_search(&id.0).expect("flow indexed on link");
             list.remove(pos);
         }
+        if let Some(g) = flow.group {
+            self.on_analytic_complete(id, g, &flow.path, now);
+            self.finish_flow(id, now, flow.tag, flow.bytes, flow.started);
+            return;
+        }
         self.finish_flow(id, now, flow.tag, flow.bytes, flow.started);
         self.reshare(now, flow.path.as_slice());
+    }
+
+    /// The analytic tier's O(log n) finish path: the group's single
+    /// completion event just fired for member `id` (already removed
+    /// from `active`/`flows_on`). Update the group and either
+    /// re-predict the next completion or migrate if the departure
+    /// moved the filling minimum off the bottleneck.
+    fn on_analytic_complete(&mut self, id: FlowId, g: u32, path: &Path, now: SimTime) {
+        {
+            let grp = self.groups[g as usize].as_mut().expect("member's group");
+            grp.event = None; // it just fired
+            grp.engine.remove(now, id.0);
+        }
+        for l in path {
+            if self.link_of[l.0 as usize] == g {
+                if self.flows_on[l.0 as usize].is_empty() {
+                    // The departed flow's exclusive links (its NICs)
+                    // leave the group.
+                    self.link_of[l.0 as usize] = NO_GROUP;
+                } else {
+                    self.push_link_share(g, l.0);
+                }
+            }
+        }
+        let grp = self.groups[g as usize].as_ref().expect("member's group");
+        if grp.engine.is_empty() {
+            self.stats.reshares += 1; // an allocation pass, served analytically
+            self.stats.analytic_events += 1;
+            self.groups[g as usize] = None;
+            self.free_groups.push(g);
+        } else if self.group_is_single_bottleneck(g) {
+            self.stats.reshares += 1; // an allocation pass, served analytically
+            self.stats.analytic_events += 1;
+            self.repredict_group(g, now);
+        } else {
+            self.dissolve_group(g, now);
+            self.reshare(now, path.as_slice());
+        }
+    }
+
+    /// Pushes a fresh saturation-heap entry for `link` (owned by group
+    /// `g`) at its current flow count. The share is the same division
+    /// progressive filling would perform for this link in its first
+    /// iteration, so the heap's valid minimum is exactly the filling's
+    /// first pick.
+    fn push_link_share(&mut self, g: u32, link: u32) {
+        let cnt = self.flows_on[link as usize].len() as u32;
+        debug_assert!(cnt > 0, "owned link with no flows");
+        let share = self.effective_capacity(LinkId(link)) / cnt as f64;
+        let grp = self.groups[g as usize]
+            .as_mut()
+            .expect("owned link's group");
+        grp.links.push(Reverse((share.to_bits(), link, cnt)));
+    }
+
+    /// Whether group `g`'s stored bottleneck is still the
+    /// lexicographically smallest `(fair share, link id)` among its
+    /// links — i.e. the link progressive filling would pick first.
+    /// Pops stale heap entries (dead links, outdated counts) lazily.
+    fn group_is_single_bottleneck(&mut self, g: u32) -> bool {
+        let link_of = &self.link_of;
+        let flows_on = &self.flows_on;
+        let grp = self.groups[g as usize].as_mut().expect("live group");
+        let expected = (grp.engine.rate().to_bits(), grp.bottleneck);
+        while let Some(&Reverse((bits, l, cnt))) = grp.links.peek() {
+            if link_of[l as usize] == g && flows_on[l as usize].len() as u32 == cnt {
+                return (bits, l) == expected;
+            }
+            grp.links.pop();
+        }
+        false
+    }
+
+    /// Re-predicts group `g`'s single completion event from the
+    /// fair-work clock, cancelling the superseded one.
+    fn repredict_group(&mut self, g: u32, now: SimTime) {
+        let (top, eta) = {
+            let grp = self.groups[g as usize].as_mut().expect("live group");
+            if let Some(key) = grp.event.take() {
+                if self.queue.cancel(key) {
+                    self.stats.stale_events_dropped += 1;
+                }
+            }
+            grp.engine.peek(now).expect("non-empty unparked group")
+        };
+        let version = self.active[&top].version;
+        let key = self.queue.push_keyed(
+            now + SimDuration::from_secs_f64(eta),
+            NetEvent::Complete(FlowId(top), version),
+        );
+        self.groups[g as usize].as_mut().expect("live group").event = Some(key);
+        self.stats.peak_queue_len = self.stats.peak_queue_len.max(self.queue.len());
+    }
+
+    /// Migrates group `g` back to progressive filling: every member's
+    /// `remaining` is materialized from the fair-work clock at `now`,
+    /// its per-flow stamps are re-anchored, and the group's links are
+    /// released. Members are left without a live completion event —
+    /// every dissolve site follows up with a re-share whose component
+    /// covers all ex-members (they share the ex-bottleneck), which
+    /// re-predicts them.
+    fn dissolve_group(&mut self, g: u32, now: SimTime) {
+        let Some(mut grp) = self.groups[g as usize].take() else {
+            return;
+        };
+        grp.engine.advance(now);
+        if let Some(key) = grp.event.take() {
+            if self.queue.cancel(key) {
+                self.stats.stale_events_dropped += 1;
+            }
+        }
+        let rate = grp.engine.rate();
+        for (id, remaining) in grp.engine.members() {
+            let f = self.active.get_mut(&id).expect("group member is active");
+            self.in_flight_remaining -= f.remaining - remaining;
+            f.remaining = remaining;
+            f.last_update = now;
+            f.rate = rate;
+            f.pending = None;
+            f.group = None;
+            let path = f.path;
+            for l in &path {
+                if self.link_of[l.0 as usize] == g {
+                    self.link_of[l.0 as usize] = NO_GROUP;
+                }
+            }
+        }
+        self.free_groups.push(g);
+        self.stats.fallback_migrations += 1;
     }
 
     fn finish_flow(&mut self, id: FlowId, now: SimTime, tag: u64, bytes: u64, started: SimTime) {
@@ -757,6 +1169,18 @@ impl Fabric {
     /// interleaving freezes across disjoint components never changes
     /// what any flow gets.
     fn reshare(&mut self, now: SimTime, seeds: &[LinkId]) {
+        // Filling over group-owned links would corrupt group state
+        // (members' stamps are frozen; the group holds their event):
+        // any group this event reaches is migrated to filling state
+        // first. Loose flows never share a link with members, so the
+        // component walk can only enter a group through a seed — four
+        // array reads on the no-group hot path.
+        for l in seeds {
+            let g = self.link_of[l.0 as usize];
+            if g != NO_GROUP {
+                self.dissolve_group(g, now);
+            }
+        }
         self.stats.reshares += 1;
         if self.active.is_empty() {
             return;
@@ -804,6 +1228,10 @@ impl Fabric {
         let mut frozen: Vec<bool> = vec![false; ids.len()];
         let mut rates: Vec<f64> = vec![0.0; ids.len()];
         let mut left = ids.len();
+        // The classifier rides the filling for free: remember the
+        // first iteration's pick and how many iterations ran.
+        let mut first: Option<(f64, u32)> = None;
+        let mut iterations = 0usize;
 
         while left > 0 {
             // The bottleneck link and its fair share.
@@ -823,6 +1251,10 @@ impl Fabric {
             };
             let share = share.max(0.0);
             let bottleneck = used[bottleneck];
+            if iterations == 0 {
+                first = Some((share, bottleneck));
+            }
+            iterations += 1;
             // Freeze every unfrozen flow crossing the bottleneck,
             // ascending by id straight off the inverted index (every
             // flow on a candidate link is itself a candidate).
@@ -842,6 +1274,24 @@ impl Fabric {
             }
         }
 
+        // Single-bottleneck classification: one iteration froze the
+        // whole component, so every flow crosses the picked link and
+        // max-min degenerates to an equal split — promote the
+        // component to the analytic tier (unless the reference filling
+        // was explicitly requested, or the component is trivial, or
+        // the bottleneck is a dead link parking everyone at 0).
+        if let Some((share, bottleneck)) = first {
+            if iterations == 1
+                && share > 0.0
+                && ids.len() >= 2
+                && self.scope == ReshareScope::Component
+                && self.mode.analytic_allowed()
+            {
+                self.promote(now, &ids, &used, bottleneck, share);
+                return;
+            }
+        }
+
         // Apply rates and re-predict completions. A flow whose rate is
         // bitwise-unchanged keeps its pending Complete event: its
         // `remaining` hasn't been advanced since that event was
@@ -849,13 +1299,17 @@ impl Fabric {
         // exact. A flow whose rate changes is advanced lazily — one
         // multiply covering the whole span since its own last change —
         // and its superseded event is cancelled in the queue.
-        // (`version > 0` guarantees an event exists.)
+        // (`version > 0 && pending` means a live event exists; a flow
+        // freshly migrated from an analytic group has `version > 0`
+        // but no event, and must be re-predicted even at an unchanged
+        // rate.)
         let active = &mut self.active;
         let queue = &mut self.queue;
         let stats = &mut self.stats;
         for (i, id) in ids.iter().enumerate() {
             let f = active.get_mut(id).expect("active");
-            if f.version > 0 && rates[i] == f.rate {
+            debug_assert!(f.group.is_none(), "filling visited an analytic member");
+            if f.version > 0 && rates[i] == f.rate && f.pending.is_some() {
                 continue;
             }
             let dt = now.since(f.last_update).as_secs_f64();
@@ -883,6 +1337,66 @@ impl Fabric {
                 Some(queue.push_keyed(now + eta, NetEvent::Complete(FlowId(*id), f.version)));
             stats.peak_queue_len = stats.peak_queue_len.max(queue.len());
         }
+    }
+
+    /// Promotes a component the filling just proved single-bottleneck
+    /// (`ids` all cross `bottleneck`, each at fair share `share`) into
+    /// an analytic group. Every member is advanced to `now` with the
+    /// same fused multiply the filling apply loop uses, its per-flow
+    /// event is cancelled, and it is enrolled in the fair-work clock —
+    /// after which the first predicted completion is bitwise the one
+    /// filling would have pushed (`v = 0`, so keys are exactly the
+    /// remaining work).
+    fn promote(&mut self, now: SimTime, ids: &[u64], used: &[u32], bottleneck: u32, share: f64) {
+        let g = match self.free_groups.pop() {
+            Some(g) => g,
+            None => {
+                self.groups.push(None);
+                (self.groups.len() - 1) as u32
+            }
+        };
+        let mut engine = FairShare::new(self.effective_capacity(LinkId(bottleneck)), now);
+        for id in ids {
+            let f = self.active.get_mut(id).expect("component flow is active");
+            let dt = now.since(f.last_update).as_secs_f64();
+            if dt > 0.0 {
+                let advanced = (f.remaining - f.rate * dt).max(0.0);
+                self.in_flight_remaining -= f.remaining - advanced;
+                f.remaining = advanced;
+            }
+            f.last_update = now;
+            if let Some(key) = f.pending.take() {
+                if self.queue.cancel(key) {
+                    self.stats.stale_events_dropped += 1;
+                }
+            }
+            f.rate = share;
+            f.version += 1;
+            f.group = Some(g);
+            engine.insert(now, *id, f.remaining);
+        }
+        // The component's crossed links are the group's links: claim
+        // them and seed the saturation heap at current counts. (`used`
+        // may also carry flowless seed links — a just-departed flow's
+        // NICs — which stay unowned; they cannot be a bottleneck.)
+        let mut links = BinaryHeap::with_capacity(used.len());
+        for &l in used {
+            let cnt = self.flows_on[l as usize].len() as u32;
+            if cnt == 0 {
+                continue;
+            }
+            self.link_of[l as usize] = g;
+            let entry_share = self.effective_capacity(LinkId(l)) / cnt as f64;
+            links.push(Reverse((entry_share.to_bits(), l, cnt)));
+        }
+        self.groups[g as usize] = Some(AnalyticGroup {
+            bottleneck,
+            engine,
+            links,
+            event: None,
+        });
+        self.stats.analytic_components += 1;
+        self.repredict_group(g, now);
     }
 }
 
@@ -1139,6 +1653,11 @@ mod tests {
     fn component_scope_matches_global_scope() {
         let run = |scope: ReshareScope| {
             let (dc, mut f) = fabric();
+            // This oracle probes *versions*, which the analytic tier
+            // deliberately freezes — pin the filling machinery itself.
+            // (The analytic-vs-global oracles live below and in
+            // tests/properties.rs.)
+            f.set_sharing_mode(SharingMode::Filling);
             f.set_reshare_scope(scope);
             let n = dc.n_servers();
             for i in 0..40u64 {
@@ -1216,6 +1735,166 @@ mod tests {
             rec_on.counter_value("fabric/peak_queue_len"),
             Some(stats_on.peak_queue_len as u64)
         );
+    }
+
+    /// A rack-pair convoy (every flow through one oversubscribed
+    /// uplink) classifies single-bottleneck, is served analytically,
+    /// migrates back to filling when the population shrinks until the
+    /// NICs bind — and the whole trajectory is exactly the filling
+    /// reference's.
+    #[test]
+    fn storm_promotes_and_matches_filling_exactly() {
+        let run = |mode: SharingMode| {
+            let (dc, mut f) = fabric();
+            f.set_sharing_mode(mode);
+            let rack0: Vec<ServerId> = dc
+                .servers
+                .iter()
+                .filter(|s| s.rack.0 == 0)
+                .map(|s| s.id)
+                .collect();
+            let rack1: Vec<ServerId> = dc
+                .servers
+                .iter()
+                .filter(|s| s.rack.0 == 1)
+                .map(|s| s.id)
+                .collect();
+            assert!(rack0.len() >= 12 && rack1.len() >= 12);
+            for i in 0..12u64 {
+                f.schedule_flow(
+                    SimTime::from_millis(i * 7),
+                    rack0[i as usize],
+                    rack1[i as usize],
+                    64 * MB,
+                    i,
+                );
+            }
+            let ends: Vec<(u64, SimTime)> = f.drain().into_iter().map(|c| (c.tag, c.at)).collect();
+            (ends, *f.stats())
+        };
+        let (ends_auto, stats_auto) = run(SharingMode::Auto);
+        let (ends_fill, stats_fill) = run(SharingMode::Filling);
+        assert_eq!(ends_auto, ends_fill, "analytic schedule diverged");
+        assert_eq!(stats_auto.completed, 12);
+        assert!(
+            stats_auto.analytic_components >= 1,
+            "storm never classified single-bottleneck: {stats_auto:?}"
+        );
+        assert!(stats_auto.analytic_events > 0);
+        assert!(
+            stats_auto.fallback_migrations >= 1,
+            "NIC-bound tail never migrated: {stats_auto:?}"
+        );
+        assert_eq!(stats_fill.analytic_components, 0);
+        assert_eq!(stats_fill.analytic_events, 0);
+    }
+
+    /// Mid-run rate allocations under the analytic tier are bitwise
+    /// the global filling reference's (the randomized oracle lives in
+    /// tests/properties.rs).
+    #[test]
+    fn analytic_rates_match_global_bitwise() {
+        let run = |mode: SharingMode, scope: ReshareScope| {
+            let (dc, mut f) = fabric();
+            f.set_sharing_mode(mode);
+            f.set_reshare_scope(scope);
+            let rack0: Vec<ServerId> = dc
+                .servers
+                .iter()
+                .filter(|s| s.rack.0 == 0)
+                .map(|s| s.id)
+                .collect();
+            let rack1: Vec<ServerId> = dc
+                .servers
+                .iter()
+                .filter(|s| s.rack.0 == 1)
+                .map(|s| s.id)
+                .collect();
+            for i in 0..10u64 {
+                f.schedule_flow(
+                    SimTime::from_millis(i * 5),
+                    rack0[i as usize],
+                    rack1[i as usize],
+                    256 * MB,
+                    i,
+                );
+            }
+            f.pump(SimTime::from_millis(60));
+            let probe: Vec<(u64, u64)> = f
+                .active_flow_ids()
+                .iter()
+                .map(|&id| (id.0, f.flow_rate(id).unwrap().to_bits()))
+                .collect();
+            let ends: Vec<(u64, SimTime)> = f.drain().into_iter().map(|c| (c.tag, c.at)).collect();
+            (probe, ends)
+        };
+        let analytic = run(SharingMode::Analytic, ReshareScope::Component);
+        let global = run(SharingMode::Filling, ReshareScope::Global);
+        assert_eq!(analytic.0, global.0, "mid-run rates diverged bitwise");
+        assert_eq!(analytic.1, global.1, "completion schedules diverged");
+    }
+
+    /// The fault-interplay regression: an uplink going down mid-storm
+    /// invalidates the analytic classification. The group must migrate
+    /// its state exactly — crossing flows abort (as filling would
+    /// abort them), survivors re-promote under the new shape, and no
+    /// flow is lost or double-completed.
+    #[test]
+    fn uplink_down_mid_storm_migrates_exactly() {
+        let run = |mode: SharingMode| {
+            let (dc, mut f) = fabric();
+            f.set_sharing_mode(mode);
+            let by_rack = |r: u32| -> Vec<ServerId> {
+                dc.servers
+                    .iter()
+                    .filter(|s| s.rack.0 == r)
+                    .map(|s| s.id)
+                    .collect()
+            };
+            let (rack0, rack1, rack2) = (by_rack(0), by_rack(1), by_rack(2));
+            // 8 flows to rack 1 and 8 to rack 2, all through rack 0's
+            // uplink: one single-bottleneck component of 16.
+            for i in 0..8u64 {
+                f.schedule_flow(
+                    SimTime::ZERO,
+                    rack0[i as usize],
+                    rack1[i as usize],
+                    256 * MB,
+                    i,
+                );
+                f.schedule_flow(
+                    SimTime::ZERO,
+                    rack0[8 + i as usize],
+                    rack2[i as usize],
+                    256 * MB,
+                    100 + i,
+                );
+            }
+            f.pump(SimTime::from_millis(50));
+            // Rack 1's downlink dies mid-storm.
+            let mut aborted = f.set_link_down(SimTime::from_millis(50), f.topology().rack_down(1));
+            aborted.sort_unstable();
+            let ends: Vec<(u64, SimTime)> = f.drain().into_iter().map(|c| (c.tag, c.at)).collect();
+            (aborted, ends, *f.stats())
+        };
+        let (ab_auto, ends_auto, stats_auto) = run(SharingMode::Auto);
+        let (ab_fill, ends_fill, stats_fill) = run(SharingMode::Filling);
+        assert_eq!(ab_auto, ab_fill, "abort sets diverged");
+        assert_eq!(ends_auto, ends_fill, "survivor schedules diverged");
+        // Conservation: every scheduled flow either completed once or
+        // aborted once — none lost, none double-completed.
+        assert_eq!(ab_auto.len(), 8, "expected the rack-1 half to abort");
+        assert_eq!(stats_auto.completed, 8);
+        assert_eq!(stats_auto.flows_aborted, 8);
+        assert_eq!(stats_fill.completed, 8);
+        let mut seen = ends_auto.iter().map(|(tag, _)| *tag).collect::<Vec<_>>();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 8, "a survivor completed twice");
+        // The fault really did hit a live analytic group, and the
+        // survivors re-promoted afterwards.
+        assert!(stats_auto.fallback_migrations >= 1, "{stats_auto:?}");
+        assert!(stats_auto.analytic_components >= 2, "{stats_auto:?}");
     }
 
     #[test]

@@ -47,4 +47,5 @@ pub mod topology;
 
 pub use config::NetworkConfig;
 pub use fabric::{Fabric, FabricStats, FlowCompletion, FlowId, ReshareScope};
+pub use harvest_sim::fairshare::SharingMode;
 pub use topology::{LinkId, Path, Topology};

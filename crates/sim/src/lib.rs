@@ -22,6 +22,10 @@
 //!   of counters, gauges, bounded quantile sketches, and sim-time
 //!   spans, with Chrome-trace/Perfetto and machine-readable JSON
 //!   exporters;
+//! * [`fairshare`] — an analytic O(log n) max-min fair-sharing engine
+//!   ([`FairShare`]) for single-bottleneck resources: a virtual
+//!   fair-work clock plus a completion-ordered heap, used by
+//!   `net::fabric` (classifier-gated) and `disk::pool` (wholesale);
 //! * [`fault`] — deterministic fault injection: seed-stream-driven
 //!   [`FaultPlan`]s (crashes, rack power loss, link flaps, disk
 //!   brown-outs) plus retry/backoff knobs, with [`fault::FaultPlan::none`]
@@ -47,6 +51,7 @@
 
 pub mod dist;
 pub mod engine;
+pub mod fairshare;
 pub mod fault;
 pub mod metrics;
 pub mod obs;
@@ -56,6 +61,7 @@ pub mod supervise;
 pub mod time;
 
 pub use engine::{EventKey, EventQueue};
+pub use fairshare::{FairShare, SharingMode};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultProfile};
 pub use obs::Recorder;
 pub use par::{default_jobs, par_map, par_map_profiled, par_map_with};

@@ -190,7 +190,13 @@ fn fabric_dc() -> Datacenter {
 /// Builds a fabric carrying `flows` (src, dst, bytes, start-ms tuples
 /// mapped into the datacenter) and pumps it to `probe_ms`.
 fn loaded_fabric(dc: &Datacenter, flows: &[(usize, usize, u64, u64)], probe_ms: u64) -> Fabric {
-    loaded_fabric_scoped(dc, flows, probe_ms, harvest::net::ReshareScope::Component)
+    loaded_fabric_scoped(
+        dc,
+        flows,
+        probe_ms,
+        harvest::net::ReshareScope::Component,
+        harvest::net::SharingMode::default(),
+    )
 }
 
 fn loaded_fabric_scoped(
@@ -198,9 +204,11 @@ fn loaded_fabric_scoped(
     flows: &[(usize, usize, u64, u64)],
     probe_ms: u64,
     scope: harvest::net::ReshareScope,
+    mode: harvest::net::SharingMode,
 ) -> Fabric {
     let mut fabric = Fabric::from_datacenter(dc, &NetworkConfig::datacenter());
     fabric.set_reshare_scope(scope);
+    fabric.set_sharing_mode(mode);
     let n = dc.n_servers();
     for (i, &(s, d, bytes, at)) in flows.iter().enumerate() {
         fabric.schedule_flow(
@@ -314,7 +322,11 @@ proptest! {
     /// The incremental-allocator oracle: component-scoped re-sharing is
     /// *bitwise* identical to the reference global recompute — same
     /// rates (compared by bit pattern), same versions, same completion
-    /// schedule — across randomized storm workloads.
+    /// schedule — across randomized storm workloads. Pinned to
+    /// `SharingMode::Filling`: versions are a filling-tier concept
+    /// (frozen while a flow is enrolled in an analytic group), and this
+    /// oracle compares the two *filling* scopes; the analytic tier has
+    /// its own oracles below.
     #[test]
     fn fabric_component_reshare_matches_global_oracle(
         flows in prop::collection::vec((0usize..500, 0usize..500, 0u64..64, 0u64..400), 1..60),
@@ -322,7 +334,13 @@ proptest! {
     ) {
         let dc = fabric_dc();
         let run = |scope: harvest::net::ReshareScope| {
-            let mut f = loaded_fabric_scoped(&dc, &flows, probe_ms, scope);
+            let mut f = loaded_fabric_scoped(
+                &dc,
+                &flows,
+                probe_ms,
+                scope,
+                harvest::net::SharingMode::Filling,
+            );
             let probe: Vec<(u64, u64, u64)> = f
                 .active_flow_ids()
                 .iter()
@@ -341,6 +359,108 @@ proptest! {
         prop_assert_eq!(&comp.0, &glob.0, "mid-storm rates/versions diverged");
         prop_assert_eq!(&comp.1, &glob.1, "completion schedules diverged");
     }
+
+    /// The analytic-tier oracle on its home turf: every flow leaves one
+    /// server at t = 0, so the source NIC is the whole component's
+    /// single bottleneck and the classifier must promote it (singleton
+    /// components are left on filling — the fast path needs at least
+    /// two concurrent flows to have anything to share). Mid-storm rates
+    /// are *bitwise* identical to the global filling reference (both
+    /// tiers compute `capacity / n` on identical populations) and
+    /// every flow's completion *time* matches exactly. Completions
+    /// landing on the same millisecond may pop in a different order
+    /// (the analytic heap breaks ties by fair-work key, filling's
+    /// queue by push order — the integer clock erases the sub-ms
+    /// distinction), so schedules are compared sorted by (time, tag).
+    #[test]
+    fn fabric_single_bottleneck_analytic_matches_global_bitwise(
+        flows in prop::collection::vec((0usize..500, 0u64..64), 2..50),
+        src in 0usize..500,
+        probe_ms in 0u64..200,
+    ) {
+        let dc = fabric_dc();
+        let n = dc.n_servers();
+        let shaped: Vec<(usize, usize, u64, u64)> = flows
+            .iter()
+            .map(|&(d, b)| {
+                (src, if d % n == src % n { d + 1 } else { d }, b, 0)
+            })
+            .collect();
+        let run = |scope, mode| {
+            let mut f = loaded_fabric_scoped(&dc, &shaped, probe_ms, scope, mode);
+            let probe: Vec<(u64, u64)> = f
+                .active_flow_ids()
+                .iter()
+                .map(|&id| (id.0, f.flow_rate(id).unwrap().to_bits()))
+                .collect();
+            let mut ends: Vec<(harvest::sim::SimTime, u64)> =
+                f.drain().into_iter().map(|c| (c.at, c.tag)).collect();
+            ends.sort();
+            (probe, ends, f.stats().analytic_events)
+        };
+        let ana = run(
+            harvest::net::ReshareScope::Component,
+            harvest::net::SharingMode::Auto,
+        );
+        let glob = run(
+            harvest::net::ReshareScope::Global,
+            harvest::net::SharingMode::Filling,
+        );
+        prop_assert_eq!(&ana.0, &glob.0, "mid-storm rates diverged");
+        prop_assert_eq!(&ana.1, &glob.1, "completion schedules diverged");
+        prop_assert!(ana.2 > 0, "classifier never promoted a single-bottleneck component");
+    }
+
+    /// The analytic tier on *mixed* workloads (arbitrary src/dst pairs,
+    /// so components may have several bottlenecks and only some
+    /// promote): `Auto` conserves capacity and completes the same flows
+    /// as the global filling reference, with every completion within
+    /// 1 ms. Rates are bitwise identical whichever tier serves a
+    /// component; completion *times* may differ by float reassociation
+    /// (filling folds `(r - a) - b`, the fair-work clock computes
+    /// `r - (a + b)`), which the millisecond clock rounds away —
+    /// documented tolerance: one clock quantum.
+    #[test]
+    fn fabric_mixed_analytic_matches_global_schedule(
+        flows in prop::collection::vec((0usize..500, 0usize..500, 0u64..64, 0u64..400), 1..60),
+        probe_ms in 0u64..400,
+    ) {
+        let dc = fabric_dc();
+        let run = |scope, mode| {
+            let mut f = loaded_fabric_scoped(&dc, &flows, probe_ms, scope, mode);
+            for l in 0..f.topology().n_links() {
+                let link = harvest::net::LinkId(l as u32);
+                assert!(
+                    f.link_load(link) <= f.topology().capacity(link) * (1.0 + 1e-9),
+                    "link {l} overloaded under analytic sharing"
+                );
+            }
+            let mut ends: Vec<(u64, i64)> = f
+                .drain()
+                .into_iter()
+                .map(|c| (c.tag, c.at.as_millis() as i64))
+                .collect();
+            ends.sort();
+            ends
+        };
+        let ana = run(
+            harvest::net::ReshareScope::Component,
+            harvest::net::SharingMode::Auto,
+        );
+        let glob = run(
+            harvest::net::ReshareScope::Global,
+            harvest::net::SharingMode::Filling,
+        );
+        prop_assert_eq!(ana.len(), glob.len(), "flow counts diverged");
+        for (a, g) in ana.iter().zip(glob.iter()) {
+            prop_assert_eq!(a.0, g.0, "completion order diverged");
+            prop_assert!(
+                (a.1 - g.1).abs() <= 1,
+                "flow {} finished at {} analytic vs {} filling (> 1 ms apart)",
+                a.0, a.1, g.1
+            );
+        }
+    }
 }
 
 /// Builds a pool of `N_DISKS` carrying `streams` ((server, dir, bytes,
@@ -358,6 +478,7 @@ fn loaded_pool(
         utils,
         probe_ms,
         harvest::disk::ReshareScope::Channel,
+        harvest::disk::SharingMode::default(),
     )
 }
 
@@ -366,9 +487,11 @@ fn loaded_pool_scoped(
     utils: &[(usize, u64)],
     probe_ms: u64,
     scope: harvest::disk::ReshareScope,
+    mode: harvest::disk::SharingMode,
 ) -> DiskPool {
     let mut pool = DiskPool::new(N_DISKS, &DiskConfig::datacenter());
     pool.set_reshare_scope(scope);
+    pool.set_sharing_mode(mode);
     for &(server, centi_util) in utils {
         pool.set_primary_util(
             harvest::sim::SimTime::ZERO,
@@ -483,6 +606,9 @@ proptest! {
     /// re-shared on every event) — same rates, versions, and completion
     /// schedule — across randomized storm workloads. Utilizations are
     /// capped below the throttle threshold so drain() terminates.
+    /// Pinned to `SharingMode::Filling`: versions are a filling-tier
+    /// concept (frozen while a stream is enrolled in an analytic
+    /// group); the analytic tier has its own oracle below.
     #[test]
     fn disk_channel_reshare_matches_global_oracle(
         streams in prop::collection::vec((0usize..500, 0u64..2, 0u64..64, 0u64..400), 1..60),
@@ -490,7 +616,13 @@ proptest! {
         probe_ms in 0u64..400,
     ) {
         let run = |scope: harvest::disk::ReshareScope| {
-            let mut p = loaded_pool_scoped(&streams, &utils, probe_ms, scope);
+            let mut p = loaded_pool_scoped(
+                &streams,
+                &utils,
+                probe_ms,
+                scope,
+                harvest::disk::SharingMode::Filling,
+            );
             let probe: Vec<(u64, u64, u64)> = p
                 .active_stream_ids()
                 .iter()
@@ -508,6 +640,44 @@ proptest! {
         let glob = run(harvest::disk::ReshareScope::Global);
         prop_assert_eq!(&chan.0, &glob.0, "mid-storm rates/versions diverged");
         prop_assert_eq!(&chan.1, &glob.1, "completion schedules diverged");
+    }
+
+    /// The disk analytic-tier oracle: channels are single-bottleneck by
+    /// construction, so under `Auto` every occupied channel promotes.
+    /// Mid-storm rates are *bitwise* identical to the global filling
+    /// reference and every completion *time* matches exactly (both
+    /// tiers divide the same capacity by the same population; the
+    /// millisecond clock rounds away the reassociation drift).
+    /// Same-millisecond completions may pop in a different order
+    /// across tiers, so schedules are compared sorted by (time, tag).
+    #[test]
+    fn disk_analytic_matches_global_oracle(
+        streams in prop::collection::vec((0usize..500, 0u64..2, 0u64..64, 0u64..400), 1..60),
+        utils in prop::collection::vec((0usize..500, 0u64..45), 0..8),
+        probe_ms in 0u64..400,
+    ) {
+        let run = |scope, mode| {
+            let mut p = loaded_pool_scoped(&streams, &utils, probe_ms, scope, mode);
+            let probe: Vec<(u64, u64)> = p
+                .active_stream_ids()
+                .iter()
+                .map(|&id| (id.0, p.stream_rate(id).unwrap().to_bits()))
+                .collect();
+            let mut ends: Vec<(harvest::sim::SimTime, u64)> =
+                p.drain().into_iter().map(|c| (c.at, c.tag)).collect();
+            ends.sort();
+            (probe, ends)
+        };
+        let ana = run(
+            harvest::disk::ReshareScope::Channel,
+            harvest::disk::SharingMode::Auto,
+        );
+        let glob = run(
+            harvest::disk::ReshareScope::Global,
+            harvest::disk::SharingMode::Filling,
+        );
+        prop_assert_eq!(&ana.0, &glob.0, "mid-storm rates diverged");
+        prop_assert_eq!(&ana.1, &glob.1, "completion schedules diverged");
     }
 
     /// The disk pool replays bit-identically for identical inputs.
@@ -829,10 +999,11 @@ proptest! {
         let mut knobs = FaultPlan::none();
         knobs.max_retries = retries;
         knobs.shed_inflight_above = Some(shed);
+        let mode = harvest::sim::SharingMode::Auto;
         let a = run_loss(
-            &dc, PlacementPolicy::Stock, 3, 2, seed, 0, None, None, &FaultPlan::none(),
+            &dc, PlacementPolicy::Stock, 3, 2, seed, 0, None, None, mode, &FaultPlan::none(),
         );
-        let b = run_loss(&dc, PlacementPolicy::Stock, 3, 2, seed, 0, None, None, &knobs);
+        let b = run_loss(&dc, PlacementPolicy::Stock, 3, 2, seed, 0, None, None, mode, &knobs);
         prop_assert_eq!(a.percent.to_bits(), b.percent.to_bits());
         prop_assert_eq!(a.blocks, b.blocks);
         prop_assert_eq!(b.faults_injected, 0);
